@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment harnesses.
+
+Every benchmark prints the table rows it reproduces (run with ``-s`` to
+see them inline; they are also summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, rows: list[dict]) -> None:
+    """Print an experiment's result table."""
+    if not rows:
+        return
+    columns = list(rows[0])
+    widths = {c: max(len(c), *(len(_fmt(row[c])) for row in rows))
+              for c in columns}
+    print(f"\n== {title} ==")
+    print("  " + " | ".join(c.ljust(widths[c]) for c in columns))
+    print("  " + "-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        print("  " + " | ".join(_fmt(row[c]).ljust(widths[c])
+                                for c in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@pytest.fixture
+def table_printer():
+    return emit

@@ -1,0 +1,115 @@
+"""EXT-2 — control-channel overhead.
+
+What the narrow waist costs on the wire: NETCONF vs OpenFlow message
+counts and bytes per deployment, and the payoff of the Unify diff-based
+config exchange versus shipping full virtualizer trees.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.nffg import NFFGBuilder
+from repro.nffg.builder import mesh_substrate
+from repro.mapping import GreedyEmbedder
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_reference_multidomain
+from repro.virtualizer import nffg_to_virtualizer
+from repro.yang import diff_trees
+from repro.yang.diff import patch_size_bytes
+
+
+def _request(request_id="ctl"):
+    return (ServiceRequestBuilder(request_id)
+            .sap("sap1").sap("sap2")
+            .nf(f"{request_id}-fw", "firewall").nf(f"{request_id}-nat", "nat")
+            .chain("sap1", f"{request_id}-fw", f"{request_id}-nat", "sap2",
+                   bandwidth=5.0).build())
+
+
+def test_bench_per_domain_control_cost(benchmark):
+    """The EXT-2 table: control messages/bytes per domain per deploy."""
+    testbed = build_reference_multidomain()
+    report = testbed.service_layer.submit(_request())
+    assert report.success, report.error
+    rows = [{
+        "domain": adapter_report.domain,
+        "messages": adapter_report.control_messages,
+        "bytes": adapter_report.control_bytes,
+        "nfs": adapter_report.nfs_requested,
+        "flowrules": adapter_report.flowrules_requested,
+    } for adapter_report in report.adapters]
+    emit("EXT-2: control-plane cost per domain (one 2-NF deploy)", rows)
+    assert sum(row["messages"] for row in rows) == report.control_messages
+    benchmark(lambda: build_reference_multidomain()
+              .service_layer.submit(_request("timed")))
+
+
+@pytest.mark.parametrize("size", [10, 40, 160])
+def test_bench_diff_vs_full_config(benchmark, size):
+    """Unify diff exchange vs full virtualizer tree, growing domains."""
+    domain = mesh_substrate(size, degree=3, seed=4,
+                            supported_types=["firewall", "nat"])
+    service = (NFFGBuilder("svc").sap("sap1").sap("sap2")
+               .nf("fw", "firewall").chain("sap1", "fw", "sap2",
+                                           bandwidth=1.0).build())
+    result = GreedyEmbedder().map(service, domain)
+    assert result.success
+    before = nffg_to_virtualizer(domain, virtualizer_id="dom")
+    after = nffg_to_virtualizer(result.mapped, virtualizer_id="dom")
+    entries = benchmark(diff_trees, before.tree, after.tree)
+    assert entries  # the deploy changed the tree
+
+
+def test_bench_diff_compression_table(benchmark):
+    rows = []
+    for size in (10, 40, 160):
+        domain = mesh_substrate(size, degree=3, seed=4,
+                                supported_types=["firewall", "nat"])
+        service = (NFFGBuilder("svc").sap("sap1").sap("sap2")
+                   .nf("fw", "firewall")
+                   .chain("sap1", "fw", "sap2", bandwidth=1.0).build())
+        result = GreedyEmbedder().map(service, domain)
+        assert result.success
+        before = nffg_to_virtualizer(domain, virtualizer_id="dom")
+        after = nffg_to_virtualizer(result.mapped, virtualizer_id="dom")
+        full_bytes = len(after.tree.to_json().encode())
+        entries = diff_trees(before.tree, after.tree)
+        diff_bytes = patch_size_bytes(entries)
+        rows.append({
+            "domain_nodes": size,
+            "full_tree_bytes": full_bytes,
+            "diff_bytes": diff_bytes,
+            "diff_entries": len(entries),
+            "compression_x": full_bytes / diff_bytes,
+        })
+    emit("EXT-2: Unify diff vs full-config exchange", rows)
+    # the diff stays roughly constant while the tree grows with the
+    # domain: compression improves with domain size
+    assert rows[-1]["compression_x"] > rows[0]["compression_x"]
+    assert rows[-1]["compression_x"] > 10
+    domain = mesh_substrate(40, degree=3, seed=4)
+    benchmark(nffg_to_virtualizer, domain)
+
+
+def test_bench_netconf_vs_openflow_split(benchmark):
+    """Management (NETCONF) vs flow programming (OpenFlow) byte split
+    in the emulated domain."""
+    from repro.topo import build_emulated_testbed
+    testbed = build_emulated_testbed(switches=3)
+    adapter = testbed.escape.cal.adapters["emu"]
+    report = testbed.service_layer.submit(_request("split"))
+    assert report.success
+    netconf_bytes = adapter.channel.stats.bytes
+    of_stats = adapter.orchestrator.controller.total_stats()
+    rows = [{
+        "channel": "NETCONF (config)",
+        "messages": adapter.channel.stats.messages,
+        "bytes": netconf_bytes,
+    }, {
+        "channel": "OpenFlow (flow programming)",
+        "messages": of_stats.messages,
+        "bytes": of_stats.bytes,
+    }]
+    emit("EXT-2: NETCONF vs OpenFlow share (emu domain)", rows)
+    assert netconf_bytes > 0 and of_stats.bytes > 0
+    benchmark(adapter.get_view)

@@ -1,0 +1,123 @@
+"""EXT-3 — dataplane behaviour of deployed chains.
+
+Packet-level sanity of the emulated substrates: per-chain latency as
+chains lengthen, throughput ceiling at a bottleneck link, and the UN's
+fast path vs the emulated software switches.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.cli import ScenarioRunner
+from repro.netem.packet import tcp_packet
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_emulated_testbed, build_reference_multidomain
+
+
+def _chain(request_id: str, length: int, flowclass: str = ""):
+    builder = ServiceRequestBuilder(request_id).sap("sap1").sap("sap2")
+    names = []
+    for index in range(length):
+        name = f"{request_id}-f{index}"
+        builder.nf(name, "forwarder")
+        names.append(name)
+    builder.chain("sap1", *names, "sap2", bandwidth=1.0,
+                  flowclass=flowclass)
+    return builder.build()
+
+
+@pytest.mark.parametrize("length", [1, 3, 5])
+def test_bench_latency_vs_chain_length(benchmark, length):
+    testbed = build_emulated_testbed(switches=3)
+    runner = ScenarioRunner(testbed)
+    report = runner.deploy(_chain(f"lat{length}", length))
+    assert report.success
+
+    def probe():
+        return runner.probe("sap1", "sap2", count=5)
+
+    traffic = benchmark.pedantic(probe, rounds=3, iterations=1)
+    assert traffic.delivered == 5
+
+
+def test_bench_latency_table(benchmark):
+    rows = []
+    for length in (1, 3, 5):
+        testbed = build_emulated_testbed(switches=3)
+        runner = ScenarioRunner(testbed)
+        report = runner.deploy(_chain(f"lat{length}", length))
+        assert report.success, report.error
+        traffic = runner.probe("sap1", "sap2", count=10)
+        rows.append({
+            "chain_nfs": length,
+            "delivered": traffic.delivered,
+            "mean_latency_ms": traffic.mean_latency_ms,
+        })
+    emit("EXT-3: end-to-end latency vs chain length", rows)
+    latencies = [row["mean_latency_ms"] for row in rows]
+    assert latencies == sorted(latencies)  # monotone in NF count
+    testbed = build_emulated_testbed(switches=2)
+    benchmark(testbed.escape.resource_view)
+
+
+def test_bench_un_fast_path_vs_emulated(benchmark):
+    """DPDK-class LSI forwarding vs the emulated software switch."""
+    rows = []
+    testbed = build_reference_multidomain()
+    runner = ScenarioRunner(testbed)
+    # one NF on the UN: sap2-adjacent
+    request = (ServiceRequestBuilder("fast")
+               .sap("sap1").sap("sap2")
+               .nf("fast-f", "forwarder")
+               .chain("sap1", "fast-f", "sap2", bandwidth=1.0).build())
+    report = runner.deploy(request)
+    assert report.success
+    traffic = runner.probe("sap1", "sap2", count=10)
+    lsi = testbed.un.lsi
+    emu_switch = testbed.emu.switches["emu-bb0"]
+    rows.append({
+        "element": "UN LSI forwarding delay (ms)",
+        "value": lsi.forwarding_delay_ms,
+    })
+    rows.append({
+        "element": "emulated switch forwarding delay (ms)",
+        "value": emu_switch.forwarding_delay_ms,
+    })
+    rows.append({
+        "element": "chain mean latency (ms)",
+        "value": traffic.mean_latency_ms,
+    })
+    emit("EXT-3: Universal Node fast path", rows)
+    assert lsi.forwarding_delay_ms < emu_switch.forwarding_delay_ms
+    benchmark(lambda: runner.probe("sap1", "sap2", count=2))
+
+
+def test_bench_throughput_bottleneck(benchmark):
+    """Delivered share collapses to the bottleneck link's capacity."""
+    testbed = build_emulated_testbed(switches=2)
+    # shrink the inter-switch link to 2 Mbit/s and keep short queues
+    for link in testbed.network.links:
+        if "emu-bb0" in (link.node_a.id, link.node_b.id) \
+                and "emu-bb1" in (link.node_a.id, link.node_b.id):
+            link.bandwidth_mbps = 2.0
+            link.queue_packets = 8
+    runner = ScenarioRunner(testbed)
+    report = runner.deploy(_chain("bneck", 1))
+    assert report.success
+
+    def blast():
+        src = testbed.host("sap1")
+        dst = testbed.host("sap2")
+        dst.clear()
+        packets = [tcp_packet(src.ip, dst.ip, size=1500,
+                              tp_src=30000 + i) for i in range(60)]
+        src.send_burst(packets, interval=0.05)  # 240 Mbit/s offered
+        testbed.run()
+        return len(dst.received)
+
+    delivered = benchmark.pedantic(blast, rounds=2, iterations=1)
+    emit("EXT-3: bottleneck behaviour",
+         [{"offered_packets": 60, "delivered": delivered,
+           "delivery_ratio": delivered / 60}])
+    assert delivered < 60  # the 2 Mbit/s link cannot carry the burst
+    assert delivered > 0

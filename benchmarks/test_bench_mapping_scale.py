@@ -1,0 +1,91 @@
+"""EXT-1 — embedding algorithm scalability.
+
+Mapping time vs substrate size and chain length for the three pluggable
+embedders ("can be extended easily with ... network embedding
+algorithms").  The shapes to expect: polynomial growth in substrate
+size, near-linear in chain length, greedy < delay-aware < backtracking
+in cost-of-search.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.mapping import (
+    BacktrackingEmbedder,
+    DelayAwareEmbedder,
+    GreedyEmbedder,
+)
+from repro.nffg import NFFGBuilder
+from repro.nffg.builder import mesh_substrate
+
+NF_TYPES = ["firewall", "nat", "dpi", "monitor"]
+SIZES = [10, 50, 150]
+EMBEDDERS = {
+    "greedy": GreedyEmbedder,
+    "backtrack": BacktrackingEmbedder,
+    "delay-aware": DelayAwareEmbedder,
+}
+
+
+def _chain(length: int, bandwidth: float = 2.0):
+    builder = NFFGBuilder(f"chain{length}").sap("sap1").sap("sap2")
+    names = []
+    for index in range(length):
+        name = f"nf{index}"
+        builder.nf(name, NF_TYPES[index % len(NF_TYPES)], cpu=1.0)
+        names.append(name)
+    builder.chain("sap1", *names, "sap2", bandwidth=bandwidth)
+    return builder.build()
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", list(EMBEDDERS))
+def test_bench_mapping_vs_substrate_size(benchmark, name, size):
+    substrate = mesh_substrate(size, degree=3, seed=2,
+                               supported_types=NF_TYPES)
+    service = _chain(4)
+    embedder = EMBEDDERS[name]()
+    result = benchmark(embedder.map, service, substrate)
+    assert result.success, result.failure_reason
+
+
+@pytest.mark.parametrize("length", [2, 6, 10])
+def test_bench_mapping_vs_chain_length(benchmark, length):
+    substrate = mesh_substrate(40, degree=3, seed=2,
+                               supported_types=NF_TYPES)
+    service = _chain(length)
+    result = benchmark(GreedyEmbedder().map, service, substrate)
+    assert result.success, result.failure_reason
+
+
+def test_bench_scalability_table(benchmark):
+    """The EXT-1 table: embedder x substrate size -> time and cost."""
+    rows = []
+    for size in SIZES:
+        substrate = mesh_substrate(size, degree=3, seed=2,
+                                   supported_types=NF_TYPES)
+        service = _chain(4)
+        for name, embedder_cls in EMBEDDERS.items():
+            embedder = embedder_cls()
+            started = time.perf_counter()
+            result = embedder.map(service, substrate)
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            assert result.success, (name, size, result.failure_reason)
+            rows.append({
+                "substrate_nodes": size,
+                "embedder": name,
+                "map_ms": elapsed_ms,
+                "cost": result.cost,
+                "nodes_examined": result.nodes_examined,
+            })
+    emit("EXT-1: mapping time vs substrate size", rows)
+    # polynomial growth: biggest substrate is slower than smallest for
+    # every embedder, but still sub-second
+    for name in EMBEDDERS:
+        times = [row["map_ms"] for row in rows if row["embedder"] == name]
+        assert times[-1] < 2000.0
+    benchmark(GreedyEmbedder().map, _chain(4),
+              mesh_substrate(SIZES[0], degree=3, seed=2,
+                             supported_types=NF_TYPES))

@@ -1,0 +1,114 @@
+"""DEMO-iii(a) — recursive orchestration.
+
+"Unify domains can be stacked into a multi-level control hierarchy."
+The harness stacks 1..4 ESCAPE levels above one physical emulated
+domain, deploys the same chain through the top of each stack and
+reports per-level overhead (deploy latency, Unify control bytes),
+verifying the chain end to end at the bottom every time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.emu import EmulatedDomain
+from repro.netem import Network
+from repro.netem.packet import tcp_packet
+from repro.nffg import NFFGBuilder
+from repro.orchestration import (
+    EmuDomainAdapter,
+    EscapeOrchestrator,
+    UnifyAgent,
+    UnifyDomainAdapter,
+)
+
+LEVELS = [1, 2, 3, 4]
+
+
+def _stack(levels: int):
+    """A physical emu domain under a tower of `levels` orchestrators."""
+    net = Network()
+    domain = EmulatedDomain("emu", net, node_ids=["emu-bb0", "emu-bb1"],
+                            links=[("emu-bb0", "emu-bb1")])
+    domain.add_sap("sap1", "emu-bb0")
+    domain.add_sap("sap2", "emu-bb1")
+    bottom = EscapeOrchestrator("level0", simulator=net.simulator)
+    bottom.add_domain(EmuDomainAdapter("emu", domain))
+    top = bottom
+    adapters = []
+    for level in range(1, levels):
+        agent = UnifyAgent(top)
+        parent = EscapeOrchestrator(f"level{level}",
+                                    simulator=net.simulator)
+        adapter = UnifyDomainAdapter(f"level{level - 1}-dom", agent)
+        parent.add_domain(adapter)
+        adapters.append(adapter)
+        top = parent
+    return net, domain, top, adapters
+
+
+def _service(service_id: str):
+    return (NFFGBuilder(service_id).sap("sap1").sap("sap2")
+            .nf(f"{service_id}-fw", "firewall")
+            .chain("sap1", f"{service_id}-fw", "sap2", bandwidth=5.0)
+            .build())
+
+
+@pytest.mark.parametrize("levels", LEVELS)
+def test_bench_deploy_through_n_levels(benchmark, levels):
+    def setup():
+        return _stack(levels), {}
+
+    def run(net, domain, top, adapters):
+        report = top.deploy(_service("rsvc"))
+        assert report.success, report.error
+        return net, domain
+
+    net, domain = benchmark.pedantic(run, setup=setup, rounds=3,
+                                     iterations=1)
+    # verify the dataplane at the very bottom
+    h1, h2 = domain.sap_hosts["sap1"], domain.sap_hosts["sap2"]
+    h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+    net.run()
+    assert len(h2.received) == 1
+
+
+def test_bench_recursion_overhead_table(benchmark):
+    """The DEMO-iii(a) table: cost per added orchestration level."""
+    rows = []
+    for levels in LEVELS:
+        net, domain, top, adapters = _stack(levels)
+        started = time.perf_counter()
+        report = top.deploy(_service("rsvc"))
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        assert report.success, report.error
+        unify_bytes = sum(adapter.channel.stats.bytes
+                          for adapter in adapters)
+        h1, h2 = domain.sap_hosts["sap1"], domain.sap_hosts["sap2"]
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        net.run()
+        rows.append({
+            "levels": levels,
+            "deploy_ms": elapsed_ms,
+            "unify_ctrl_bytes": unify_bytes,
+            "delivered": len(h2.received),
+        })
+    emit("DEMO-iii(a): recursive orchestration overhead per level", rows)
+    assert all(row["delivered"] == 1 for row in rows)
+    # Unify control bytes grow with stacking depth (one interface per
+    # added level), while a single level costs none
+    assert rows[0]["unify_ctrl_bytes"] == 0
+    assert all(a["unify_ctrl_bytes"] < b["unify_ctrl_bytes"]
+               for a, b in zip(rows, rows[1:]))
+    net, domain, top, _ = _stack(2)
+    benchmark(top.resource_view)
+
+
+def test_bench_view_propagation_depth(benchmark):
+    """Cost of pulling the virtual view through N levels."""
+    net, domain, top, _ = _stack(4)
+    view = benchmark(top.resource_view)
+    assert len(view.infras) == 1  # single BiS-BiS after 4 aggregations
+    # capacity survives every aggregation unchanged
+    assert view.infras[0].resources.cpu == 16.0

@@ -1,0 +1,91 @@
+"""ABL-1 — view-policy ablation (design choice called out in DESIGN.md).
+
+How much virtual view should a virtualizer expose?  The paper's
+architecture permits "arbitrary interconnection of BiS-BiS nodes"; this
+ablation quantifies the trade-off across the three policies:
+
+- single BiS-BiS: tiny view, client mapping trivial, all placement
+  freedom delegated;
+- per-domain BiS-BiS: domain boundaries visible, placement can pin
+  domains;
+- full topology: complete control, biggest view and mapping problem.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.mapping import GreedyEmbedder
+from repro.nffg import NFFGBuilder
+from repro.topo import build_reference_multidomain
+from repro.virtualizer import nffg_to_virtualizer
+from repro.virtualizer.views import (
+    FullTopologyView,
+    PerDomainBiSBiSView,
+    SingleBiSBiSView,
+)
+
+POLICIES = {
+    "single-bisbis": SingleBiSBiSView,
+    "per-domain": PerDomainBiSBiSView,
+    "full-topology": FullTopologyView,
+}
+
+
+def _service():
+    return (NFFGBuilder("abl").sap("sap1").sap("sap2")
+            .nf("abl-fw", "firewall").nf("abl-nat", "nat")
+            .chain("sap1", "abl-fw", "abl-nat", "sap2",
+                   bandwidth=5.0).build())
+
+
+@pytest.mark.parametrize("name", list(POLICIES))
+def test_bench_view_generation(benchmark, name):
+    dov = build_reference_multidomain(
+        emu_switches=6, sdn_switches=4).escape.cal.dov
+    policy = POLICIES[name]()
+    view = benchmark(policy.build_view, dov, "client")
+    assert view.infras
+
+
+@pytest.mark.parametrize("name", list(POLICIES))
+def test_bench_client_mapping_per_policy(benchmark, name):
+    dov = build_reference_multidomain().escape.cal.dov
+    view = POLICIES[name]().build_view(dov, "client")
+    result = benchmark(GreedyEmbedder().map, _service(), view)
+    assert result.success, result.failure_reason
+
+
+def test_bench_view_ablation_table(benchmark):
+    rows = []
+    dov = build_reference_multidomain(
+        emu_switches=6, sdn_switches=4).escape.cal.dov
+    for name, policy_cls in POLICIES.items():
+        policy = policy_cls()
+        started = time.perf_counter()
+        view = policy.build_view(dov, "client")
+        build_ms = (time.perf_counter() - started) * 1e3
+        wire_bytes = len(nffg_to_virtualizer(view).tree.to_json().encode())
+        started = time.perf_counter()
+        result = GreedyEmbedder().map(_service(), view)
+        map_ms = (time.perf_counter() - started) * 1e3
+        assert result.success, (name, result.failure_reason)
+        rows.append({
+            "policy": name,
+            "view_nodes": len(view.infras),
+            "view_wire_bytes": wire_bytes,
+            "view_build_ms": build_ms,
+            "client_map_ms": map_ms,
+            "client_examined": result.nodes_examined,
+        })
+    emit("ABL-1: virtual view policy trade-off", rows)
+    by_name = {row["policy"]: row for row in rows}
+    # the delegation claim: the single-BiS-BiS client's mapping problem
+    # is the smallest, the full-topology client's the largest
+    assert by_name["single-bisbis"]["client_examined"] <= \
+        by_name["per-domain"]["client_examined"] <= \
+        by_name["full-topology"]["client_examined"]
+    assert by_name["single-bisbis"]["view_wire_bytes"] < \
+        by_name["full-topology"]["view_wire_bytes"]
+    benchmark(SingleBiSBiSView().build_view, dov, "timed")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Multi-domain chaining: steer one tenant's web traffic through a DPI
+pipeline in the cloud while another tenant's traffic takes a fast path
+through the Universal Node — both entering at the same SAP.
+
+Demonstrates: flowclass-based steering, per-domain placement, VM boot
+vs container start, and the per-domain control-plane accounting.
+
+Run:  python examples/multidomain_chain.py
+"""
+
+from repro.cli import ScenarioRunner, render_deploy_report
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_reference_multidomain
+
+
+def main() -> None:
+    testbed = build_reference_multidomain()
+    runner = ScenarioRunner(testbed)
+
+    # Tenant A: HTTP (tp_dst=80) from sap1 to the cloud SAP, inspected
+    # by a DPI NF that must land in the OpenStack domain (we steer it
+    # there by making the DPI demand too big for the emu nodes and
+    # disabling the UN for this walk-through).
+    testbed.emu.supported_types = ["forwarder", "firewall", "nat"]
+    testbed.un.runtime.cpu_capacity = 4.0
+
+    tenant_a = (ServiceRequestBuilder("tenant-a")
+                .sap("sap1").sap("sap3")
+                .nf("a-dpi", "dpi", cpu=6.0, mem=2048.0)
+                .chain("sap1", "a-dpi", "sap3", bandwidth=20.0,
+                       flowclass="tp_dst=80")
+                .build())
+    report_a = runner.deploy(tenant_a)
+    print(render_deploy_report(report_a))
+    print("tenant-a placement:", report_a.mapping.nf_placement)
+    print(f"tenant-a activation (VM boot): "
+          f"{report_a.activation_virtual_ms:.0f} virtual ms\n")
+
+    # Tenant B: DNS-ish traffic (tp_dst=5353) from sap1 to sap2 through
+    # a firewall that fits on the Universal Node (container start).
+    tenant_b = (ServiceRequestBuilder("tenant-b")
+                .sap("sap1").sap("sap2")
+                .nf("b-fw", "firewall", cpu=1.0)
+                .chain("sap1", "b-fw", "sap2", bandwidth=5.0,
+                       flowclass="tp_dst=5353")
+                .build())
+    report_b = runner.deploy(tenant_b)
+    print(render_deploy_report(report_b))
+    print("tenant-b placement:", report_b.mapping.nf_placement)
+    print(f"tenant-b activation: "
+          f"{report_b.activation_virtual_ms:.0f} virtual ms\n")
+
+    # Drive both tenants' traffic and show isolation.
+    http = runner.probe("sap1", "sap3", count=4, tp_dst=80,
+                        payload="GET /index.html")
+    dns = runner.probe("sap1", "sap2", count=4, tp_dst=5353)
+    print(f"tenant-a HTTP delivered: {http.delivered}/4 "
+          f"(mean {http.mean_latency_ms:.2f} ms)")
+    print("  path:", " -> ".join(http.traces[0]))
+    print(f"tenant-b DNS delivered:  {dns.delivered}/4 "
+          f"(mean {dns.mean_latency_ms:.2f} ms)")
+    print("  path:", " -> ".join(dns.traces[0]))
+
+    # DPI semantics: malware in tenant A's traffic is dropped in-line.
+    dirty = runner.probe("sap1", "sap3", count=2, tp_dst=80,
+                         payload="malware payload")
+    print(f"\ntenant-a malware payloads delivered (DPI at work): "
+          f"{dirty.delivered}/2")
+
+    # Who carried what on the control plane?
+    print("\nControl-plane bytes per domain (tenant-a deploy):")
+    for adapter_report in report_a.adapters:
+        print(f"  {adapter_report.domain:8s} "
+              f"{adapter_report.control_messages:4d} msgs  "
+              f"{adapter_report.control_bytes:7d} B")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of "Multi-Domain Service Orchestration Over
+Networks and Clouds: A Unified Approach" (Sonkoly et al., SIGCOMM 2015).
+
+The package implements the UNIFY joint SFC control plane:
+
+- ``repro.nffg`` — the joint compute+network resource abstraction
+  (NF Forwarding Graph with BiS-BiS infrastructure nodes);
+- ``repro.virtualizer`` — YANG-modelled virtual views exchanged over the
+  recursive Unify interface;
+- ``repro.mapping`` — pluggable embedding algorithms and NF
+  decomposition;
+- ``repro.orchestration`` — the ESCAPEv2-style layered orchestrator
+  (service layer, resource orchestration layer, controller adaptation
+  layer) with recursive north/south Unify interfaces;
+- substrate simulations of every technology domain the paper's prototype
+  integrates: a Mininet-like emulated domain with Click-style NFs
+  (``repro.emu``, ``repro.click``), a legacy OpenFlow network with a
+  POX-like controller (``repro.sdnnet``), an OpenStack+OpenDaylight-like
+  data center (``repro.cloud``) and the Universal Node (``repro.un``),
+  glued together by NETCONF-like (``repro.netconf``) and OpenFlow-like
+  (``repro.openflow``) control channels over a discrete-event simulator
+  (``repro.sim``) and a packet-level network model (``repro.netem``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,17 @@
+"""Text rendering and scenario running (the demo GUI's stand-in)."""
+
+from repro.cli.render import (
+    render_deploy_report,
+    render_dot,
+    render_mapping,
+    render_nffg,
+)
+from repro.cli.scenario import ScenarioRunner
+
+__all__ = [
+    "render_nffg",
+    "render_deploy_report",
+    "render_dot",
+    "render_mapping",
+    "ScenarioRunner",
+]

@@ -1,0 +1,189 @@
+"""Command-line entry point: ``python -m repro`` (or the ``repro``
+console script).
+
+Subcommands:
+
+- ``demo``       — deploy the reference chain over the Fig. 1 testbed,
+                   drive probe traffic, print the full report;
+- ``topology``   — print the merged global view (ASCII or DOT);
+- ``scale``      — run one elastic load/idle cycle;
+- ``catalog``    — list deployable NF types;
+- ``experiments``— list the experiment harnesses and how to run them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.cli.render import render_deploy_report
+    from repro.cli.scenario import ScenarioRunner
+    from repro.service import ServiceRequestBuilder
+    from repro.topo import build_reference_multidomain
+
+    testbed = build_reference_multidomain()
+    request = (ServiceRequestBuilder("demo")
+               .sap("sap1").sap("sap2")
+               .nf("demo-fw", "firewall").nf("demo-nat", "nat")
+               .chain("sap1", "demo-fw", "demo-nat", "sap2",
+                      bandwidth=args.bandwidth)
+               .delay_requirement("sap1", "sap2", max_delay=args.max_delay)
+               .build())
+    runner = ScenarioRunner(testbed)
+    report, traffic = runner.deploy_and_probe(request, "sap1", "sap2",
+                                              count=args.packets)
+    print(render_deploy_report(report))
+    if not report.success:
+        return 1
+    print(f"\nprobe: {traffic.delivered}/{traffic.sent} delivered, "
+          f"mean latency {traffic.mean_latency_ms:.2f} vms")
+    print("path: " + " -> ".join(traffic.traces[0]))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.cli.render import render_dot, render_nffg
+    from repro.topo import build_reference_multidomain
+
+    testbed = build_reference_multidomain(
+        emu_switches=args.emu_switches, sdn_switches=args.sdn_switches)
+    view = testbed.escape.resource_view()
+    if args.format == "dot":
+        print(render_dot(view, title="global-view"))
+    else:
+        print(render_nffg(view))
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.elastic import ElasticityController, ScalingRule
+    from repro.netem.packet import tcp_packet
+    from repro.service import ServiceRequestBuilder
+    from repro.topo import build_emulated_testbed
+
+    def version(level: int):
+        builder = (ServiceRequestBuilder("scale")
+                   .sap("sap1").sap("sap2"))
+        names = []
+        for index in range(level):
+            name = f"scale-w{index}"
+            builder.nf(name, "forwarder")
+            names.append(name)
+        builder.chain("sap1", *names, "sap2", bandwidth=1.0)
+        return builder.build().sg
+
+    testbed = build_emulated_testbed(switches=2)
+    testbed.escape.deploy(version(1))
+    controller = ElasticityController(testbed.escape)
+    controller.manage("scale",
+                      ScalingRule(metric_hop="scale-hop1",
+                                  scale_out_pps=args.threshold,
+                                  scale_in_pps=args.threshold / 10,
+                                  max_level=args.max_level),
+                      version)
+    src, dst = testbed.host("sap1"), testbed.host("sap2")
+    print(f"level {controller.managed_level('scale')} — blasting "
+          f"{args.packets} packets...")
+    src.send_burst([tcp_packet(src.ip, dst.ip, tp_src=42000 + i)
+                    for i in range(args.packets)], interval=1.0)
+    testbed.run()
+    for event in controller.poll():
+        print(f"  {event.action.value}: level {event.level_before} -> "
+              f"{event.level_after} at {event.observed_pps:.0f} pps")
+    testbed.network.simulator.schedule(30_000.0, lambda: None)
+    testbed.run()
+    for event in controller.poll():
+        print(f"  {event.action.value}: level {event.level_before} -> "
+              f"{event.level_after} at {event.observed_pps:.1f} pps")
+    print(f"final level {controller.managed_level('scale')}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.click.catalog import NF_CATALOG
+
+    for name in sorted(NF_CATALOG):
+        impl = NF_CATALOG[name]
+        resources = impl.default_resources
+        print(f"{name:14s} cpu={resources.cpu:<4g} mem={resources.mem:<6g} "
+              f"{impl.description}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    experiments = [
+        ("FIG1", "joint control plane over 4 domains",
+         "test_bench_fig1_stack.py"),
+        ("DEMO-i", "BiS-BiS abstraction", "test_bench_abstraction.py"),
+        ("DEMO-ii", "deploy over unified resources", "test_bench_deploy.py"),
+        ("DEMO-iii(a)", "recursive orchestration",
+         "test_bench_recursion.py"),
+        ("DEMO-iii(b)", "NF decomposition", "test_bench_decomposition.py"),
+        ("EXT-1", "embedding scalability", "test_bench_mapping_scale.py"),
+        ("EXT-2", "control-channel overhead",
+         "test_bench_control_plane.py"),
+        ("EXT-3", "dataplane behaviour", "test_bench_dataplane.py"),
+        ("EXT-4", "service churn", "test_bench_churn.py"),
+        ("EXT-5", "elastic scaling", "test_bench_elastic.py"),
+        ("ABL-1", "view-policy ablation", "test_bench_view_ablation.py"),
+    ]
+    for exp_id, title, target in experiments:
+        print(f"{exp_id:12s} {title:36s} "
+              f"pytest benchmarks/{target} --benchmark-only -s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-domain service orchestration (SIGCOMM'15 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="deploy + probe the demo chain")
+    demo.add_argument("--bandwidth", type=float, default=10.0)
+    demo.add_argument("--max-delay", type=float, default=80.0)
+    demo.add_argument("--packets", type=int, default=5)
+    demo.set_defaults(func=_cmd_demo)
+
+    topology = sub.add_parser("topology", help="print the global view")
+    topology.add_argument("--format", choices=("ascii", "dot"),
+                          default="ascii")
+    topology.add_argument("--emu-switches", type=int, default=2)
+    topology.add_argument("--sdn-switches", type=int, default=2)
+    topology.set_defaults(func=_cmd_topology)
+
+    scale = sub.add_parser("scale", help="run an elastic scaling cycle")
+    scale.add_argument("--packets", type=int, default=250)
+    scale.add_argument("--threshold", type=float, default=100.0)
+    scale.add_argument("--max-level", type=int, default=3)
+    scale.set_defaults(func=_cmd_scale)
+
+    catalog = sub.add_parser("catalog", help="list deployable NF types")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    experiments = sub.add_parser("experiments",
+                                 help="list experiment harnesses")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into head/less that exited — not an error
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001 - best effort on teardown
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

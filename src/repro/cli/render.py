@@ -1,0 +1,124 @@
+"""ASCII renderers for NFFGs, mappings and deployment reports.
+
+The paper demos a GUI; examples in this repo print these renderings
+instead, which keeps the scenarios scriptable and diffable.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import MappingResult
+from repro.nffg.graph import NFFG
+from repro.nffg.model import NodeInfra
+from repro.orchestration.report import DeployReport
+
+
+def render_nffg(nffg: NFFG, *, show_flowrules: bool = False) -> str:
+    """Multi-line summary of an NFFG."""
+    lines = [f"NFFG {nffg.id!r} ({nffg.name})"]
+    if nffg.saps:
+        lines.append("  SAPs: " + ", ".join(sap.id for sap in nffg.saps))
+    for infra in nffg.infras:
+        free = infra.resources
+        hosted = [nf.id for nf in nffg.nfs_on(infra.id)]
+        lines.append(
+            f"  [{infra.infra_type.value}] {infra.id} "
+            f"({infra.domain.value}) cpu={free.cpu:g} mem={free.mem:g} "
+            + (f"NFs: {', '.join(hosted)}" if hosted else ""))
+        if show_flowrules:
+            for port, rule in infra.iter_flowrules():
+                lines.append(f"      {port.id}: {rule.match} -> {rule.action}"
+                             + (f" ({rule.bandwidth:g} Mbps)"
+                                if rule.bandwidth else ""))
+    for hop in nffg.sg_hops:
+        lines.append(f"  hop {hop.id}: {hop.src_node}.{hop.src_port} -> "
+                     f"{hop.dst_node}.{hop.dst_port}"
+                     + (f" bw={hop.bandwidth:g}" if hop.bandwidth else "")
+                     + (f" fc={hop.flowclass}" if hop.flowclass else ""))
+    for req in nffg.requirements:
+        if req.max_delay != float("inf"):
+            lines.append(f"  req {req.id}: {req.src_node}->{req.dst_node} "
+                         f"delay<={req.max_delay:g} ms")
+    for link in nffg.links:
+        if link.id.endswith("-back"):
+            continue
+        src = nffg.node(link.src_node)
+        dst = nffg.node(link.dst_node)
+        if isinstance(src, NodeInfra) and isinstance(dst, NodeInfra):
+            lines.append(f"  link {link.src_node} <-> {link.dst_node} "
+                         f"{link.bandwidth:g} Mbps / {link.delay:g} ms")
+    return "\n".join(lines)
+
+
+def render_mapping(result: MappingResult) -> str:
+    if not result.success:
+        return f"mapping FAILED: {result.failure_reason}"
+    lines = ["mapping OK:"]
+    for nf_id, infra_id in sorted(result.nf_placement.items()):
+        lines.append(f"  {nf_id} -> {infra_id}")
+    for hop_id, route in sorted(result.hop_routes.items()):
+        lines.append(f"  {hop_id}: " + " -> ".join(route.infra_path)
+                     + f"  (delay {route.delay:.2f} ms)")
+    if result.decompositions:
+        for nf_id, rule in sorted(result.decompositions.items()):
+            lines.append(f"  decomposition: {nf_id} via {rule}")
+    lines.append(f"  cost={result.cost:.2f} examined={result.nodes_examined} "
+                 f"backtracks={result.backtracks}")
+    return "\n".join(lines)
+
+
+def render_dot(nffg: NFFG, *, title: str = "") -> str:
+    """Render an NFFG as Graphviz DOT (for docs and offline viewing).
+
+    SAPs are ellipses, BiS-BiS nodes boxes (grouped per domain), NFs
+    rounded boxes attached to their hosts; SG hops are dashed arrows.
+    """
+    lines = [f'digraph "{title or nffg.id}" {{',
+             "  rankdir=LR;",
+             '  node [fontname="Helvetica"];']
+    for sap in nffg.saps:
+        lines.append(f'  "{sap.id}" [shape=ellipse, style=filled, '
+                     'fillcolor="#dceefb"];')
+    for infra in nffg.infras:
+        label = (f"{infra.id}\\n{infra.domain.value}\\n"
+                 f"cpu={infra.resources.cpu:g}")
+        lines.append(f'  "{infra.id}" [shape=box, style=filled, '
+                     f'fillcolor="#e8f5e9", label="{label}"];')
+    for nf in nffg.nfs:
+        lines.append(f'  "{nf.id}" [shape=box, style="rounded,filled", '
+                     f'fillcolor="#fff3e0", '
+                     f'label="{nf.id}\\n({nf.functional_type})"];')
+    seen_pairs = set()
+    for link in nffg.links:
+        pair = frozenset((link.src_node, link.dst_node))
+        if pair in seen_pairs:
+            continue
+        seen_pairs.add(pair)
+        lines.append(f'  "{link.src_node}" -> "{link.dst_node}" '
+                     f'[dir=both, label="{link.bandwidth:g}M/'
+                     f'{link.delay:g}ms"];')
+    for edge in nffg.dynamic_links:
+        pair = frozenset((edge.src_node, edge.dst_node))
+        if pair in seen_pairs:
+            continue
+        seen_pairs.add(pair)
+        lines.append(f'  "{edge.src_node}" -> "{edge.dst_node}" '
+                     '[dir=both, style=dotted];')
+    for hop in nffg.sg_hops:
+        label = hop.flowclass or ""
+        lines.append(f'  "{hop.src_node}" -> "{hop.dst_node}" '
+                     f'[style=dashed, color="#c62828", label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_deploy_report(report: DeployReport) -> str:
+    lines = [report.summary_line()]
+    for adapter_report in report.adapters:
+        status = "ok" if adapter_report.success else f"FAILED: {adapter_report.error}"
+        lines.append(
+            f"  {adapter_report.domain}: {status} "
+            f"({adapter_report.nfs_requested} NFs, "
+            f"{adapter_report.flowrules_requested} rules, "
+            f"{adapter_report.control_messages} msgs / "
+            f"{adapter_report.control_bytes} B)")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Scenario runner: deploy a request, drive traffic, report.
+
+Wraps the recurring example/benchmark pattern — submit a request,
+run the simulator, inject probe packets, collect delivery stats — into
+one reusable object so examples stay short and uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netem.packet import tcp_packet
+from repro.orchestration.report import DeployReport
+from repro.service.request import ServiceRequest
+from repro.topo import MultiDomainTestbed
+
+
+@dataclass
+class TrafficResult:
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    traces: list[list[str]] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+
+class ScenarioRunner:
+    """Deploy + probe harness over a :class:`MultiDomainTestbed`."""
+
+    def __init__(self, testbed: MultiDomainTestbed):
+        self.testbed = testbed
+
+    def deploy(self, request: ServiceRequest) -> DeployReport:
+        report = self.testbed.service_layer.submit(request)
+        self.testbed.run()
+        return report
+
+    def probe(self, src_sap: str, dst_sap: str, *, count: int = 5,
+              tp_dst: int = 80, payload: str = "",
+              interval_ms: float = 1.0,
+              packet_factory: Optional[callable] = None) -> TrafficResult:
+        """Send ``count`` packets from one SAP host to another and
+        report deliveries at the destination."""
+        src = self.testbed.host(src_sap)
+        dst = self.testbed.host(dst_sap)
+        baseline = len(dst.received)
+        baseline_latency = len(dst.latencies)
+        packets = []
+        for index in range(count):
+            if packet_factory is not None:
+                packet = packet_factory(index)
+            else:
+                packet = tcp_packet(src.ip, dst.ip, tp_dst=tp_dst,
+                                    payload=payload,
+                                    tp_src=20000 + index)
+            packets.append(packet)
+        src.send_burst(packets, interval=interval_ms)
+        self.testbed.run()
+        delivered = dst.received[baseline:]
+        result = TrafficResult(
+            sent=count,
+            delivered=len(delivered),
+            dropped=count - len(delivered),
+            latencies_ms=list(dst.latencies[baseline_latency:]),
+            traces=[list(p.trace) for p in delivered])
+        return result
+
+    def deploy_and_probe(self, request: ServiceRequest, src_sap: str,
+                         dst_sap: str, **probe_kwargs
+                         ) -> tuple[DeployReport, TrafficResult]:
+        report = self.deploy(request)
+        if not report.success:
+            return report, TrafficResult()
+        return report, self.probe(src_sap, dst_sap, **probe_kwargs)

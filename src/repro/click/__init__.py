@@ -1,0 +1,53 @@
+"""Click-style modular NF execution.
+
+The paper's Mininet-based domain runs NFs "as isolated Click
+processes".  This package reproduces the Click programming model at the
+granularity the control plane cares about: NFs are graphs of packet
+processing *elements* compiled from a textual config, pushed packets
+flow element-to-element, and each NF exposes numbered external ports so
+a BiS-BiS can steer traffic through it.
+"""
+
+from repro.click.elements import (
+    Classifier,
+    Counter,
+    DPIElement,
+    Discard,
+    Element,
+    FirewallFilter,
+    FromPort,
+    LatencyProbe,
+    NATRewriter,
+    PayloadRewriter,
+    RateLimiter,
+    Tee,
+    ToPort,
+    VlanTagger,
+    VlanUntagger,
+)
+from repro.click.process import ClickConfigError, ClickProcess, compile_config
+from repro.click.catalog import NF_CATALOG, click_config_for, make_nf_process
+
+__all__ = [
+    "Element",
+    "FromPort",
+    "ToPort",
+    "Classifier",
+    "Counter",
+    "Discard",
+    "DPIElement",
+    "FirewallFilter",
+    "LatencyProbe",
+    "NATRewriter",
+    "PayloadRewriter",
+    "RateLimiter",
+    "Tee",
+    "VlanTagger",
+    "VlanUntagger",
+    "ClickProcess",
+    "ClickConfigError",
+    "compile_config",
+    "NF_CATALOG",
+    "click_config_for",
+    "make_nf_process",
+]

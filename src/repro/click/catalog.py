@@ -1,0 +1,126 @@
+"""Catalog of deployable NF implementations.
+
+Maps NFFG ``functional_type`` strings to Click configs (and default
+resource footprints), so every domain that executes NFs — the emulated
+Mininet-like domain, the Universal Node containers, the cloud VMs — can
+instantiate a working packet processor for a requested NF type.
+Domains advertise ``supported_types`` from this catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.click.process import ClickProcess, compile_config
+from repro.nffg.model import ResourceVector
+
+
+@dataclass(frozen=True)
+class NFImplementation:
+    functional_type: str
+    click_config: str
+    default_resources: ResourceVector
+    processing_delay_ms: float = 0.05
+    description: str = ""
+
+
+NF_CATALOG: dict[str, NFImplementation] = {}
+
+
+def register_nf(impl: NFImplementation) -> None:
+    NF_CATALOG[impl.functional_type] = impl
+
+
+def _bootstrap_catalog() -> None:
+    register_nf(NFImplementation(
+        "forwarder",
+        "FromPort(0) -> Counter() -> ToPort(1)",
+        ResourceVector(cpu=0.5, mem=64.0, storage=1.0),
+        description="transparent L2 forwarder (no-op NF)"))
+    register_nf(NFImplementation(
+        "firewall",
+        "FromPort(0) -> FirewallFilter(deny tp_dst=22, deny tp_dst=23) -> ToPort(1)",
+        ResourceVector(cpu=1.0, mem=128.0, storage=1.0),
+        description="stateless firewall dropping ssh/telnet"))
+    register_nf(NFImplementation(
+        "nat",
+        "FromPort(0) -> NATRewriter(192.0.2.1) -> ToPort(1)",
+        ResourceVector(cpu=1.0, mem=128.0, storage=1.0),
+        description="source NAT to a public address"))
+    register_nf(NFImplementation(
+        "fw-nat-combo",
+        "FromPort(0) -> FirewallFilter(deny tp_dst=22) -> "
+        "NATRewriter(192.0.2.1) -> ToPort(1)",
+        ResourceVector(cpu=1.5, mem=192.0, storage=2.0),
+        processing_delay_ms=0.08,
+        description="consolidated firewall + NAT (vCPE decomposition)"))
+    register_nf(NFImplementation(
+        "dpi",
+        "in :: FromPort(0); d :: DPIElement(malware|exploit); "
+        "out :: ToPort(1); drop :: Discard(); "
+        "in -> d; d[0] -> out; d[1] -> [0]drop",
+        ResourceVector(cpu=2.0, mem=512.0, storage=4.0),
+        processing_delay_ms=0.2,
+        description="deep packet inspection dropping flagged payloads"))
+    register_nf(NFImplementation(
+        "classifier",
+        "in :: FromPort(0); c :: Classifier(tp_dst=80|tp_dst=443); "
+        "out :: ToPort(1); "
+        "in -> c; c[0] -> out; c[1] -> [0]out; c[2] -> [0]out",
+        ResourceVector(cpu=0.5, mem=64.0, storage=1.0),
+        description="traffic classifier (all classes re-merged)"))
+    register_nf(NFImplementation(
+        "analyzer",
+        "FromPort(0) -> DPIElement(exploit) -> ToPort(1)",
+        ResourceVector(cpu=2.0, mem=512.0, storage=4.0),
+        processing_delay_ms=0.3,
+        description="payload analyzer stage of the DPI pipeline"))
+    register_nf(NFImplementation(
+        "loadbalancer",
+        "FromPort(0) -> Counter() -> ToPort(1)",
+        ResourceVector(cpu=1.0, mem=128.0, storage=1.0),
+        description="round-robin LB front (single backend in emulation)"))
+    register_nf(NFImplementation(
+        "webserver",
+        "FromPort(0) -> PayloadRewriter(GET|RESP) -> ToPort(1)",
+        ResourceVector(cpu=2.0, mem=1024.0, storage=8.0),
+        description="toy web server echoing rewritten payloads"))
+    register_nf(NFImplementation(
+        "transcoder",
+        "FromPort(0) -> PayloadRewriter(h264|vp9) -> ToPort(1)",
+        ResourceVector(cpu=4.0, mem=2048.0, storage=16.0),
+        processing_delay_ms=0.5,
+        description="media transcoder (payload rewriter stand-in)"))
+    register_nf(NFImplementation(
+        "monitor",
+        "FromPort(0) -> LatencyProbe() -> Counter() -> ToPort(1)",
+        ResourceVector(cpu=0.5, mem=64.0, storage=2.0),
+        description="passive latency/throughput monitor"))
+    register_nf(NFImplementation(
+        "ratelimiter",
+        "FromPort(0) -> RateLimiter(5 10) -> ToPort(1)",
+        ResourceVector(cpu=0.5, mem=64.0, storage=1.0),
+        description="token-bucket rate limiter"))
+
+
+_bootstrap_catalog()
+
+
+def click_config_for(functional_type: str) -> str:
+    impl = NF_CATALOG.get(functional_type)
+    if impl is None:
+        raise KeyError(f"no NF implementation for type {functional_type!r}")
+    return impl.click_config
+
+
+def make_nf_process(nf_id: str, functional_type: str) -> ClickProcess:
+    """Instantiate a runnable Click process for an NF type."""
+    impl = NF_CATALOG.get(functional_type)
+    if impl is None:
+        raise KeyError(f"no NF implementation for type {functional_type!r}")
+    return compile_config(nf_id, impl.click_config,
+                          processing_delay_ms=impl.processing_delay_ms)
+
+
+def supported_functional_types() -> list[str]:
+    return sorted(NF_CATALOG)

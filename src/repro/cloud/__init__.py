@@ -1,0 +1,41 @@
+"""Legacy data-center domain: OpenStack-like cloud + ODL-like fabric.
+
+"As a legacy data center solution, we support clouds managed by
+OpenStack and OpenDaylight.  This requires a UNIFY conform local
+orchestrator to be implemented on top of an OpenStack domain."
+
+- :mod:`repro.cloud.nova` — Nova-style compute: flavors, images, a
+  filter/weigher scheduler, hypervisor hosts and VM lifecycle with
+  boot latency on the virtual clock;
+- :mod:`repro.cloud.odl` — OpenDaylight-style fabric controller
+  programming a leaf-spine topology of OpenFlow switches;
+- :mod:`repro.cloud.domain` — the physical domain (fabric + compute
+  hosts) and :class:`CloudLocalOrchestrator`, the UNIFY-conform local
+  orchestrator that exposes the whole DC as one BiS-BiS and internally
+  maps its configuration onto Nova boots + ODL paths.
+"""
+
+from repro.cloud.nova import (
+    ComputeHost,
+    FilterScheduler,
+    Flavor,
+    Image,
+    NoValidHost,
+    NovaCompute,
+    VMInstance,
+)
+from repro.cloud.odl import OdlController
+from repro.cloud.domain import CloudDomain, CloudLocalOrchestrator
+
+__all__ = [
+    "ComputeHost",
+    "FilterScheduler",
+    "Flavor",
+    "Image",
+    "NoValidHost",
+    "NovaCompute",
+    "VMInstance",
+    "OdlController",
+    "CloudDomain",
+    "CloudLocalOrchestrator",
+]

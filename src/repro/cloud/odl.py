@@ -1,0 +1,108 @@
+"""OpenDaylight-style fabric controller.
+
+Programs the DC leaf-spine fabric through OpenFlow, exposed to the
+local orchestrator as a northbound "install path / remove path" API
+(the shape of ODL's flow-programming REST interface).  Internally it is
+a :class:`~repro.openflow.controller.ControllerEndpoint` plus a
+topology graph, like the POX controller but DC-flavoured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.openflow.controller import ControllerEndpoint
+from repro.openflow.messages import (
+    Action,
+    ActionOutput,
+    ActionPopVlan,
+    ActionPushVlan,
+    Match,
+)
+from repro.openflow.switch import OpenFlowSwitch
+from repro.sim.kernel import Simulator
+
+
+class OdlController:
+    """Fabric controller: connects switches, installs tagged paths."""
+
+    def __init__(self, name: str = "odl", simulator: Optional[Simulator] = None):
+        self.name = name
+        self.endpoint = ControllerEndpoint(name, simulator=simulator)
+        self.graph = nx.DiGraph()
+        self.paths_installed = 0
+
+    def connect(self, switch: OpenFlowSwitch) -> None:
+        self.endpoint.connect_switch(switch)
+        self.graph.add_node(switch.dpid)
+
+    def register_link(self, src_dpid: str, src_port: str, dst_dpid: str,
+                      dst_port: str) -> None:
+        self.graph.add_edge(src_dpid, dst_dpid, src_port=src_port,
+                            dst_port=dst_port)
+        self.graph.add_edge(dst_dpid, src_dpid, src_port=dst_port,
+                            dst_port=src_port)
+
+    def install_path(self, *, ingress_dpid: str, ingress_port: str,
+                     egress_dpid: str, egress_port: str,
+                     flowclass: str = "", transport_vlan: Optional[int] = None,
+                     match_vlan: Optional[int] = None,
+                     egress_vlan: Optional[int] = None,
+                     cookie: str = "") -> list[str]:
+        """Install a unidirectional flow path across the fabric.
+
+        - ``match_vlan``: VLAN the traffic carries when entering the
+          domain (matched at the ingress switch; e.g. the inter-domain
+          chain tag), or None for untagged ingress;
+        - ``transport_vlan``: VLAN isolating this path *inside* the
+          fabric (pushed at ingress, popped at egress; skipped on
+          single-switch paths);
+        - ``egress_vlan``: VLAN the traffic must carry when it leaves
+          the path (next chain tag, or the preserved ingress tag for
+          transit), or None for untagged egress.
+
+        VLAN tags are single-level (push overwrites, pop clears), which
+        matches the single-tag steering the prototype uses.
+        """
+        path = nx.shortest_path(self.graph, ingress_dpid, egress_dpid)
+        single = len(path) == 1
+        in_port = ingress_port
+        for index, dpid in enumerate(path):
+            first = index == 0
+            last = index == len(path) - 1
+            out_port = (egress_port if last
+                        else self.graph.edges[dpid, path[index + 1]]["src_port"])
+            if first:
+                match = Match.from_flowclass(flowclass, in_port=in_port)
+                if match_vlan is not None:
+                    match = Match(**{**match.to_dict(), "dl_vlan": match_vlan})
+            else:
+                match = Match(in_port=in_port, dl_vlan=transport_vlan)
+            actions: list[Action] = []
+            if first and not single and transport_vlan is not None:
+                actions.append(ActionPushVlan(transport_vlan))
+            if last:
+                carried = (transport_vlan if (not single
+                                              and transport_vlan is not None)
+                           else match_vlan)
+                if egress_vlan is None and carried is not None:
+                    actions.append(ActionPopVlan())
+                elif egress_vlan is not None and egress_vlan != carried:
+                    actions.append(ActionPushVlan(egress_vlan))
+            actions.append(ActionOutput(out_port))
+            self.endpoint.send_flow_mod(
+                dpid, match=match, actions=actions,
+                priority=300 if first else 250, cookie=cookie)
+            if not last:
+                in_port = self.graph.edges[dpid, path[index + 1]]["dst_port"]
+        self.paths_installed += 1
+        return path
+
+    def remove_by_cookie(self, cookie: str) -> None:
+        for dpid in self.endpoint.connected_dpids():
+            self.endpoint.delete_flows(dpid, cookie=cookie)
+
+    def flow_mods_sent(self) -> int:
+        return self.endpoint.flow_mods_sent

@@ -1,0 +1,138 @@
+"""The emulated (Mininet-like) dataplane domain."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.click.catalog import supported_functional_types
+from repro.infra.nfswitch import NFHostingSwitch
+from repro.netem.network import Network
+from repro.netem.node import Host
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType, InfraType, ResourceVector
+
+
+class EmulatedDomain:
+    """A Mininet-style topology of BiS-BiS switches + SAP hosts.
+
+    ``node_ids`` become both the NFFG infra ids and the dataplane switch
+    ids, so install-NFFGs translate to the dataplane without a rename
+    table.  SAPs attach a :class:`~repro.netem.node.Host` to a switch
+    port named ``sap-<sap_id>``.
+    """
+
+    domain_type = DomainType.INTERNAL
+
+    def __init__(self, name: str, network: Network, *,
+                 node_ids: Sequence[str] = (),
+                 links: Iterable[tuple[str, str]] = (),
+                 cpu_per_node: float = 8.0, mem_per_node: float = 8192.0,
+                 storage_per_node: float = 128.0,
+                 link_bandwidth: float = 1000.0, link_delay: float = 1.0,
+                 supported_types: Optional[Sequence[str]] = None):
+        self.name = name
+        self.network = network
+        self.cpu_per_node = cpu_per_node
+        self.mem_per_node = mem_per_node
+        self.storage_per_node = storage_per_node
+        self.link_bandwidth = link_bandwidth
+        self.link_delay = link_delay
+        self.supported_types = list(
+            supported_types if supported_types is not None
+            else supported_functional_types())
+        self.switches: dict[str, NFHostingSwitch] = {}
+        self.sap_hosts: dict[str, Host] = {}
+        self._links: list[tuple[str, str, str, str]] = []
+        self._link_params: dict[tuple[str, str], tuple[float, float]] = {}
+        self._handoff_ports: dict[str, tuple[str, str]] = {}
+        for node_id in node_ids:
+            self.add_switch(node_id)
+        for src, dst in links:
+            self.add_link(src, dst)
+
+    # -- topology construction --------------------------------------------
+
+    def add_switch(self, node_id: str) -> NFHostingSwitch:
+        switch = NFHostingSwitch(node_id, self.network.simulator)
+        self.network.add(switch)
+        self.switches[node_id] = switch
+        return switch
+
+    def add_link(self, src: str, dst: str, *,
+                 bandwidth: Optional[float] = None,
+                 delay: Optional[float] = None) -> None:
+        port_a, port_b = f"to-{dst}", f"to-{src}"
+        effective_bw = bandwidth if bandwidth is not None else self.link_bandwidth
+        effective_delay = delay if delay is not None else self.link_delay
+        self.network.connect(src, port_a, dst, port_b,
+                             bandwidth_mbps=effective_bw,
+                             delay_ms=effective_delay)
+        self._links.append((src, port_a, dst, port_b))
+        self._link_params[(src, dst)] = (effective_bw, effective_delay)
+
+    def add_sap(self, sap_id: str, switch_id: str) -> Host:
+        host = self.network.add_host(f"{self.name}-host-{sap_id}")
+        port = f"sap-{sap_id}"
+        self.network.connect(host.id, "0", switch_id, port,
+                             bandwidth_mbps=self.link_bandwidth, delay_ms=0.1)
+        self.sap_hosts[sap_id] = host
+        return host
+
+    def add_handoff(self, tag: str, switch_id: str) -> tuple[str, str]:
+        """Reserve an inter-domain hand-off port (wired by the testbed)."""
+        port = f"sap-{tag}"
+        self._handoff_ports[tag] = (switch_id, port)
+        return switch_id, port
+
+    def handoff(self, tag: str) -> tuple[str, str]:
+        return self._handoff_ports[tag]
+
+    # -- resource description ------------------------------------------------
+
+    def domain_view(self) -> NFFG:
+        """The domain's NFFG resource view (what its virtualizer sees)."""
+        view = NFFG(id=f"{self.name}-view", name=f"emulated domain {self.name}")
+        for node_id, switch in self.switches.items():
+            infra = view.add_infra(
+                node_id, infra_type=InfraType.BISBIS, domain=self.domain_type,
+                resources=ResourceVector(
+                    cpu=self.cpu_per_node, mem=self.mem_per_node,
+                    storage=self.storage_per_node,
+                    bandwidth=self.link_bandwidth * 10, delay=0.05),
+                supported_types=self.supported_types)
+            for port_id in switch.links:
+                infra.add_port(port_id)
+        for src, port_a, dst, port_b in self._links:
+            if src in self.switches and dst in self.switches:
+                physical = self.network.link_between(src, dst)
+                if physical is not None and not physical.up:
+                    continue  # failed links disappear from the view
+                bandwidth, delay = self._link_params.get(
+                    (src, dst), (self.link_bandwidth, self.link_delay))
+                view.add_link(src, port_a, dst, port_b,
+                              id=f"{self.name}-{src}-{dst}",
+                              bandwidth=bandwidth, delay=delay)
+        for sap_id in self.sap_hosts:
+            sap = view.add_sap(sap_id)
+            switch_id = self._sap_switch(sap_id)
+            port = f"sap-{sap_id}"
+            view.infra(switch_id).port(port).sap_tag = sap_id
+            view.add_link(sap_id, list(sap.ports)[0], switch_id, port,
+                          id=f"sl-{self.name}-{sap_id}",
+                          bandwidth=self.link_bandwidth, delay=0.1)
+        for tag, (switch_id, port) in self._handoff_ports.items():
+            infra = view.infra(switch_id)
+            if not infra.has_port(port):
+                infra.add_port(port)
+            infra.port(port).sap_tag = tag
+        return view
+
+    def _sap_switch(self, sap_id: str) -> str:
+        host = self.sap_hosts[sap_id]
+        link = host.links["0"]
+        peer, _ = link.peer_of(host)
+        return peer.id
+
+    def __repr__(self) -> str:
+        return (f"<EmulatedDomain {self.name}: {len(self.switches)} switches, "
+                f"{len(self.sap_hosts)} SAPs>")

@@ -1,0 +1,137 @@
+"""Domain-local orchestrator of the emulated domain.
+
+A NETCONF server whose configuration datastore holds the domain's
+install-NFFG.  Committing a new configuration reconciles the dataplane:
+Click NFs are started/stopped on their BiS-BiS switches and steering
+flow rules are (re)programmed through an internal OpenFlow controller —
+the "NETCONF and OpenFlow control channels" of the prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.click.catalog import NF_CATALOG, make_nf_process
+from repro.emu.domain import EmulatedDomain
+from repro.infra.flowprog import program_infra_flows
+from repro.netconf.messages import UNIFY_CAPABILITY
+from repro.netconf.server import NetconfServer
+from repro.nffg.graph import NFFG
+from repro.nffg.serialize import nffg_from_dict, nffg_to_dict
+from repro.openflow.controller import ControllerEndpoint
+
+
+class EmuDomainOrchestrator(NetconfServer):
+    """NETCONF-managed local orchestrator for :class:`EmulatedDomain`."""
+
+    def __init__(self, domain: EmulatedDomain):
+        super().__init__(f"{domain.name}-orchestrator",
+                         capabilities=[UNIFY_CAPABILITY])
+        self.domain = domain
+        self.controller = ControllerEndpoint(
+            f"{domain.name}-ctl", simulator=domain.network.simulator)
+        for switch in domain.switches.values():
+            self.controller.connect_switch(switch)
+        #: nf_id -> (switch id, functional type)
+        self._deployed_nfs: dict[str, tuple[str, str]] = {}
+        self.deploy_count = 0
+        self.on_apply(self._apply_config)
+        self.register_rpc("get-topology",
+                          lambda params: nffg_to_dict(self.domain.domain_view()))
+        self.register_rpc("get-nf-status", self._rpc_nf_status)
+
+    # -- NETCONF integration -------------------------------------------------
+
+    def validate_config(self, config: Any) -> list[str]:
+        if config is None:
+            return []
+        try:
+            install = nffg_from_dict(config["nffg"])
+        except Exception as exc:  # noqa: BLE001 - report, don't crash session
+            return [f"config is not a valid NFFG: {exc}"]
+        problems = install.validate()
+        for infra in install.infras:
+            if infra.id not in self.domain.switches:
+                problems.append(f"unknown switch {infra.id!r}")
+        for nf in install.nfs:
+            if nf.functional_type not in NF_CATALOG:
+                problems.append(
+                    f"NF type {nf.functional_type!r} not deployable here")
+        return problems
+
+    def state_data(self) -> dict[str, Any]:
+        return {
+            "deployed_nfs": {nf_id: host
+                             for nf_id, (host, _) in self._deployed_nfs.items()},
+            "flow_mods_sent": self.controller.flow_mods_sent,
+            "deploys": self.deploy_count,
+        }
+
+    def _rpc_nf_status(self, params: dict) -> dict[str, Any]:
+        nf_id = params.get("id", "")
+        record = self._deployed_nfs.get(nf_id)
+        if record is None:
+            return {"id": nf_id, "status": "absent"}
+        switch_id, _ = record
+        process = self.domain.switches[switch_id].nf_process(nf_id)
+        return {"id": nf_id, "status": "running" if process else "absent",
+                "host": switch_id,
+                "stats": process.stats() if process else {}}
+
+    # -- reconciliation ------------------------------------------------------------
+
+    def _apply_config(self, config: Any) -> None:
+        if config is None:
+            self._teardown_all()
+            return
+        install = nffg_from_dict(config["nffg"])
+        self.deploy_count += 1
+        self._reconcile_nfs(install)
+        self._reprogram_flows(install)
+        self.notify("deploy-finished", {"nffg": install.id,
+                                        "nfs": sorted(self._deployed_nfs)})
+
+    def _reconcile_nfs(self, install: NFFG) -> None:
+        wanted: dict[str, tuple[str, str]] = {}
+        for nf in install.nfs:
+            host = install.host_of(nf.id)
+            if host is not None:
+                wanted[nf.id] = (host, nf.functional_type)
+        for nf_id, (switch_id, functional_type) in list(
+                self._deployed_nfs.items()):
+            if wanted.get(nf_id) != (switch_id, functional_type):
+                self.domain.switches[switch_id].detach_nf(nf_id)
+                del self._deployed_nfs[nf_id]
+                self.notify("vnf-stopped", {"id": nf_id})
+        for nf_id, (switch_id, functional_type) in wanted.items():
+            if nf_id in self._deployed_nfs:
+                continue
+            nf = install.nf(nf_id)
+            process = make_nf_process(nf_id, functional_type)
+            switch = self.domain.switches[switch_id]
+            nf_ports = sorted(int(p) for p in nf.ports) or [1, 2]
+            switch.attach_nf(nf_id, process, nf_ports=nf_ports)
+            self._deployed_nfs[nf_id] = (switch_id, functional_type)
+            self.notify("vnf-started", {"id": nf_id, "host": switch_id})
+
+    def _reprogram_flows(self, install: NFFG) -> None:
+        for infra in install.infras:
+            dpid = infra.id
+            self.controller.delete_flows(dpid)
+            program_infra_flows(self.controller, dpid, infra)
+            self.controller.barrier(dpid)
+
+    def _teardown_all(self) -> None:
+        for nf_id, (switch_id, _) in list(self._deployed_nfs.items()):
+            self.domain.switches[switch_id].detach_nf(nf_id)
+        self._deployed_nfs.clear()
+        for dpid in self.domain.switches:
+            self.controller.delete_flows(dpid)
+
+    # -- direct access (used by the adapter when co-located) ---------------------------
+
+    def current_view(self) -> NFFG:
+        return self.domain.domain_view()
+
+    def deployed_nf_count(self) -> int:
+        return len(self._deployed_nfs)

@@ -1,0 +1,6 @@
+"""Shared infrastructure elements used by several technology domains."""
+
+from repro.infra.nfswitch import NFHostingSwitch
+from repro.infra.tags import vlan_for_hop
+
+__all__ = ["NFHostingSwitch", "vlan_for_hop"]

@@ -1,0 +1,72 @@
+"""NFFG flow rule -> OpenFlow FlowMod translation.
+
+Every domain orchestrator performs the same last-mile translation from
+the abstract BiS-BiS flow rules produced by the mapping layer
+(``in_port=...;flowclass=...;tag=...`` / ``output=...;tag|untag``) to
+concrete OpenFlow messages; this module centralizes it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.infra.tags import vlan_for_hop
+from repro.nffg.model import Flowrule, NodeInfra
+from repro.openflow.controller import ControllerEndpoint
+from repro.openflow.messages import (
+    Action,
+    ActionOutput,
+    ActionPopVlan,
+    ActionPushVlan,
+    Match,
+)
+
+
+def flowrule_to_flowmod(rule: Flowrule) -> tuple[Match, list[Action], int]:
+    """Translate one NFFG flow rule; returns (match, actions, priority)."""
+    match_fields = rule.match_fields()
+    in_port = match_fields.get("in_port")
+    flowclass = match_fields.get("flowclass", "")
+    match = Match.from_flowclass(flowclass, in_port=in_port)
+    if "tag" in match_fields:
+        match = Match(**{**match.to_dict(),
+                         "dl_vlan": vlan_for_hop(match_fields["tag"])})
+    actions: list[Action] = []
+    action_fields = rule.action_fields()
+    if "tag" in action_fields:
+        actions.append(ActionPushVlan(vlan_for_hop(action_fields["tag"])))
+    if "untag" in action_fields:
+        actions.append(ActionPopVlan())
+    output = action_fields.get("output")
+    if output:
+        actions.append(ActionOutput(output))
+    # more specific matches shadow the per-port defaults
+    priority = 100 + 10 * match.specificity()
+    return match, actions, priority
+
+
+def program_infra_flows(controller: ControllerEndpoint, dpid: str,
+                        infra: NodeInfra, *, cookie: str = "",
+                        hop_filter: Optional[set[str]] = None) -> int:
+    """Install every flow rule of an NFFG infra node on a switch.
+
+    ``cookie`` (typically the service id) enables later teardown via
+    :func:`remove_service_flows`.  Returns the number of FlowMods sent.
+    """
+    sent = 0
+    for port, rule in infra.iter_flowrules():
+        if hop_filter is not None and rule.hop_id not in hop_filter:
+            continue
+        match, actions, priority = flowrule_to_flowmod(rule)
+        if match.in_port is None:
+            match = Match(**{**match.to_dict(), "in_port": port.id})
+        controller.send_flow_mod(dpid, match=match, actions=actions,
+                                 priority=priority,
+                                 cookie=cookie or (rule.hop_id or ""))
+        sent += 1
+    return sent
+
+
+def remove_service_flows(controller: ControllerEndpoint, dpid: str,
+                         cookie: str) -> None:
+    controller.delete_flows(dpid, cookie=cookie)

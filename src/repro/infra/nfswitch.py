@@ -1,0 +1,95 @@
+"""NF-hosting switch: the dataplane form of a BiS-BiS.
+
+An OpenFlow switch whose port space includes *NF attachment ports*:
+outputting a packet to port ``<nf_id>-<nf_port>`` pushes it through the
+attached Click process (after the NF's processing delay), and whatever
+the NF emits re-enters the switch as if received on the NF's egress
+attachment port.  This is exactly the BiS-BiS contract — "running NFs
+and steering traffic transparently among infrastructure and NF ports".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.click.process import ClickProcess
+from repro.netem.packet import Packet
+from repro.openflow.switch import OpenFlowSwitch
+from repro.sim.kernel import Simulator
+
+
+class NFHostingSwitch(OpenFlowSwitch):
+    """OpenFlow switch + NF execution environment."""
+
+    def __init__(self, dpid: str, simulator: Simulator,
+                 forwarding_delay_ms: float = 0.01):
+        super().__init__(dpid, simulator,
+                         forwarding_delay_ms=forwarding_delay_ms)
+        #: nf attachment port id -> (process, nf external port number)
+        self._nf_ports: dict[str, tuple[ClickProcess, int]] = {}
+        #: (nf_id, nf external port) -> attachment port id
+        self._nf_port_names: dict[tuple[str, int], str] = {}
+        self._processes: dict[str, ClickProcess] = {}
+
+    # -- NF lifecycle -----------------------------------------------------
+
+    def attach_nf(self, nf_id: str, process: ClickProcess,
+                  nf_ports: Optional[list[int]] = None) -> list[str]:
+        """Attach a running Click process; returns attachment port ids
+        named ``<nf_id>-<n>`` for each NF external port ``n``."""
+        if nf_id in self._processes:
+            raise ValueError(f"NF {nf_id!r} already attached to {self.id!r}")
+        self._processes[nf_id] = process
+        created: list[str] = []
+        for nf_port in (nf_ports if nf_ports is not None else [1, 2]):
+            port_id = f"{nf_id}-{nf_port}"
+            self._nf_ports[port_id] = (process, nf_port)
+            self._nf_port_names[(nf_id, nf_port)] = port_id
+            created.append(port_id)
+        return created
+
+    def detach_nf(self, nf_id: str) -> None:
+        process = self._processes.pop(nf_id, None)
+        if process is None:
+            return
+        process.stop()
+        for port_id in [pid for pid, (proc, _) in self._nf_ports.items()
+                        if proc is process]:
+            del self._nf_ports[port_id]
+        for key in [k for k, v in self._nf_port_names.items()
+                    if k[0] == nf_id]:
+            del self._nf_port_names[key]
+
+    def attached_nfs(self) -> list[str]:
+        return list(self._processes)
+
+    def nf_process(self, nf_id: str) -> Optional[ClickProcess]:
+        return self._processes.get(nf_id)
+
+    def ports(self) -> list[str]:
+        return list(self.links) + list(self._nf_ports)
+
+    # -- forwarding into/out of NFs -------------------------------------------
+
+    def _output(self, packet: Packet, port: str, in_port: str) -> None:
+        nf_binding = self._nf_ports.get(port)
+        if nf_binding is None:
+            super()._output(packet, port, in_port)
+            return
+        process, nf_port = nf_binding
+        # Click NF port convention: external port 1 = gate 0, port 2 =
+        # gate 1, ... — the catalog's configs use FromPort(0)/ToPort(1).
+        self.simulator.schedule(process.processing_delay_ms,
+                                self._run_nf, process, packet, nf_port - 1)
+
+    def _run_nf(self, process: ClickProcess, packet: Packet,
+                in_gate: int) -> None:
+        emissions = process.push(packet, in_gate, now=self.simulator.now)
+        for out_gate, emitted in emissions:
+            attachment = self._nf_port_names.get((process.name, out_gate + 1))
+            if attachment is None:
+                self.drops += 1
+                continue
+            # the NF's emission re-enters the big switch on its
+            # attachment port, where the next flow rule picks it up
+            self.receive(emitted, attachment)

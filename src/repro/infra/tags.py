@@ -1,0 +1,22 @@
+"""Chain tagging.
+
+When an SG hop's substrate path crosses more than one BiS-BiS, the
+mapping layer emits abstract ``tag=<hop_id>`` / ``untag`` actions; the
+dataplane realizes them as VLAN tags.  Every domain derives the VLAN
+from the hop id with the same deterministic function so independently
+configured domains agree on the wire format.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: usable VLAN range (avoid 0/1 and the >4094 reserved values)
+_VLAN_BASE = 100
+_VLAN_SPAN = 3900
+
+
+def vlan_for_hop(hop_id: str) -> int:
+    """Deterministic hop-id -> VLAN mapping (stable across processes)."""
+    digest = zlib.crc32(hop_id.encode())
+    return _VLAN_BASE + digest % _VLAN_SPAN

@@ -1,0 +1,132 @@
+"""Backtracking embedder.
+
+Depth-first search over NF placements in chain order.  When a hop
+cannot be routed (bandwidth exhausted or delay budget blown) the search
+un-places the most recent NF and tries its next candidate host — up to
+``max_backtracks`` steps, after which the embedding fails.  Finds
+solutions the greedy embedder misses at the price of a larger search.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import (Embedder, MappingContext, MappingError,
+                                placement_allowed)
+from repro.mapping.greedy import hop_delay_budget, service_order
+from repro.mapping.paths import route_or_none
+from repro.nffg.model import NodeNF
+
+
+class BacktrackingEmbedder(Embedder):
+    """DFS with bounded backtracking over candidate hosts."""
+
+    name = "backtrack"
+
+    def __init__(self, max_backtracks: int = 10_000,
+                 candidates_per_nf: int = 12):
+        self.max_backtracks = max_backtracks
+        self.candidates_per_nf = candidates_per_nf
+
+    def _run(self, ctx: MappingContext) -> None:
+        order = service_order(ctx.service)
+        self._blocked_nf: str = ""
+        if not self._search(ctx, order, 0):
+            detail = (f"; no feasible host for NF {self._blocked_nf!r}"
+                      if self._blocked_nf else "")
+            raise MappingError(
+                f"backtracking exhausted after {ctx.backtracks} "
+                f"backtracks{detail}")
+        # route any hop not adjacent to an NF (e.g. SAP->SAP passthrough)
+        self._route_remaining(ctx)
+
+    # -- search -----------------------------------------------------------
+
+    def _search(self, ctx: MappingContext, order: list[str], index: int) -> bool:
+        if index >= len(order):
+            return not ctx.requirement_violations()
+        nf_id = order[index]
+        nf = ctx.service.nf(nf_id)
+        candidates = self._candidates(ctx, nf)
+        if not candidates:
+            self._blocked_nf = nf_id
+        for infra_id in candidates:
+            ctx.nodes_examined += 1
+            ctx.place(nf_id, infra_id)
+            routed_now = self._route_adjacent(ctx, nf_id)
+            if routed_now is not None:
+                if self._search(ctx, order, index + 1):
+                    return True
+                for hop_id in routed_now:
+                    ctx.drop_route(hop_id)
+            ctx.unplace(nf_id)
+            ctx.backtracks += 1
+            if ctx.backtracks > self.max_backtracks:
+                return False
+        return False
+
+    def _candidates(self, ctx: MappingContext, nf: NodeNF) -> list[str]:
+        anchor = None
+        for hop in ctx.service.sg_hops:
+            if hop.dst_node == nf.id:
+                anchor = ctx.endpoint_infra(hop.src_node)
+                if anchor:
+                    break
+        scored: list[tuple[float, str]] = []
+        for infra in ctx.resource.infras:
+            if not ctx.ledger.can_host(nf, infra):
+                continue
+            if not placement_allowed(ctx, nf, infra):
+                continue
+            score = nf.resources.cpu * infra.cost_per_cpu
+            if anchor is not None:
+                detour = ctx.delay_estimate(anchor, infra.id)
+                if detour == float("inf"):
+                    continue
+                score += detour
+            scored.append((score, infra.id))
+        scored.sort()
+        return [infra_id for _, infra_id in scored[:self.candidates_per_nf]]
+
+    # -- routing ------------------------------------------------------------
+
+    def _route_adjacent(self, ctx: MappingContext, nf_id: str):
+        """Route every hop that just became routable; None on failure
+        (with everything rolled back)."""
+        routed_now: list[str] = []
+        for hop in ctx.service.sg_hops:
+            if hop.id in ctx.routes:
+                continue
+            if nf_id not in (hop.src_node, hop.dst_node):
+                continue
+            src = ctx.endpoint_infra(hop.src_node)
+            dst = ctx.endpoint_infra(hop.dst_node)
+            if src is None or dst is None:
+                continue
+            budget = hop_delay_budget(ctx.service, ctx, hop.id)
+            route = route_or_none(ctx.resource, ctx.ledger, hop.id, src, dst,
+                                  bandwidth=hop.bandwidth, max_delay=budget,
+                                  adjacency=ctx.adjacency(),
+                                  node_delay=ctx.node_delays())
+            if route is None:
+                for done in routed_now:
+                    ctx.drop_route(done)
+                return None
+            ctx.record_route(route)
+            routed_now.append(hop.id)
+        return routed_now
+
+    def _route_remaining(self, ctx: MappingContext) -> None:
+        for hop in ctx.service.sg_hops:
+            if hop.id in ctx.routes:
+                continue
+            src = ctx.endpoint_infra(hop.src_node)
+            dst = ctx.endpoint_infra(hop.dst_node)
+            if src is None or dst is None:
+                raise MappingError(f"hop {hop.id!r} endpoints unresolved")
+            budget = hop_delay_budget(ctx.service, ctx, hop.id)
+            route = route_or_none(ctx.resource, ctx.ledger, hop.id, src, dst,
+                                  bandwidth=hop.bandwidth, max_delay=budget,
+                                  adjacency=ctx.adjacency(),
+                                  node_delay=ctx.node_delays())
+            if route is None:
+                raise MappingError(f"cannot route residual hop {hop.id!r}")
+            ctx.record_route(route)

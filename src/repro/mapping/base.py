@@ -1,0 +1,455 @@
+"""Shared machinery of the embedding algorithms.
+
+:class:`ResourceLedger` tracks tentative allocations against a resource
+view without mutating it — embedders allocate/release while searching
+and only :meth:`MappingContext.commit` materializes the winning solution
+(NF placements, link reservations, flow rules) into a mapped NFFG copy.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nffg.graph import NFFG, NFFGError
+from repro.nffg.model import (
+    EdgeLink,
+    EdgeSGHop,
+    NodeInfra,
+    NodeNF,
+    ResourceVector,
+)
+
+
+class MappingError(RuntimeError):
+    """Raised when a service graph cannot be embedded."""
+
+
+@dataclass
+class HopRoute:
+    """The substrate realization of one SG hop."""
+
+    hop_id: str
+    #: infra node ids in traversal order (length >= 1)
+    infra_path: list[str]
+    #: static link ids between consecutive infras (length = len(path)-1)
+    link_ids: list[str]
+    #: accumulated delay: links + infra internal forwarding
+    delay: float
+    bandwidth: float
+
+
+@dataclass
+class MappingResult:
+    """Outcome of an embedding run."""
+
+    success: bool
+    mapped: Optional[NFFG] = None
+    #: the (possibly decomposition-expanded) service graph that was mapped
+    service: Optional[NFFG] = None
+    nf_placement: dict[str, str] = field(default_factory=dict)
+    hop_routes: dict[str, HopRoute] = field(default_factory=dict)
+    #: which decomposition option was chosen per original NF (if any)
+    decompositions: dict[str, str] = field(default_factory=dict)
+    cost: float = 0.0
+    runtime_s: float = 0.0
+    failure_reason: str = ""
+    #: search effort metrics
+    nodes_examined: int = 0
+    backtracks: int = 0
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+#: NF metadata keys understood by the placement machinery
+CONSTRAINT_DOMAIN = "constraint:domain"          #: DomainType value string
+CONSTRAINT_INFRA = "constraint:infra"            #: pin to a specific node
+CONSTRAINT_ANTI_AFFINITY = "constraint:anti_affinity"  #: list of NF ids
+
+
+def placement_allowed(ctx: "MappingContext", nf: NodeNF,
+                      infra: NodeInfra) -> bool:
+    """Evaluate the NF's placement constraints against a candidate.
+
+    Constraints ride in ``NodeNF.metadata`` (set via the service
+    builder's ``domain=``/``pin_to=``/``not_with=`` arguments):
+
+    - ``constraint:domain`` — host must belong to this technology
+      domain;
+    - ``constraint:infra`` — host must be exactly this node;
+    - ``constraint:anti_affinity`` — host must not already hold any of
+      the listed NFs (of the same service).
+    """
+    wanted_domain = nf.metadata.get(CONSTRAINT_DOMAIN)
+    if wanted_domain is not None and infra.domain.value != wanted_domain:
+        return False
+    pinned = nf.metadata.get(CONSTRAINT_INFRA)
+    if pinned is not None and infra.id != pinned:
+        return False
+    rivals = nf.metadata.get(CONSTRAINT_ANTI_AFFINITY, ())
+    for rival in rivals:
+        if ctx.placement.get(rival) == infra.id:
+            return False
+    return True
+
+
+class ResourceLedger:
+    """Tentative compute + bandwidth accounting over a resource view."""
+
+    def __init__(self, resource: NFFG):
+        self.resource = resource
+        self._free: dict[str, ResourceVector] = {}
+        self._link_free: dict[str, float] = {}
+        from repro.nffg.ops import available_resources
+        for infra in resource.infras:
+            self._free[infra.id] = available_resources(resource, infra.id)
+        for link in resource.links:
+            self._link_free[link.id] = link.available_bandwidth
+
+    # -- compute ---------------------------------------------------------
+
+    def free(self, infra_id: str) -> ResourceVector:
+        return self._free[infra_id]
+
+    def can_host(self, nf: NodeNF, infra: NodeInfra) -> bool:
+        if not infra.supports(nf.functional_type):
+            return False
+        return nf.resources.fits_within(self._free[infra.id])
+
+    def alloc_nf(self, nf: NodeNF, infra_id: str) -> None:
+        free = self._free[infra_id]
+        if not nf.resources.fits_within(free):
+            raise MappingError(
+                f"infra {infra_id!r} cannot host {nf.id!r}: "
+                f"need {nf.resources}, free {free}")
+        self._free[infra_id] = free - nf.resources
+
+    def release_nf(self, nf: NodeNF, infra_id: str) -> None:
+        self._free[infra_id] = self._free[infra_id] + nf.resources
+
+    # -- bandwidth ----------------------------------------------------------
+
+    def link_free(self, link_id: str) -> float:
+        return self._link_free[link_id]
+
+    def can_route(self, link: EdgeLink, bandwidth: float) -> bool:
+        return self._link_free[link.id] + 1e-9 >= bandwidth
+
+    def alloc_links(self, link_ids: list[str], bandwidth: float) -> None:
+        for link_id in link_ids:
+            if self._link_free[link_id] + 1e-9 < bandwidth:
+                raise MappingError(f"link {link_id!r} lacks bandwidth")
+        for link_id in link_ids:
+            self._link_free[link_id] -= bandwidth
+
+    def release_links(self, link_ids: list[str], bandwidth: float) -> None:
+        for link_id in link_ids:
+            self._link_free[link_id] += bandwidth
+
+
+class MappingContext:
+    """Mutable state of one embedding run.
+
+    Holds the service graph, the pristine resource view, a ledger, the
+    placements/routes decided so far, and materializes everything into a
+    mapped NFFG on :meth:`commit`.
+    """
+
+    def __init__(self, service: NFFG, resource: NFFG):
+        self.service = service
+        self.resource = resource
+        self.ledger = ResourceLedger(resource)
+        self.placement: dict[str, str] = {}
+        self.routes: dict[str, HopRoute] = {}
+        self.decompositions: dict[str, str] = {}
+        self.nodes_examined = 0
+        self.backtracks = 0
+        self._sap_attach = self._build_sap_attachments()
+        self._adjacency: Optional[dict[str, list[EdgeLink]]] = None
+        self._node_delays: Optional[dict[str, float]] = None
+        self._delay_from: dict[str, dict[str, float]] = {}
+
+    # -- cached topology helpers (hot path of every embedder) -----------
+
+    def adjacency(self) -> dict[str, list[EdgeLink]]:
+        """Static infra-infra adjacency of the resource view (cached —
+        topology does not change during one mapping run)."""
+        if self._adjacency is None:
+            adjacency: dict[str, list[EdgeLink]] = {}
+            for link in self.resource.links:
+                src = self.resource.node(link.src_node)
+                dst = self.resource.node(link.dst_node)
+                if isinstance(src, NodeInfra) and isinstance(dst, NodeInfra):
+                    adjacency.setdefault(link.src_node, []).append(link)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def node_delays(self) -> dict[str, float]:
+        if self._node_delays is None:
+            self._node_delays = {infra.id: infra.resources.delay
+                                 for infra in self.resource.infras}
+        return self._node_delays
+
+    def delay_estimate(self, src_infra: str, dst_infra: str) -> float:
+        """Unconstrained shortest-path delay between two infras, with
+        per-source caching (used as heuristic guidance only)."""
+        cached = self._delay_from.get(src_infra)
+        if cached is None:
+            cached = self._single_source_delays(src_infra)
+            self._delay_from[src_infra] = cached
+        return cached.get(dst_infra, float("inf"))
+
+    def _single_source_delays(self, source: str) -> dict[str, float]:
+        import heapq
+
+        node_delay = self.node_delays()
+        adjacency = self.adjacency()
+        best = {source: node_delay.get(source, 0.0)}
+        heap = [(best[source], source)]
+        visited: set[str] = set()
+        while heap:
+            delay, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for link in adjacency.get(node, ()):
+                neighbour = link.dst_node
+                candidate = delay + link.delay + node_delay.get(neighbour, 0.0)
+                if candidate < best.get(neighbour, float("inf")) - 1e-12:
+                    best[neighbour] = candidate
+                    heapq.heappush(heap, (candidate, neighbour))
+        return best
+
+    # -- sap handling -----------------------------------------------------
+
+    def _build_sap_attachments(self) -> dict[str, tuple[str, str]]:
+        """SAP id -> (infra_id, infra_port_id) in the resource view."""
+        attach: dict[str, tuple[str, str]] = dict(self.resource.sap_bindings())
+        # also accept SAP nodes directly linked to an infra
+        for sap in self.resource.saps:
+            if sap.id in attach:
+                continue
+            for edge in self.resource.edges_of(sap.id):
+                if not isinstance(edge, EdgeLink):
+                    continue
+                other = (edge.dst_node if edge.src_node == sap.id else edge.src_node)
+                other_port = (edge.dst_port if edge.src_node == sap.id else edge.src_port)
+                node = self.resource.node(other)
+                if isinstance(node, NodeInfra):
+                    attach[sap.id] = (other, other_port)
+                    break
+        return attach
+
+    def sap_attachment(self, sap_id: str) -> tuple[str, str]:
+        try:
+            return self._sap_attach[sap_id]
+        except KeyError:
+            raise MappingError(
+                f"service SAP {sap_id!r} has no attachment point in "
+                f"resource view {self.resource.id!r}") from None
+
+    # -- endpoint resolution ------------------------------------------------
+
+    def endpoint_infra(self, node_id: str) -> Optional[str]:
+        """Infra hosting a service-graph endpoint (SAP or placed NF)."""
+        node = self.service.node(node_id)
+        if isinstance(node, NodeNF):
+            return self.placement.get(node_id)
+        return self.sap_attachment(node_id)[0]
+
+    # -- placement / routing records -----------------------------------------
+
+    def place(self, nf_id: str, infra_id: str) -> None:
+        nf = self.service.nf(nf_id)
+        self.ledger.alloc_nf(nf, infra_id)
+        self.placement[nf_id] = infra_id
+
+    def unplace(self, nf_id: str) -> None:
+        infra_id = self.placement.pop(nf_id)
+        self.ledger.release_nf(self.service.nf(nf_id), infra_id)
+
+    def record_route(self, route: HopRoute) -> None:
+        self.ledger.alloc_links(route.link_ids, route.bandwidth)
+        self.routes[route.hop_id] = route
+
+    def drop_route(self, hop_id: str) -> None:
+        route = self.routes.pop(hop_id)
+        self.ledger.release_links(route.link_ids, route.bandwidth)
+
+    # -- requirement checking ---------------------------------------------------
+
+    def requirement_violations(self) -> list[str]:
+        """Check every requirement edge against the recorded routes."""
+        problems: list[str] = []
+        for req in self.service.requirements:
+            total_delay = 0.0
+            incomplete = False
+            for hop_id in req.sg_path:
+                route = self.routes.get(hop_id)
+                if route is None:
+                    incomplete = True
+                    break
+                total_delay += route.delay
+            if incomplete:
+                continue
+            if total_delay > req.max_delay + 1e-9:
+                problems.append(
+                    f"requirement {req.id}: delay {total_delay:.3f} > "
+                    f"max {req.max_delay:.3f}")
+        return problems
+
+    def partial_delay(self, req_sg_path: list[str]) -> float:
+        return sum(self.routes[h].delay for h in req_sg_path if h in self.routes)
+
+    # -- solution materialization --------------------------------------------------
+
+    def total_cost(self) -> float:
+        """Cost = weighted CPU placement cost + bandwidth-hops."""
+        cost = 0.0
+        for nf_id, infra_id in self.placement.items():
+            nf = self.service.nf(nf_id)
+            infra = self.resource.infra(infra_id)
+            cost += nf.resources.cpu * infra.cost_per_cpu
+        for route in self.routes.values():
+            cost += route.bandwidth * len(route.link_ids) * 0.01
+        return cost
+
+    def commit(self, mapped_id: Optional[str] = None) -> NFFG:
+        """Write placements, reservations and flow rules into a copy of
+        the resource view and return it."""
+        mapped = self.resource.copy(mapped_id or f"{self.resource.id}-mapped")
+        for nf_id, infra_id in self.placement.items():
+            nf = self.service.nf(nf_id)
+            if not mapped.has_node(nf_id):
+                mapped.add_node_copy(nf)
+            mapped.place_nf(nf_id, infra_id)
+            mapped.nf(nf_id).status = "deployed"
+        for link in mapped.links:
+            free_now = self.ledger.link_free(link.id)
+            original = self.resource.edge(link.id)
+            assert isinstance(original, EdgeLink)
+            newly_reserved = original.available_bandwidth - free_now
+            if newly_reserved > 1e-9:
+                link.reserved += newly_reserved
+        for hop in self.service.sg_hops:
+            route = self.routes.get(hop.id)
+            if route is not None:
+                self._install_flowrules(mapped, hop, route)
+        # carry the SG hops and requirements for later teardown/audit
+        for node in self.service.saps:
+            if not mapped.has_node(node.id):
+                mapped.add_node_copy(node)
+        for hop in self.service.sg_hops:
+            if not mapped.has_edge(hop.id):
+                mapped.add_edge_copy(hop)
+        for req in self.service.requirements:
+            if not mapped.has_edge(req.id):
+                mapped.add_edge_copy(req)
+        return mapped
+
+    def _endpoint_ports(self, mapped: NFFG, node_id: str, port_id: str,
+                        infra_id: str) -> str:
+        """The infra-side port where a service endpoint attaches."""
+        node = self.service.node(node_id)
+        if isinstance(node, NodeNF):
+            bound = mapped.infra_port_of_nf(node_id, port_id)
+            if bound is None:
+                raise MappingError(f"NF {node_id!r} not bound on {infra_id!r}")
+            return bound[1]
+        return self.sap_attachment(node_id)[1]
+
+    def _install_flowrules(self, mapped: NFFG, hop: EdgeSGHop,
+                           route: HopRoute) -> None:
+        """Install one flow rule per traversed BiS-BiS for this hop."""
+        path = route.infra_path
+        in_port = self._endpoint_ports(mapped, hop.src_node, hop.src_port, path[0])
+        out_port_final = self._endpoint_ports(mapped, hop.dst_node, hop.dst_port,
+                                              path[-1])
+        needs_tag = len(path) > 1
+        for index, infra_id in enumerate(path):
+            infra = mapped.infra(infra_id)
+            if index < len(path) - 1:
+                link = mapped.edge(route.link_ids[index])
+                assert isinstance(link, EdgeLink)
+                out_port = link.src_port
+            else:
+                out_port = out_port_final
+            match = f"in_port={in_port}"
+            if hop.flowclass:
+                match += f";flowclass={hop.flowclass}"
+            if needs_tag and index > 0:
+                match += f";tag={hop.id}"
+            action = f"output={out_port}"
+            if needs_tag and index == 0:
+                action += f";tag={hop.id}"
+            if needs_tag and index == len(path) - 1:
+                action += ";untag"
+            infra.port(in_port).add_flowrule(
+                match=match, action=action, bandwidth=route.bandwidth,
+                delay=hop.delay, hop_id=hop.id)
+            if index < len(path) - 1:
+                link = mapped.edge(route.link_ids[index])
+                assert isinstance(link, EdgeLink)
+                in_port = link.dst_port
+
+    def to_result(self, success: bool, runtime_s: float,
+                  failure_reason: str = "",
+                  mapped_id: Optional[str] = None) -> MappingResult:
+        if not success:
+            return MappingResult(success=False, failure_reason=failure_reason,
+                                 runtime_s=runtime_s, service=self.service,
+                                 nodes_examined=self.nodes_examined,
+                                 backtracks=self.backtracks)
+        mapped = self.commit(mapped_id)
+        return MappingResult(
+            success=True, mapped=mapped, service=self.service,
+            nf_placement=dict(self.placement),
+            hop_routes=dict(self.routes), decompositions=dict(self.decompositions),
+            cost=self.total_cost(), runtime_s=runtime_s,
+            nodes_examined=self.nodes_examined, backtracks=self.backtracks)
+
+
+class Embedder(abc.ABC):
+    """Base class of pluggable embedding algorithms."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _run(self, ctx: MappingContext) -> None:
+        """Fill ``ctx.placement`` and ``ctx.routes`` or raise MappingError."""
+
+    def map(self, service: NFFG, resource: NFFG,
+            mapped_id: Optional[str] = None) -> MappingResult:
+        """Embed ``service`` into ``resource``; never raises on mapping
+        failure — inspect :attr:`MappingResult.success`."""
+        started = time.perf_counter()
+        ctx = MappingContext(service, resource)
+        try:
+            self._run(ctx)
+            violations = ctx.requirement_violations()
+            if violations:
+                raise MappingError("; ".join(violations))
+        except MappingError as exc:
+            return ctx.to_result(False, time.perf_counter() - started,
+                                 failure_reason=str(exc))
+        except ValueError as exc:  # NFFGError and port/graph conflicts
+            return ctx.to_result(False, time.perf_counter() - started,
+                                 failure_reason=f"graph error: {exc}")
+        try:
+            return ctx.to_result(True, time.perf_counter() - started,
+                                 mapped_id=mapped_id)
+        except ValueError as exc:
+            # materialization can still fail (e.g. port-name conflicts
+            # with foreign state in the resource view)
+            return MappingResult(
+                success=False, service=ctx.service,
+                failure_reason=f"commit error: {exc}",
+                runtime_s=time.perf_counter() - started,
+                nodes_examined=ctx.nodes_examined,
+                backtracks=ctx.backtracks)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,247 @@
+"""NF decomposition (paper §2, ref [2]).
+
+"An NF mapped to a BiS-BiS in the client virtualization can be replaced
+with an interconnection of NFs (components) during the mapping
+process."  A :class:`DecompositionRule` rewrites one abstract NF type
+into a chain of concrete component NFs; the library may hold several
+alternative rules per type, and decomposition-aware mapping tries the
+alternatives cheapest-first until one embeds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.mapping.base import Embedder, MappingResult
+from repro.nffg.graph import NFFG
+from repro.nffg.model import ResourceVector
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One component NF inside a decomposition rule."""
+
+    suffix: str
+    functional_type: str
+    resources: ResourceVector
+    deployment_type: str = ""
+
+
+@dataclass(frozen=True)
+class DecompositionRule:
+    """Rewrite ``target_type`` into a chain of components.
+
+    The identity rule (empty ``components``) keeps the NF as-is — it is
+    always implicitly available unless ``abstract_only`` marks the type
+    as non-deployable (it *must* decompose).
+    """
+
+    name: str
+    target_type: str
+    components: tuple[ComponentSpec, ...]
+    #: bandwidth of the internal hops stitching the components
+    internal_bandwidth: float = 0.0
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.components
+
+    def total_cpu(self) -> float:
+        return sum(component.resources.cpu for component in self.components)
+
+
+class DecompositionLibrary:
+    """Alternative decomposition rules per NF functional type."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, list[DecompositionRule]] = {}
+        self._abstract: set[str] = set()
+
+    def add_rule(self, rule: DecompositionRule) -> None:
+        self._rules.setdefault(rule.target_type, []).append(rule)
+
+    def mark_abstract(self, functional_type: str) -> None:
+        """Abstract types cannot be deployed directly; they must expand."""
+        self._abstract.add(functional_type)
+
+    def is_abstract(self, functional_type: str) -> bool:
+        return functional_type in self._abstract
+
+    def options_for(self, functional_type: str) -> list[DecompositionRule]:
+        """Rules for a type, cheapest first; identity appended for
+        deployable types."""
+        options = sorted(self._rules.get(functional_type, ()),
+                         key=lambda rule: rule.total_cpu())
+        if functional_type not in self._abstract:
+            options = options + [DecompositionRule(
+                name=f"identity-{functional_type}",
+                target_type=functional_type, components=())]
+        return options
+
+    def decomposable_types(self) -> list[str]:
+        return sorted(self._rules)
+
+
+@dataclass
+class Decomposition:
+    """A concrete choice of rule per decomposed NF id."""
+
+    choices: dict[str, DecompositionRule] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, str]:
+        return {nf_id: rule.name for nf_id, rule in self.choices.items()}
+
+    def total_cpu(self) -> float:
+        return sum(rule.total_cpu() for rule in self.choices.values())
+
+
+def expand_service(service: NFFG, decomposition: Decomposition,
+                   expanded_id: Optional[str] = None) -> NFFG:
+    """Apply a decomposition: replace chosen NFs by component chains.
+
+    Incoming SG hops of a replaced NF are re-targeted at the first
+    component, outgoing hops re-sourced from the last; fresh internal
+    hops stitch consecutive components.
+    """
+    expanded = service.copy(expanded_id or f"{service.id}-decomposed")
+    for nf_id, rule in decomposition.choices.items():
+        if rule.is_identity:
+            continue
+        _replace_nf(expanded, nf_id, rule)
+    return expanded
+
+
+def _replace_nf(graph: NFFG, nf_id: str, rule: DecompositionRule) -> None:
+    original = graph.nf(nf_id)
+    component_ids: list[str] = []
+    for component in rule.components:
+        comp_id = f"{nf_id}.{component.suffix}"
+        graph.add_nf(comp_id, component.functional_type,
+                     deployment_type=component.deployment_type,
+                     resources=component.resources, num_ports=2)
+        component_ids.append(comp_id)
+    first, last = component_ids[0], component_ids[-1]
+    incoming = [hop for hop in graph.sg_hops if hop.dst_node == nf_id]
+    outgoing = [hop for hop in graph.sg_hops if hop.src_node == nf_id]
+    rewired: list[tuple] = []
+    for hop in incoming:
+        rewired.append((hop.id, hop.src_node, hop.src_port, first, "1",
+                        hop.flowclass, hop.bandwidth, hop.delay))
+    for hop in outgoing:
+        rewired.append((hop.id, last, "2", hop.dst_node, hop.dst_port,
+                        hop.flowclass, hop.bandwidth, hop.delay))
+    for hop in incoming + outgoing:
+        if graph.has_edge(hop.id):
+            graph.remove_edge(hop.id)
+    internal_hops: list[str] = []
+    for src, dst in zip(component_ids, component_ids[1:]):
+        hop = graph.add_sg_hop(src, "2", dst, "1",
+                               id=f"{nf_id}-int-{src.rsplit('.', 1)[1]}",
+                               bandwidth=rule.internal_bandwidth)
+        internal_hops.append(hop.id)
+    for (hop_id, src, src_port, dst, dst_port,
+         flowclass, bandwidth, delay) in rewired:
+        graph.add_sg_hop(src, src_port, dst, dst_port, id=hop_id,
+                         flowclass=flowclass, bandwidth=bandwidth, delay=delay)
+    # splice internal hops into requirement paths traversing the NF
+    for req in graph.requirements:
+        new_path: list[str] = []
+        for hop_id in req.sg_path:
+            new_path.append(hop_id)
+            hop = graph.edge(hop_id)
+            if hop.dst_node == first:
+                new_path.extend(internal_hops)
+        req.sg_path = new_path
+    graph.remove_node(nf_id)
+
+
+def iter_decompositions(service: NFFG,
+                        library: DecompositionLibrary) -> Iterator[Decomposition]:
+    """All rule combinations for the service's NFs, cheapest-total first."""
+    nf_options: list[tuple[str, list[DecompositionRule]]] = []
+    for nf in service.nfs:
+        options = library.options_for(nf.functional_type)
+        if not options:
+            options = [DecompositionRule(
+                name=f"identity-{nf.functional_type}",
+                target_type=nf.functional_type, components=())]
+        nf_options.append((nf.id, options))
+    combos = []
+    for combo in itertools.product(*(options for _, options in nf_options)):
+        decomposition = Decomposition(choices={
+            nf_id: rule for (nf_id, _), rule in zip(nf_options, combo)})
+        combos.append(decomposition)
+    combos.sort(key=lambda d: d.total_cpu())
+    return iter(combos)
+
+
+def map_with_decomposition(embedder: Embedder, service: NFFG, resource: NFFG,
+                           library: DecompositionLibrary,
+                           max_options: int = 16) -> MappingResult:
+    """Try decomposition options cheapest-first until one embeds.
+
+    Returns the first successful :class:`MappingResult` with
+    ``decompositions`` describing the winning choice, or the last
+    failure when no option embeds.
+    """
+    last: Optional[MappingResult] = None
+    for index, decomposition in enumerate(iter_decompositions(service, library)):
+        if index >= max_options:
+            break
+        candidate = expand_service(service, decomposition)
+        result = embedder.map(candidate, resource)
+        if result.success:
+            result.decompositions = decomposition.describe()
+            return result
+        last = result
+    if last is None:
+        return MappingResult(success=False,
+                             failure_reason="no decomposition options")
+    return last
+
+
+def default_decomposition_library() -> DecompositionLibrary:
+    """A realistic default rule set used by examples and benchmarks.
+
+    Mirrors the paper's demo NFs: an abstract ``vCPE`` decomposes into
+    firewall+NAT or a consolidated bundle; ``dpi`` optionally splits
+    into a classifier + analyzer pipeline; ``lb-web`` is an abstract
+    load-balanced web service.
+    """
+    library = DecompositionLibrary()
+    library.mark_abstract("vCPE")
+    library.add_rule(DecompositionRule(
+        name="vcpe-split", target_type="vCPE",
+        components=(
+            ComponentSpec("fw", "firewall",
+                          ResourceVector(cpu=1.0, mem=128.0, storage=1.0), "click"),
+            ComponentSpec("nat", "nat",
+                          ResourceVector(cpu=1.0, mem=128.0, storage=1.0), "click"),
+        ),
+        internal_bandwidth=0.0))
+    library.add_rule(DecompositionRule(
+        name="vcpe-consolidated", target_type="vCPE",
+        components=(
+            ComponentSpec("combo", "fw-nat-combo",
+                          ResourceVector(cpu=1.5, mem=192.0, storage=2.0), "docker"),
+        )))
+    library.add_rule(DecompositionRule(
+        name="dpi-pipeline", target_type="dpi",
+        components=(
+            ComponentSpec("cls", "classifier",
+                          ResourceVector(cpu=0.5, mem=64.0, storage=1.0), "click"),
+            ComponentSpec("an", "analyzer",
+                          ResourceVector(cpu=2.0, mem=512.0, storage=4.0), "vm"),
+        )))
+    library.mark_abstract("lb-web")
+    library.add_rule(DecompositionRule(
+        name="lb-web-pair", target_type="lb-web",
+        components=(
+            ComponentSpec("lb", "loadbalancer",
+                          ResourceVector(cpu=1.0, mem=128.0, storage=1.0), "docker"),
+            ComponentSpec("web", "webserver",
+                          ResourceVector(cpu=2.0, mem=1024.0, storage=8.0), "vm"),
+        )))
+    return library

@@ -1,0 +1,121 @@
+"""Delay- and cost-aware embedder in the style of Sahhaf et al. [2].
+
+Reference [2] of the paper maps service chains with "efficient network
+function mapping based on service decompositions": candidate hosts are
+scored by a combined objective
+
+    score = alpha * resource_cost + beta * marginal_delay
+
+where marginal delay is measured against the *tightest requirement
+path* through the NF, and decomposition options of a high-level NF are
+explored cheapest-first (see :mod:`repro.mapping.decomposition`; the
+option loop lives in the orchestrator so the embedder stays pluggable).
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import (Embedder, MappingContext, MappingError,
+                                placement_allowed)
+from repro.mapping.greedy import hop_delay_budget, service_order
+from repro.mapping.paths import route_or_none
+from repro.nffg.model import NodeNF
+
+
+class DelayAwareEmbedder(Embedder):
+    """Two-sided delay-aware placement.
+
+    For each NF the algorithm considers the substrate delay both from
+    the upstream anchor *and* toward the downstream anchor (when already
+    resolved), so it avoids the greedy pathology of drifting away from
+    the egress SAP and then failing the end-to-end delay requirement.
+    """
+
+    name = "delay-aware"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 2.0,
+                 candidates_per_nf: int = 24):
+        self.alpha = alpha
+        self.beta = beta
+        self.candidates_per_nf = candidates_per_nf
+
+    def _run(self, ctx: MappingContext) -> None:
+        routed: set[str] = set()
+        for nf_id in service_order(ctx.service):
+            nf = ctx.service.nf(nf_id)
+            upstream = self._neighbour_infra(ctx, nf_id, incoming=True)
+            downstream = self._neighbour_infra(ctx, nf_id, incoming=False)
+            best = None
+            best_score = float("inf")
+            examined = 0
+            for infra in ctx.resource.infras:
+                if examined >= self.candidates_per_nf and best is not None:
+                    break
+                ctx.nodes_examined += 1
+                if not ctx.ledger.can_host(nf, infra):
+                    continue
+                if not placement_allowed(ctx, nf, infra):
+                    continue
+                examined += 1
+                delay_term = 0.0
+                reachable = True
+                for anchor in (upstream, downstream):
+                    if anchor is None:
+                        continue
+                    detour = ctx.delay_estimate(anchor, infra.id)
+                    if detour == float("inf"):
+                        reachable = False
+                        break
+                    delay_term += detour
+                if not reachable:
+                    continue
+                resource_term = nf.resources.cpu * infra.cost_per_cpu
+                score = self.alpha * resource_term + self.beta * delay_term
+                if score < best_score:
+                    best_score = score
+                    best = infra.id
+            if best is None:
+                raise MappingError(
+                    f"delay-aware: no feasible host for {nf_id!r} "
+                    f"(type {nf.functional_type!r})")
+            ctx.place(nf_id, best)
+            self._route_ready(ctx, routed)
+        self._route_ready(ctx, routed)
+        missing = [hop.id for hop in ctx.service.sg_hops if hop.id not in routed]
+        if missing:
+            raise MappingError(f"delay-aware: unrouted hops {missing}")
+
+    def _neighbour_infra(self, ctx: MappingContext, nf_id: str,
+                         incoming: bool):
+        for hop in ctx.service.sg_hops:
+            if incoming and hop.dst_node == nf_id:
+                infra = ctx.endpoint_infra(hop.src_node)
+                if infra is not None:
+                    return infra
+            if not incoming and hop.src_node == nf_id:
+                other = ctx.service.node(hop.dst_node)
+                if not isinstance(other, NodeNF):
+                    return ctx.endpoint_infra(hop.dst_node)
+                infra = ctx.placement.get(hop.dst_node)
+                if infra is not None:
+                    return infra
+        return None
+
+    def _route_ready(self, ctx: MappingContext, routed: set[str]) -> None:
+        for hop in ctx.service.sg_hops:
+            if hop.id in routed:
+                continue
+            src = ctx.endpoint_infra(hop.src_node)
+            dst = ctx.endpoint_infra(hop.dst_node)
+            if src is None or dst is None:
+                continue
+            budget = hop_delay_budget(ctx.service, ctx, hop.id)
+            route = route_or_none(ctx.resource, ctx.ledger, hop.id, src, dst,
+                                  bandwidth=hop.bandwidth, max_delay=budget,
+                                  adjacency=ctx.adjacency(),
+                                  node_delay=ctx.node_delays())
+            if route is None:
+                raise MappingError(
+                    f"delay-aware: cannot route hop {hop.id!r} "
+                    f"({src!r}->{dst!r}, budget {budget})")
+            ctx.record_route(route)
+            routed.add(hop.id)

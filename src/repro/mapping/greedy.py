@@ -1,0 +1,147 @@
+"""Greedy chain-order embedder.
+
+Walks the service graph from its SAPs in topological (chain) order and
+places each NF on the feasible BiS-BiS that minimizes a local score
+(placement cost + delay detour from the previous element), routing each
+SG hop as soon as both endpoints are fixed.  Fast, no backtracking —
+the default ESCAPE-style baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.mapping.base import (Embedder, MappingContext, MappingError,
+                                placement_allowed)
+from repro.mapping.paths import find_route
+from repro.nffg.graph import NFFG
+from repro.nffg.model import NodeNF
+
+
+def service_order(service: NFFG) -> list[str]:
+    """NF ids in chain-traversal order starting from SAP-adjacent hops.
+
+    Falls back to insertion order for NFs unreachable from any SAP
+    (isolated fragments still get mapped).
+    """
+    order: list[str] = []
+    seen: set[str] = set()
+    frontier: list[str] = [sap.id for sap in service.saps]
+    visited_nodes: set[str] = set(frontier)
+    while frontier:
+        current = frontier.pop(0)
+        for hop in service.sg_hops:
+            if hop.src_node != current:
+                continue
+            dst = hop.dst_node
+            if dst in visited_nodes:
+                continue
+            visited_nodes.add(dst)
+            node = service.node(dst)
+            if isinstance(node, NodeNF) and dst not in seen:
+                seen.add(dst)
+                order.append(dst)
+            frontier.append(dst)
+    for nf in service.nfs:
+        if nf.id not in seen:
+            order.append(nf.id)
+    return order
+
+
+def hops_ready(service: NFFG, ctx: MappingContext,
+               routed: set[str]) -> Iterable:
+    """SG hops whose both endpoints are resolvable and not yet routed."""
+    for hop in service.sg_hops:
+        if hop.id in routed:
+            continue
+        src = ctx.endpoint_infra(hop.src_node)
+        dst = ctx.endpoint_infra(hop.dst_node)
+        if src is not None and dst is not None:
+            yield hop, src, dst
+
+
+def hop_delay_budget(service: NFFG, ctx: MappingContext, hop_id: str) -> float:
+    """Remaining delay budget for a hop from its tightest requirement."""
+    budget = float("inf")
+    for req in service.requirements:
+        if hop_id not in req.sg_path or req.max_delay == float("inf"):
+            continue
+        spent = ctx.partial_delay(req.sg_path)
+        remaining_hops = sum(1 for h in req.sg_path if h not in ctx.routes)
+        slack = req.max_delay - spent
+        if remaining_hops > 0:
+            budget = min(budget, slack)
+    hop = service.edge(hop_id)
+    if getattr(hop, "delay", 0.0):
+        budget = min(budget, hop.delay)
+    return budget
+
+
+class GreedyEmbedder(Embedder):
+    """Place NFs chain-first on locally cheapest feasible hosts."""
+
+    name = "greedy"
+
+    def __init__(self, bandwidth_weight: float = 0.01,
+                 delay_weight: float = 1.0, cost_weight: float = 1.0):
+        self.bandwidth_weight = bandwidth_weight
+        self.delay_weight = delay_weight
+        self.cost_weight = cost_weight
+
+    def _run(self, ctx: MappingContext) -> None:
+        service, resource = ctx.service, ctx.resource
+        routed: set[str] = set()
+        for nf_id in service_order(service):
+            nf = service.nf(nf_id)
+            anchor = self._anchor_infra(ctx, nf_id)
+            best_host = None
+            best_score = float("inf")
+            for infra in resource.infras:
+                ctx.nodes_examined += 1
+                if not ctx.ledger.can_host(nf, infra):
+                    continue
+                if not placement_allowed(ctx, nf, infra):
+                    continue
+                score = self.cost_weight * nf.resources.cpu * infra.cost_per_cpu
+                if anchor is not None:
+                    detour = ctx.delay_estimate(anchor, infra.id)
+                    if detour == float("inf"):
+                        continue
+                    score += self.delay_weight * detour
+                if score < best_score:
+                    best_score = score
+                    best_host = infra.id
+            if best_host is None:
+                raise MappingError(
+                    f"no feasible host for NF {nf_id!r} "
+                    f"(type {nf.functional_type!r})")
+            ctx.place(nf_id, best_host)
+            self._route_ready_hops(ctx, routed)
+        self._route_ready_hops(ctx, routed)
+        unrouted = [hop.id for hop in service.sg_hops if hop.id not in routed]
+        if unrouted:
+            raise MappingError(f"unrouted SG hops: {unrouted}")
+
+    def _anchor_infra(self, ctx: MappingContext, nf_id: str):
+        """Infra of the closest already-resolved neighbour in the SG."""
+        for hop in ctx.service.sg_hops:
+            if hop.dst_node == nf_id:
+                infra = ctx.endpoint_infra(hop.src_node)
+                if infra is not None:
+                    return infra
+        for hop in ctx.service.sg_hops:
+            if hop.src_node == nf_id:
+                infra = ctx.endpoint_infra(hop.dst_node)
+                if infra is not None:
+                    return infra
+        return None
+
+    def _route_ready_hops(self, ctx: MappingContext, routed: set[str]) -> None:
+        for hop, src, dst in list(hops_ready(ctx.service, ctx, routed)):
+            budget = hop_delay_budget(ctx.service, ctx, hop.id)
+            route = find_route(ctx.resource, ctx.ledger, hop.id, src, dst,
+                               bandwidth=hop.bandwidth, max_delay=budget,
+                               adjacency=ctx.adjacency(),
+                               node_delay=ctx.node_delays())
+            ctx.record_route(route)
+            routed.add(hop.id)

@@ -1,0 +1,111 @@
+"""Constrained substrate path finding.
+
+Hops must be routed over static links with enough *free* bandwidth; the
+objective is minimum delay (link propagation + per-node internal
+forwarding delay of each traversed BiS-BiS).  A small label-setting
+Dijkstra over the infra topology, parameterized by the ledger so
+tentative allocations are respected.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.mapping.base import HopRoute, MappingError, ResourceLedger
+from repro.nffg.graph import NFFG
+from repro.nffg.model import EdgeLink, NodeInfra
+
+
+def find_route(resource: NFFG, ledger: ResourceLedger, hop_id: str,
+               src_infra: str, dst_infra: str, bandwidth: float,
+               max_delay: float = float("inf"),
+               adjacency: Optional[dict[str, list[EdgeLink]]] = None,
+               node_delay: Optional[dict[str, float]] = None) -> HopRoute:
+    """Cheapest-delay route between two infra nodes with free bandwidth.
+
+    Returns a :class:`HopRoute`; raises :class:`MappingError` when no
+    feasible path exists.  A same-node "path" is valid and costs only
+    the node's internal delay.  ``adjacency``/``node_delay`` may be
+    supplied by the caller (e.g. a MappingContext cache) to avoid
+    rebuilding them per call.
+    """
+    if node_delay is None:
+        node_delay = {infra.id: infra.resources.delay
+                      for infra in resource.infras}
+    if src_infra == dst_infra:
+        delay = node_delay.get(src_infra, 0.0)
+        if delay > max_delay + 1e-9:
+            raise MappingError(
+                f"hop {hop_id!r}: internal delay {delay} exceeds {max_delay}")
+        return HopRoute(hop_id=hop_id, infra_path=[src_infra], link_ids=[],
+                        delay=delay, bandwidth=bandwidth)
+
+    if adjacency is None:
+        adjacency = {}
+        for link in resource.links:
+            src_node = resource.node(link.src_node)
+            dst_node = resource.node(link.dst_node)
+            if isinstance(src_node, NodeInfra) and isinstance(dst_node, NodeInfra):
+                adjacency.setdefault(link.src_node, []).append(link)
+
+    best: dict[str, float] = {src_infra: node_delay.get(src_infra, 0.0)}
+    heap: list[tuple[float, str]] = [(best[src_infra], src_infra)]
+    parent: dict[str, tuple[str, EdgeLink]] = {}
+    visited: set[str] = set()
+    while heap:
+        delay, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == dst_infra:
+            break
+        for link in adjacency.get(node, ()):
+            if not ledger.can_route(link, bandwidth):
+                continue
+            neighbour = link.dst_node
+            candidate = delay + link.delay + node_delay.get(neighbour, 0.0)
+            if candidate > max_delay + 1e-9:
+                continue
+            if candidate < best.get(neighbour, float("inf")) - 1e-12:
+                best[neighbour] = candidate
+                parent[neighbour] = (node, link)
+                heapq.heappush(heap, (candidate, neighbour))
+    if dst_infra not in visited:
+        raise MappingError(
+            f"hop {hop_id!r}: no path {src_infra!r}->{dst_infra!r} with "
+            f"{bandwidth} Mbps free (max delay {max_delay})")
+    infra_path = [dst_infra]
+    link_ids: list[str] = []
+    node = dst_infra
+    while node != src_infra:
+        prev, link = parent[node]
+        link_ids.append(link.id)
+        infra_path.append(prev)
+        node = prev
+    infra_path.reverse()
+    link_ids.reverse()
+    return HopRoute(hop_id=hop_id, infra_path=infra_path, link_ids=link_ids,
+                    delay=best[dst_infra], bandwidth=bandwidth)
+
+
+def route_or_none(resource: NFFG, ledger: ResourceLedger, hop_id: str,
+                  src_infra: str, dst_infra: str, bandwidth: float,
+                  max_delay: float = float("inf"),
+                  adjacency: Optional[dict[str, list[EdgeLink]]] = None,
+                  node_delay: Optional[dict[str, float]] = None
+                  ) -> Optional[HopRoute]:
+    try:
+        return find_route(resource, ledger, hop_id, src_infra, dst_infra,
+                          bandwidth, max_delay, adjacency=adjacency,
+                          node_delay=node_delay)
+    except MappingError:
+        return None
+
+
+def path_delay_estimate(resource: NFFG, src_infra: str, dst_infra: str) -> float:
+    """Delay of the unconstrained shortest path (heuristic guidance)."""
+    ledger = ResourceLedger(resource)
+    route = route_or_none(resource, ledger, "estimate", src_infra, dst_infra,
+                          bandwidth=0.0)
+    return route.delay if route is not None else float("inf")

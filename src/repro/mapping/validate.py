@@ -1,0 +1,190 @@
+"""Independent validation of a mapping result.
+
+Used by tests, property-based checks and the orchestrator's "verify
+before deploy" step: re-derives every constraint from scratch instead of
+trusting the embedder's own bookkeeping.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import MappingResult
+from repro.nffg.graph import NFFG
+from repro.nffg.model import EdgeLink, NodeInfra, ResourceVector
+
+
+def validate_mapping(service: NFFG, resource: NFFG,
+                     result: MappingResult) -> list[str]:
+    """Return a list of violations (empty = mapping is sound)."""
+    if not result.success:
+        return [f"mapping failed: {result.failure_reason}"]
+    problems: list[str] = []
+    problems += _check_placements(service, resource, result)
+    problems += _check_capacities(service, resource, result)
+    problems += _check_routes(service, resource, result)
+    problems += _check_bandwidth(service, resource, result)
+    problems += _check_requirements(service, result)
+    problems += _check_flowrules(service, result)
+    return problems
+
+
+def _check_placements(service: NFFG, resource: NFFG,
+                      result: MappingResult) -> list[str]:
+    problems = []
+    for nf in service.nfs:
+        host = result.nf_placement.get(nf.id)
+        if host is None:
+            problems.append(f"NF {nf.id!r} unplaced")
+            continue
+        if not resource.has_node(host):
+            problems.append(f"NF {nf.id!r} placed on unknown infra {host!r}")
+            continue
+        infra = resource.infra(host)
+        if not infra.supports(nf.functional_type):
+            problems.append(
+                f"NF {nf.id!r} ({nf.functional_type}) on unsupporting "
+                f"infra {host!r}")
+        wanted_domain = nf.metadata.get("constraint:domain")
+        if wanted_domain is not None and infra.domain.value != wanted_domain:
+            problems.append(
+                f"NF {nf.id!r}: domain constraint {wanted_domain!r} "
+                f"violated by host {host!r} ({infra.domain.value})")
+        pinned = nf.metadata.get("constraint:infra")
+        if pinned is not None and host != pinned:
+            problems.append(
+                f"NF {nf.id!r}: pinned to {pinned!r}, placed on {host!r}")
+        for rival in nf.metadata.get("constraint:anti_affinity", ()):
+            if result.nf_placement.get(rival) == host:
+                problems.append(
+                    f"NF {nf.id!r}: anti-affinity with {rival!r} violated "
+                    f"on {host!r}")
+    for nf_id in result.nf_placement:
+        if not service.has_node(nf_id):
+            problems.append(f"placement contains non-service NF {nf_id!r}")
+    return problems
+
+
+def _check_capacities(service: NFFG, resource: NFFG,
+                      result: MappingResult) -> list[str]:
+    problems = []
+    demand: dict[str, ResourceVector] = {}
+    for nf_id, host in result.nf_placement.items():
+        if not service.has_node(nf_id) or not resource.has_node(host):
+            continue
+        nf = service.nf(nf_id)
+        demand[host] = demand.get(host, ResourceVector()) + nf.resources
+    from repro.nffg.ops import available_resources
+    for host, total in demand.items():
+        free = available_resources(resource, host)
+        if not total.fits_within(free):
+            problems.append(
+                f"infra {host!r} over-committed: demand {total}, free {free}")
+    return problems
+
+
+def _check_routes(service: NFFG, resource: NFFG,
+                  result: MappingResult) -> list[str]:
+    problems = []
+    for hop in service.sg_hops:
+        route = result.hop_routes.get(hop.id)
+        if route is None:
+            problems.append(f"hop {hop.id!r} unrouted")
+            continue
+        expected_src = _endpoint_infra(service, resource, result, hop.src_node)
+        expected_dst = _endpoint_infra(service, resource, result, hop.dst_node)
+        if expected_src is not None and route.infra_path[0] != expected_src:
+            problems.append(
+                f"hop {hop.id!r}: path starts at {route.infra_path[0]!r}, "
+                f"endpoint on {expected_src!r}")
+        if expected_dst is not None and route.infra_path[-1] != expected_dst:
+            problems.append(
+                f"hop {hop.id!r}: path ends at {route.infra_path[-1]!r}, "
+                f"endpoint on {expected_dst!r}")
+        # link ids must form a connected chain along infra_path
+        for index, link_id in enumerate(route.link_ids):
+            if not resource.has_edge(link_id):
+                problems.append(f"hop {hop.id!r}: unknown link {link_id!r}")
+                continue
+            link = resource.edge(link_id)
+            assert isinstance(link, EdgeLink)
+            if (link.src_node != route.infra_path[index]
+                    or link.dst_node != route.infra_path[index + 1]):
+                problems.append(
+                    f"hop {hop.id!r}: link {link_id!r} does not connect "
+                    f"{route.infra_path[index]!r}->{route.infra_path[index + 1]!r}")
+    return problems
+
+
+def _check_bandwidth(service: NFFG, resource: NFFG,
+                     result: MappingResult) -> list[str]:
+    problems = []
+    load: dict[str, float] = {}
+    for route in result.hop_routes.values():
+        for link_id in route.link_ids:
+            load[link_id] = load.get(link_id, 0.0) + route.bandwidth
+    for link_id, used in load.items():
+        if not resource.has_edge(link_id):
+            continue
+        link = resource.edge(link_id)
+        assert isinstance(link, EdgeLink)
+        if used - link.available_bandwidth > 1e-9:
+            problems.append(
+                f"link {link_id!r} over-subscribed: {used} of "
+                f"{link.available_bandwidth} Mbps free")
+    return problems
+
+
+def _check_requirements(service: NFFG, result: MappingResult) -> list[str]:
+    problems = []
+    for req in service.requirements:
+        total = 0.0
+        complete = True
+        for hop_id in req.sg_path:
+            route = result.hop_routes.get(hop_id)
+            if route is None:
+                complete = False
+                break
+            total += route.delay
+        if complete and total > req.max_delay + 1e-9:
+            problems.append(
+                f"requirement {req.id!r}: delay {total:.3f} > {req.max_delay:.3f}")
+    return problems
+
+
+def _check_flowrules(service: NFFG, result: MappingResult) -> list[str]:
+    """Every routed hop must have one flow rule per traversed BiS-BiS."""
+    problems = []
+    mapped = result.mapped
+    if mapped is None:
+        return ["mapped NFFG missing"]
+    rules_per_hop: dict[str, int] = {}
+    for infra in mapped.infras:
+        for _, rule in infra.iter_flowrules():
+            if rule.hop_id:
+                rules_per_hop[rule.hop_id] = rules_per_hop.get(rule.hop_id, 0) + 1
+    for hop in service.sg_hops:
+        route = result.hop_routes.get(hop.id)
+        if route is None:
+            continue
+        expected = len(route.infra_path)
+        actual = rules_per_hop.get(hop.id, 0)
+        if actual != expected:
+            problems.append(
+                f"hop {hop.id!r}: {actual} flow rules installed, "
+                f"expected {expected}")
+    return problems
+
+
+def _endpoint_infra(service: NFFG, resource: NFFG, result: MappingResult,
+                    node_id: str):
+    node = service.node(node_id)
+    if node.type.value == "NF":
+        return result.nf_placement.get(node_id)
+    bindings = resource.sap_bindings()
+    if node_id in bindings:
+        return bindings[node_id][0]
+    for edge in resource.edges_of(node_id):
+        if isinstance(edge, EdgeLink):
+            other = edge.dst_node if edge.src_node == node_id else edge.src_node
+            if resource.has_node(other) and isinstance(resource.node(other), NodeInfra):
+                return other
+    return None

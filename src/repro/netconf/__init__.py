@@ -1,0 +1,32 @@
+"""NETCONF-like management protocol.
+
+The prototype drives its Mininet domain "via NETCONF and OpenFlow
+control channels" and the Unify interface itself follows NETCONF
+discipline (get-config / edit-config / commit on YANG data).  This
+package implements that discipline over the byte-counted in-memory
+channels: capability exchange, running+candidate datastores, merge /
+replace / delete edit operations, validate, commit/discard and
+notifications.
+"""
+
+from repro.netconf.messages import (
+    Hello,
+    Notification,
+    RpcError,
+    RpcReply,
+    RpcRequest,
+)
+from repro.netconf.server import Datastore, NetconfServer
+from repro.netconf.client import NetconfClient, NetconfError
+
+__all__ = [
+    "Hello",
+    "Notification",
+    "RpcError",
+    "RpcReply",
+    "RpcRequest",
+    "Datastore",
+    "NetconfServer",
+    "NetconfClient",
+    "NetconfError",
+]

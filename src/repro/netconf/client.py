@@ -1,0 +1,105 @@
+"""NETCONF client: synchronous RPC calls over a control channel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.netconf.messages import Hello, Notification, RpcReply, RpcRequest
+from repro.openflow.channel import ControlChannel
+
+
+class NetconfError(RuntimeError):
+    """Raised when the server returns an rpc-error."""
+
+    def __init__(self, tag: str, message: str):
+        super().__init__(f"[{tag}] {message}")
+        self.tag = tag
+
+
+class NetconfClient:
+    """Client side of one NETCONF session.
+
+    Channels in this reproduction deliver synchronously (or via the
+    simulator, in which case callers run the simulator between request
+    and reply); replies are correlated by message id.
+    """
+
+    def __init__(self, name: str, channel: ControlChannel):
+        self.name = name
+        self.channel = channel
+        channel.bind_a(self._on_message)
+        self.server_capabilities: list[str] = []
+        self.session_id: Optional[int] = None
+        self.notifications: list[Notification] = []
+        self.on_notification: Optional[Callable[[Notification], None]] = None
+        self._replies: dict[int, RpcReply] = {}
+
+    # -- session ------------------------------------------------------------
+
+    def hello(self, capabilities: Optional[list[str]] = None) -> list[str]:
+        self.channel.send_to_b(Hello(capabilities=capabilities or []))
+        if self.session_id is None:
+            raise NetconfError("timeout", "no hello reply")
+        return self.server_capabilities
+
+    def has_capability(self, capability: str) -> bool:
+        return capability in self.server_capabilities
+
+    def close(self) -> None:
+        self.rpc("close-session")
+
+    # -- rpc plumbing -----------------------------------------------------------
+
+    def _on_message(self, message: Any) -> None:
+        if isinstance(message, Hello):
+            self.session_id = message.session_id
+            self.server_capabilities = list(message.capabilities)
+        elif isinstance(message, RpcReply):
+            self._replies[message.message_id] = message
+        elif isinstance(message, Notification):
+            self.notifications.append(message)
+            if self.on_notification is not None:
+                self.on_notification(message)
+
+    def rpc(self, op: str, **params: Any) -> Any:
+        request = RpcRequest(op=op, params=params)
+        self.channel.send_to_b(request)
+        reply = self._replies.pop(request.message_id, None)
+        if reply is None:
+            raise NetconfError("timeout", f"no reply for {op!r}")
+        if not reply.ok:
+            error = reply.error
+            raise NetconfError(error.tag if error else "unknown",
+                               error.message if error else "rpc failed")
+        return reply.data
+
+    # -- standard operations --------------------------------------------------------
+
+    def get_config(self, source: str = "running") -> Any:
+        return self.rpc("get-config", source=source)
+
+    def get(self) -> Any:
+        return self.rpc("get")
+
+    def edit_config(self, config: Any, *, target: str = "candidate",
+                    operation: str = "merge") -> Any:
+        return self.rpc("edit-config", target=target, operation=operation,
+                        config=config)
+
+    def validate(self, source: str = "candidate") -> Any:
+        return self.rpc("validate", source=source)
+
+    def commit(self) -> Any:
+        return self.rpc("commit")
+
+    def discard_changes(self) -> Any:
+        return self.rpc("discard-changes")
+
+    def lock(self) -> Any:
+        return self.rpc("lock")
+
+    def unlock(self) -> Any:
+        return self.rpc("unlock")
+
+    def __repr__(self) -> str:
+        return f"<NetconfClient {self.name} session={self.session_id}>"

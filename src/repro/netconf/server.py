@@ -1,0 +1,207 @@
+"""NETCONF server: datastores + RPC dispatch.
+
+The server owns a *running* and a *candidate* datastore (arbitrary
+JSON-compatible configs — in practice virtualizer dicts or diff entry
+lists).  Domain orchestrators subclass or register apply-callbacks: a
+successful ``commit`` hands the new running config to the callback,
+which reconfigures the domain.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.netconf.messages import (
+    BASE_CAPABILITIES,
+    Hello,
+    Notification,
+    RpcError,
+    RpcReply,
+    RpcRequest,
+)
+from repro.openflow.channel import ControlChannel
+
+_SESSION_ID = itertools.count(1)
+
+ApplyCallback = Callable[[Any], None]
+RpcHandler = Callable[[dict], Any]
+
+
+class Datastore:
+    """One named configuration datastore."""
+
+    def __init__(self, name: str, config: Any = None):
+        self.name = name
+        self.config = config
+
+    def snapshot(self) -> Any:
+        return copy.deepcopy(self.config)
+
+
+class NetconfServer:
+    """Server side of one NETCONF session."""
+
+    def __init__(self, name: str, *, capabilities: Optional[list[str]] = None,
+                 initial_config: Any = None):
+        self.name = name
+        self.capabilities = list(capabilities or []) + BASE_CAPABILITIES
+        self.running = Datastore("running", initial_config)
+        self.candidate = Datastore("candidate",
+                                   copy.deepcopy(initial_config))
+        self.session_id = 0
+        self.channel: Optional[ControlChannel] = None
+        self._apply_callbacks: list[ApplyCallback] = []
+        self._custom_rpcs: dict[str, RpcHandler] = {}
+        self._locked_by: Optional[int] = None
+        self.rpcs_handled = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, channel: ControlChannel) -> None:
+        """Attach as endpoint "b" (the managed device side)."""
+        self.channel = channel
+        channel.bind_b(self._on_message)
+
+    def on_apply(self, callback: ApplyCallback) -> None:
+        """Called with the new running config after each commit or
+        successful edit of the running store."""
+        self._apply_callbacks.append(callback)
+
+    def register_rpc(self, op: str, handler: RpcHandler) -> None:
+        """Add a device-specific RPC (e.g. ``start-vnf``)."""
+        self._custom_rpcs[op] = handler
+
+    def notify(self, event: str, data: dict[str, Any]) -> None:
+        if self.channel is not None:
+            self.channel.send_to_a(Notification(event=event, data=data))
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _on_message(self, message: Any) -> None:
+        if isinstance(message, Hello):
+            self.session_id = next(_SESSION_ID)
+            assert self.channel is not None
+            self.channel.send_to_a(Hello(session_id=self.session_id,
+                                         capabilities=self.capabilities))
+            return
+        if not isinstance(message, RpcRequest):
+            return
+        self.rpcs_handled += 1
+        try:
+            data = self._dispatch(message)
+            reply = RpcReply(message_id=message.message_id, ok=True, data=data)
+        except NetconfServerError as exc:
+            reply = RpcReply(message_id=message.message_id, ok=False,
+                             error=RpcError(tag=exc.tag, message=str(exc)))
+        except Exception as exc:  # noqa: BLE001 - fault isolation at RPC boundary
+            reply = RpcReply(message_id=message.message_id, ok=False,
+                             error=RpcError(tag="operation-failed",
+                                            message=f"{type(exc).__name__}: {exc}"))
+        assert self.channel is not None
+        self.channel.send_to_a(reply)
+
+    def _dispatch(self, request: RpcRequest) -> Any:
+        op = request.op
+        params = request.params
+        if op == "get-config":
+            return self._store(params.get("source", "running")).snapshot()
+        if op == "get":
+            return {"config": self.running.snapshot(),
+                    "state": self.state_data()}
+        if op == "edit-config":
+            return self._edit_config(params)
+        if op == "commit":
+            return self._commit()
+        if op == "discard-changes":
+            self.candidate.config = self.running.snapshot()
+            return {"ok": True}
+        if op == "validate":
+            problems = self.validate_config(
+                self._store(params.get("source", "candidate")).snapshot())
+            if problems:
+                raise NetconfServerError("invalid-value", "; ".join(problems))
+            return {"ok": True}
+        if op == "lock":
+            if self._locked_by is not None:
+                raise NetconfServerError("lock-denied", "datastore locked")
+            self._locked_by = self.session_id
+            return {"ok": True}
+        if op == "unlock":
+            self._locked_by = None
+            return {"ok": True}
+        if op == "close-session":
+            self._locked_by = None
+            return {"ok": True}
+        if op in self._custom_rpcs:
+            return self._custom_rpcs[op](params)
+        raise NetconfServerError("operation-not-supported",
+                                 f"unknown rpc {op!r}")
+
+    # -- datastore operations ------------------------------------------------------
+
+    def _store(self, name: str) -> Datastore:
+        if name == "running":
+            return self.running
+        if name == "candidate":
+            return self.candidate
+        raise NetconfServerError("invalid-value", f"unknown datastore {name!r}")
+
+    def _edit_config(self, params: dict) -> Any:
+        target = self._store(params.get("target", "candidate"))
+        operation = params.get("operation", "merge")
+        config = params.get("config")
+        if operation == "replace":
+            target.config = copy.deepcopy(config)
+        elif operation == "merge":
+            target.config = _merge(target.snapshot(), config)
+        elif operation == "delete":
+            target.config = None
+        else:
+            raise NetconfServerError("bad-attribute",
+                                     f"unknown operation {operation!r}")
+        if target is self.running:
+            self._apply(self.running.snapshot())
+        return {"ok": True}
+
+    def _commit(self) -> Any:
+        problems = self.validate_config(self.candidate.snapshot())
+        if problems:
+            raise NetconfServerError("invalid-value",
+                                     "validation failed: " + "; ".join(problems))
+        self.running.config = self.candidate.snapshot()
+        self._apply(self.running.snapshot())
+        return {"ok": True}
+
+    def _apply(self, config: Any) -> None:
+        for callback in self._apply_callbacks:
+            callback(config)
+
+    # -- extension points -----------------------------------------------------------
+
+    def validate_config(self, config: Any) -> list[str]:
+        """Override for model-aware validation; [] means valid."""
+        return []
+
+    def state_data(self) -> dict[str, Any]:
+        """Override to expose operational state in <get>."""
+        return {}
+
+
+class NetconfServerError(RuntimeError):
+    def __init__(self, tag: str, message: str):
+        super().__init__(message)
+        self.tag = tag
+
+
+def _merge(base: Any, overlay: Any) -> Any:
+    if isinstance(base, dict) and isinstance(overlay, dict):
+        merged = dict(base)
+        for key, value in overlay.items():
+            if key in merged:
+                merged[key] = _merge(merged[key], value)
+            else:
+                merged[key] = copy.deepcopy(value)
+        return merged
+    return copy.deepcopy(overlay)

@@ -1,0 +1,25 @@
+"""Packet-level network emulation.
+
+A deliberately small but real dataplane: packets carry Ethernet/IP/TCP
+headers, links impose serialization + propagation delay on the
+discrete-event clock, nodes receive packets on ports.  The OpenFlow
+switches (:mod:`repro.openflow`), Click NFs (:mod:`repro.click`) and
+every technology domain forward *these* packets, so a deployed service
+chain can be verified end-to-end by injecting traffic at a SAP and
+watching it arrive — the reproduction's substitute for the live demo.
+"""
+
+from repro.netem.packet import EtherType, IPProto, Packet
+from repro.netem.node import Host, NetworkNode
+from repro.netem.link import Link
+from repro.netem.network import Network
+
+__all__ = [
+    "EtherType",
+    "IPProto",
+    "Packet",
+    "Host",
+    "NetworkNode",
+    "Link",
+    "Network",
+]

@@ -1,0 +1,80 @@
+"""Network container: nodes + links on a shared simulator."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TypeVar
+
+from repro.netem.link import Link
+from repro.netem.node import Host, NetworkNode
+from repro.sim.kernel import Simulator
+
+N = TypeVar("N", bound=NetworkNode)
+
+
+class Network:
+    """A set of nodes wired by links over one discrete-event simulator."""
+
+    def __init__(self, simulator: Optional[Simulator] = None):
+        self.simulator = simulator or Simulator()
+        self.nodes: dict[str, NetworkNode] = {}
+        self.links: list[Link] = []
+
+    def add(self, node: N) -> N:
+        if node.id in self.nodes:
+            raise ValueError(f"duplicate node id {node.id!r}")
+        self.nodes[node.id] = node
+        return node
+
+    def add_host(self, node_id: str, ip: str = "", mac: str = "") -> Host:
+        return self.add(Host(node_id, self.simulator, ip=ip, mac=mac))
+
+    def node(self, node_id: str) -> NetworkNode:
+        return self.nodes[node_id]
+
+    def connect(self, node_a: str | NetworkNode, port_a: str,
+                node_b: str | NetworkNode, port_b: str, *,
+                bandwidth_mbps: float = 1000.0, delay_ms: float = 1.0,
+                queue_packets: int = 256) -> Link:
+        a = self.nodes[node_a] if isinstance(node_a, str) else node_a
+        b = self.nodes[node_b] if isinstance(node_b, str) else node_b
+        link = Link(self.simulator, node_a=a, port_a=str(port_a),
+                    node_b=b, port_b=str(port_b),
+                    bandwidth_mbps=bandwidth_mbps, delay_ms=delay_ms,
+                    queue_packets=queue_packets)
+        a.attach(str(port_a), link)
+        b.attach(str(port_b), link)
+        self.links.append(link)
+        return link
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.simulator.run(until=until)
+
+    def link_between(self, node_a: str, node_b: str) -> Optional[Link]:
+        for link in self.links:
+            if {link.node_a.id, link.node_b.id} == {node_a, node_b}:
+                return link
+        return None
+
+    def fail_link(self, node_a: str, node_b: str) -> Link:
+        """Take a link down (traffic drops until restored)."""
+        link = self.link_between(node_a, node_b)
+        if link is None:
+            raise ValueError(f"no link between {node_a!r} and {node_b!r}")
+        link.up = False
+        return link
+
+    def restore_link(self, node_a: str, node_b: str) -> Link:
+        link = self.link_between(node_a, node_b)
+        if link is None:
+            raise ValueError(f"no link between {node_a!r} and {node_b!r}")
+        link.up = True
+        return link
+
+    def hosts(self) -> Iterable[Host]:
+        return (node for node in self.nodes.values() if isinstance(node, Host))
+
+    def total_delivered(self) -> int:
+        return sum(len(host.received) for host in self.hosts())
+
+    def __repr__(self) -> str:
+        return f"<Network {len(self.nodes)} nodes, {len(self.links)} links>"

@@ -1,0 +1,101 @@
+"""Network nodes: the base forwarding element and a traffic host."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netem.packet import Packet
+from repro.sim.kernel import Simulator
+
+
+class NetworkNode:
+    """Base class: something with numbered ports attached to links.
+
+    Subclasses override :meth:`receive`.  Transmission happens through
+    the :class:`~repro.netem.link.Link` objects plugged into ports by
+    :class:`~repro.netem.network.Network`.
+    """
+
+    def __init__(self, node_id: str, simulator: Simulator):
+        self.id = node_id
+        self.simulator = simulator
+        #: port id -> Link (set by Network.connect)
+        self.links: dict[str, "Link"] = {}
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.drops = 0
+
+    def attach(self, port_id: str, link: "Link") -> None:
+        if port_id in self.links:
+            raise ValueError(f"port {port_id!r} of {self.id!r} already wired")
+        self.links[port_id] = link
+
+    def receive(self, packet: Packet, in_port: str) -> None:
+        """Handle an arriving packet; default: count and drop."""
+        self.rx_packets += 1
+        self.drops += 1
+
+    def transmit(self, packet: Packet, out_port: str) -> None:
+        """Send a packet out of a port (drops if unwired)."""
+        link = self.links.get(out_port)
+        if link is None:
+            self.drops += 1
+            return
+        self.tx_packets += 1
+        link.send(self, packet)
+
+    def ports(self) -> list[str]:
+        return list(self.links)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.id} ports={list(self.links)}>"
+
+
+class Host(NetworkNode):
+    """An end host: injects traffic, records what it receives."""
+
+    def __init__(self, node_id: str, simulator: Simulator,
+                 ip: str = "", mac: str = ""):
+        super().__init__(node_id, simulator)
+        self.ip = ip or f"10.0.0.{abs(hash(node_id)) % 250 + 1}"
+        self.mac = mac or _mac_from(node_id)
+        self.received: list[Packet] = []
+        self.latencies: list[float] = []
+        self.on_receive: Optional[Callable[[Packet], None]] = None
+
+    def receive(self, packet: Packet, in_port: str) -> None:
+        self.rx_packets += 1
+        packet.record(self.id)
+        self.received.append(packet)
+        self.latencies.append(self.simulator.now - packet.created_at)
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    def send(self, packet: Packet, out_port: Optional[str] = None) -> None:
+        """Inject a packet now (stamps creation time and source fields)."""
+        packet.created_at = self.simulator.now
+        if not packet.ip_src or packet.ip_src == "10.0.0.1":
+            packet.ip_src = self.ip
+        packet.eth_src = self.mac
+        packet.record(self.id)
+        port = out_port or (self.ports()[0] if self.ports() else None)
+        if port is None:
+            self.drops += 1
+            return
+        self.transmit(packet, port)
+
+    def send_burst(self, packets: list[Packet], interval: float = 0.1,
+                   out_port: Optional[str] = None) -> None:
+        """Schedule a burst of packets ``interval`` ms apart."""
+        for index, packet in enumerate(packets):
+            self.simulator.schedule(index * interval, self.send, packet, out_port)
+
+    def clear(self) -> None:
+        self.received.clear()
+        self.latencies.clear()
+
+
+def _mac_from(node_id: str) -> str:
+    digest = abs(hash(node_id))
+    octets = [(digest >> (8 * i)) & 0xFF for i in range(5)]
+    return "02:" + ":".join(f"{octet:02x}" for octet in octets)

@@ -1,0 +1,123 @@
+"""The packet model: a flat header struct, not a byte parser.
+
+Headers cover what SFC steering and the demo NFs need: Ethernet
+addresses and type, one optional VLAN tag (used for inter-BiS-BiS
+chain tagging), IPv4 addresses/protocol, transport ports and an opaque
+payload.  ``trace`` accumulates the nodes the packet traversed so tests
+can assert the exact path a chain steered it through.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+_PACKET_SEQ = itertools.count(1)
+
+
+class EtherType(int, enum.Enum):
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+
+
+class IPProto(int, enum.Enum):
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+@dataclass
+class Packet:
+    """One simulated packet."""
+
+    eth_src: str = "00:00:00:00:00:01"
+    eth_dst: str = "00:00:00:00:00:02"
+    eth_type: int = EtherType.IPV4
+    vlan: Optional[int] = None
+    ip_src: str = "10.0.0.1"
+    ip_dst: str = "10.0.0.2"
+    ip_proto: int = IPProto.TCP
+    ip_ttl: int = 64
+    tp_src: int = 10000
+    tp_dst: int = 80
+    payload: str = ""
+    size_bytes: int = 1000
+    #: unique id for tracing; preserved across copies/rewrites
+    uid: int = field(default_factory=lambda: next(_PACKET_SEQ))
+    #: virtual time the packet was first sent
+    created_at: float = 0.0
+    #: nodes traversed, appended by every forwarding element
+    trace: list[str] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def copy(self) -> "Packet":
+        clone = replace(self)
+        clone.trace = list(self.trace)
+        clone.metadata = dict(self.metadata)
+        return clone
+
+    def record(self, node_id: str) -> None:
+        self.trace.append(node_id)
+
+    def five_tuple(self) -> tuple[str, str, int, int, int]:
+        return (self.ip_src, self.ip_dst, self.ip_proto,
+                self.tp_src, self.tp_dst)
+
+    def matches_flowclass(self, flowclass: str) -> bool:
+        """Evaluate an NFFG flowclass spec (``k=v,k2=v2``) on headers."""
+        if not flowclass:
+            return True
+        for token in flowclass.split(","):
+            token = token.strip()
+            if not token or "=" not in token:
+                continue
+            key, _, value = token.partition("=")
+            key, value = key.strip(), value.strip()
+            actual = _FLOWCLASS_FIELDS.get(key, lambda p: None)(self)
+            if actual is None:
+                return False
+            if isinstance(actual, int):
+                try:
+                    wanted: Any = int(value, 0)
+                except ValueError:
+                    return False
+            else:
+                wanted = value
+            if actual != wanted:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        vlan = f" vlan={self.vlan}" if self.vlan is not None else ""
+        return (f"<Packet #{self.uid} {self.ip_src}:{self.tp_src} -> "
+                f"{self.ip_dst}:{self.tp_dst} proto={self.ip_proto}{vlan}>")
+
+
+_FLOWCLASS_FIELDS = {
+    "dl_src": lambda p: p.eth_src,
+    "dl_dst": lambda p: p.eth_dst,
+    "dl_type": lambda p: int(p.eth_type),
+    "dl_vlan": lambda p: p.vlan,
+    "nw_src": lambda p: p.ip_src,
+    "nw_dst": lambda p: p.ip_dst,
+    "nw_proto": lambda p: int(p.ip_proto),
+    "tp_src": lambda p: p.tp_src,
+    "tp_dst": lambda p: p.tp_dst,
+}
+
+
+def tcp_packet(ip_src: str, ip_dst: str, *, tp_src: int = 10000,
+               tp_dst: int = 80, payload: str = "", size: int = 1000) -> Packet:
+    return Packet(ip_src=ip_src, ip_dst=ip_dst, ip_proto=IPProto.TCP,
+                  tp_src=tp_src, tp_dst=tp_dst, payload=payload,
+                  size_bytes=size)
+
+
+def udp_packet(ip_src: str, ip_dst: str, *, tp_src: int = 10000,
+               tp_dst: int = 53, payload: str = "", size: int = 512) -> Packet:
+    return Packet(ip_src=ip_src, ip_dst=ip_dst, ip_proto=IPProto.UDP,
+                  tp_src=tp_src, tp_dst=tp_dst, payload=payload,
+                  size_bytes=size)

@@ -1,0 +1,228 @@
+"""Fluent builders for common NFFG shapes.
+
+Service developers in the paper's GUI draw chains; programmatically the
+equivalent is :class:`NFFGBuilder` which grows a service graph, and the
+topology helpers used throughout tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nffg.graph import NFFG, NFFGError
+from repro.nffg.model import DomainType, InfraType, ResourceVector
+
+
+class NFFGBuilder:
+    """Build a *service graph* (SAPs, NFs, hops, requirements) fluently.
+
+    >>> sg = (NFFGBuilder("web-chain")
+    ...       .sap("u").sap("s")
+    ...       .nf("fw", "firewall")
+    ...       .chain("u", "fw", "s", bandwidth=5.0)
+    ...       .build())
+    >>> len(sg.sg_hops)
+    2
+    """
+
+    def __init__(self, id: str = "service"):
+        self._nffg = NFFG(id=id)
+        self._hop_seq = 0
+
+    def sap(self, sap_id: str, name: str = "") -> "NFFGBuilder":
+        self._nffg.add_sap(sap_id, name=name)
+        return self
+
+    def nf(self, nf_id: str, functional_type: str, *,
+           cpu: float = 1.0, mem: float = 128.0, storage: float = 1.0,
+           deployment_type: str = "", num_ports: int = 2) -> "NFFGBuilder":
+        self._nffg.add_nf(nf_id, functional_type,
+                          deployment_type=deployment_type,
+                          resources=ResourceVector(cpu=cpu, mem=mem, storage=storage),
+                          num_ports=num_ports)
+        return self
+
+    def hop(self, src: str, dst: str, *, flowclass: str = "",
+            bandwidth: float = 0.0, delay: float = 0.0,
+            src_port: Optional[str] = None,
+            dst_port: Optional[str] = None) -> "NFFGBuilder":
+        """Add one SG hop; ports auto-picked (SAP port 1, NF in=1/out=2)."""
+        self._hop_seq += 1
+        src_node = self._nffg.node(src)
+        dst_node = self._nffg.node(dst)
+        src_port = src_port or self._egress_port(src_node)
+        dst_port = dst_port or self._ingress_port(dst_node)
+        self._nffg.add_sg_hop(src, src_port, dst, dst_port,
+                              id=f"{self._nffg.id}-hop{self._hop_seq}",
+                              flowclass=flowclass, bandwidth=bandwidth,
+                              delay=delay)
+        return self
+
+    def chain(self, *node_ids: str, flowclass: str = "",
+              bandwidth: float = 0.0) -> "NFFGBuilder":
+        """Chain nodes in order with SG hops."""
+        if len(node_ids) < 2:
+            raise NFFGError("chain needs at least two nodes")
+        for src, dst in zip(node_ids, node_ids[1:]):
+            self.hop(src, dst, flowclass=flowclass, bandwidth=bandwidth)
+        return self
+
+    def requirement(self, src: str, dst: str, *, max_delay: float = float("inf"),
+                    bandwidth: float = 0.0,
+                    sg_path: Optional[Sequence[str]] = None) -> "NFFGBuilder":
+        """End-to-end requirement; sg_path defaults to the hop sequence
+        that currently connects ``src`` to ``dst``.
+
+        A ``bandwidth`` requirement acts as a *floor*: every hop on the
+        requirement path is raised to at least that demand, so the
+        embedder reserves end-to-end capacity.
+        """
+        path = list(sg_path) if sg_path is not None else self._find_path(src, dst)
+        src_node = self._nffg.node(src)
+        dst_node = self._nffg.node(dst)
+        self._nffg.add_requirement(
+            src, self._egress_port(src_node), dst, self._ingress_port(dst_node),
+            sg_path=path, bandwidth=bandwidth, max_delay=max_delay)
+        if bandwidth > 0:
+            for hop_id in path:
+                hop = self._nffg.edge(hop_id)
+                if hasattr(hop, "bandwidth"):
+                    hop.bandwidth = max(hop.bandwidth, bandwidth)
+        return self
+
+    def build(self) -> NFFG:
+        problems = self._nffg.validate()
+        if problems:
+            raise NFFGError("invalid service graph: " + "; ".join(problems))
+        return self._nffg
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _ingress_port(node) -> str:
+        ports = list(node.ports)
+        if not ports:
+            raise NFFGError(f"node {node.id!r} has no ports")
+        return ports[0]
+
+    @staticmethod
+    def _egress_port(node) -> str:
+        ports = list(node.ports)
+        if not ports:
+            raise NFFGError(f"node {node.id!r} has no ports")
+        return ports[-1]
+
+    def _find_path(self, src: str, dst: str) -> list[str]:
+        """Follow SG hops from src to dst (chains only, no branching)."""
+        path: list[str] = []
+        current = src
+        visited = {src}
+        while current != dst:
+            next_hops = [h for h in self._nffg.sg_hops if h.src_node == current]
+            if not next_hops:
+                raise NFFGError(f"no SG path from {src!r} to {dst!r}")
+            hop = next_hops[0]
+            path.append(hop.id)
+            current = hop.dst_node
+            if current in visited:
+                raise NFFGError(f"SG hop loop while tracing {src!r}->{dst!r}")
+            visited.add(current)
+        return path
+
+
+def single_bisbis_view(view_id: str = "single-bisbis", *,
+                       cpu: float = 64.0, mem: float = 65536.0,
+                       storage: float = 1024.0, bandwidth: float = 40_000.0,
+                       delay: float = 0.1,
+                       supported_types: Sequence[str] = (),
+                       sap_tags: Sequence[str] = ()) -> NFFG:
+    """The paper's trivial client view: one big BiS-BiS node.
+
+    "If a service orchestrator sees only a single BiS-BiS node then its
+    orchestration task is trivial" — all placement is delegated to the
+    lower layer.
+    """
+    view = NFFG(id=view_id, name="single BiS-BiS view")
+    infra = view.add_infra(
+        "bisbis0", infra_type=InfraType.BISBIS, domain=DomainType.VIRTUAL,
+        resources=ResourceVector(cpu=cpu, mem=mem, storage=storage,
+                                 bandwidth=bandwidth, delay=delay),
+        supported_types=supported_types)
+    for tag in sap_tags:
+        infra.add_port(f"sap-{tag}", sap_tag=tag)
+        sap = view.add_sap(tag)
+        view.add_link(tag, list(sap.ports)[0], infra.id, f"sap-{tag}",
+                      id=f"lnk-{tag}", bandwidth=bandwidth)
+    return view
+
+
+def linear_substrate(num_nodes: int, *, id: str = "substrate",
+                     domain: DomainType = DomainType.INTERNAL,
+                     cpu: float = 16.0, mem: float = 16384.0,
+                     storage: float = 256.0, node_bw: float = 10_000.0,
+                     link_bw: float = 1_000.0, link_delay: float = 1.0,
+                     supported_types: Sequence[str] = ()) -> NFFG:
+    """A chain of BiS-BiS nodes with SAPs at both ends."""
+    view = NFFG(id=id)
+    previous = None
+    for index in range(num_nodes):
+        infra = view.add_infra(
+            f"{id}-bb{index}", domain=domain,
+            resources=ResourceVector(cpu=cpu, mem=mem, storage=storage,
+                                     bandwidth=node_bw, delay=0.1),
+            supported_types=supported_types)
+        if previous is not None:
+            port_a = previous.add_port(f"to-{infra.id}")
+            port_b = infra.add_port(f"to-{previous.id}")
+            view.add_link(previous.id, port_a.id, infra.id, port_b.id,
+                          bandwidth=link_bw, delay=link_delay)
+        previous = infra
+    first, last = view.infras[0], view.infras[-1]
+    for sap_id, infra in (("sap1", first), ("sap2", last)):
+        sap = view.add_sap(sap_id)
+        port = infra.add_port(f"sap-{sap_id}", sap_tag=sap_id)
+        view.add_link(sap_id, list(sap.ports)[0], infra.id, port.id,
+                      bandwidth=link_bw, delay=0.0)
+    return view
+
+
+def mesh_substrate(num_nodes: int, degree: int = 3, *, id: str = "mesh",
+                   seed: int = 1, domain: DomainType = DomainType.INTERNAL,
+                   cpu: float = 16.0, mem: float = 16384.0,
+                   link_bw: float = 1_000.0, link_delay: float = 1.0,
+                   supported_types: Sequence[str] = ()) -> NFFG:
+    """A random connected substrate (ring + chords) for scale benches."""
+    import random
+
+    rng = random.Random(seed)
+    view = NFFG(id=id)
+    for index in range(num_nodes):
+        view.add_infra(
+            f"{id}-bb{index}", domain=domain,
+            resources=ResourceVector(cpu=cpu, mem=mem, storage=256.0,
+                                     bandwidth=10_000.0, delay=0.1),
+            supported_types=supported_types)
+    infras = view.infras
+
+    def connect(a, b):
+        if view.link_between(a.id, b.id) is not None:
+            return
+        port_a = a.add_port(f"to-{b.id}")
+        port_b = b.add_port(f"to-{a.id}")
+        view.add_link(a.id, port_a.id, b.id, port_b.id,
+                      bandwidth=link_bw, delay=link_delay)
+
+    for index in range(num_nodes):
+        connect(infras[index], infras[(index + 1) % num_nodes])
+    extra = max(0, (degree - 2) * num_nodes // 2)
+    for _ in range(extra):
+        a, b = rng.sample(infras, 2)
+        connect(a, b)
+    sap_nodes = rng.sample(infras, min(2, num_nodes))
+    for i, infra in enumerate(sap_nodes, start=1):
+        sap_id = f"sap{i}"
+        sap = view.add_sap(sap_id)
+        port = infra.add_port(f"sap-{sap_id}", sap_tag=sap_id)
+        view.add_link(sap_id, list(sap.ports)[0], infra.id, port.id,
+                      bandwidth=link_bw, delay=0.0)
+    return view

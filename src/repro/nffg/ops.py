@@ -1,0 +1,197 @@
+"""Whole-graph NFFG operations used by the orchestration layers.
+
+- :func:`merge_nffgs` stitches per-domain views into one global view
+  (inter-domain SAP ports carrying the same ``sap_tag`` are fused with
+  an inter-domain static link);
+- :func:`split_per_domain` slices a mapped global NFFG back into one
+  install-NFFG per technology domain;
+- :func:`available_resources` / :func:`remaining_nffg` compute what is
+  left of a resource view after the currently placed NFs and reserved
+  SG hops are subtracted — this is what a virtualizer advertises
+  northbound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.nffg.graph import NFFG, NFFGError
+from repro.nffg.model import (
+    DomainType,
+    EdgeLink,
+    LinkType,
+    NodeInfra,
+    NodeNF,
+    ResourceVector,
+)
+
+
+def merge_nffgs(views: Iterable[NFFG], merged_id: str = "global-view") -> NFFG:
+    """Merge domain views into a single global resource view.
+
+    Node ids must be globally unique across domains (domain managers
+    prefix their node ids).  Infra ports tagged with the same
+    ``sap_tag`` on *different* nodes are connected with an inter-domain
+    link of zero cost; the tag is treated as the physical hand-off
+    between providers.
+    """
+    merged = NFFG(id=merged_id, name="merged global view")
+    tag_endpoints: dict[str, list[tuple[str, str]]] = {}
+    for view in views:
+        for node in view.nodes:
+            merged.add_node_copy(node)
+        for edge in view.edges:
+            merged.add_edge_copy(edge)
+        for infra in view.infras:
+            for port in infra.ports.values():
+                if port.sap_tag is not None:
+                    tag_endpoints.setdefault(port.sap_tag, []).append(
+                        (infra.id, port.id))
+    for tag, endpoints in sorted(tag_endpoints.items()):
+        if len(endpoints) < 2:
+            continue
+        if len(endpoints) > 2:
+            raise NFFGError(
+                f"sap_tag {tag!r} appears on {len(endpoints)} ports; "
+                "inter-domain tags must pair exactly two ports")
+        (node_a, port_a), (node_b, port_b) = endpoints
+        merged.add_link(node_a, port_a, node_b, port_b,
+                        id=f"interdomain-{tag}",
+                        delay=_INTERDOMAIN_DELAY, bandwidth=_INTERDOMAIN_BW)
+    return merged
+
+
+#: defaults for the stitched inter-domain links; real systems learn these
+#: from BGP-LS / peering contracts, the prototype hard-wires the peering.
+_INTERDOMAIN_DELAY = 1.0
+_INTERDOMAIN_BW = 10_000.0
+
+
+def split_per_domain(mapped: NFFG) -> dict[DomainType, NFFG]:
+    """Slice a mapped global NFFG into per-domain install graphs.
+
+    Each domain receives its own infra nodes, the NFs placed on them,
+    the dynamic links binding those NFs, intra-domain static links and
+    the flow rules already resident on its infra ports.  Inter-domain
+    links (endpoints in different domains) are dropped — the hand-off
+    is represented by sap-tagged ports on both sides.
+    """
+    domains: dict[DomainType, NFFG] = {}
+
+    def view_for(domain: DomainType) -> NFFG:
+        if domain not in domains:
+            domains[domain] = NFFG(id=f"{mapped.id}@{domain.value}",
+                                   name=f"install view for {domain.value}")
+        return domains[domain]
+
+    infra_domain: dict[str, DomainType] = {
+        infra.id: infra.domain for infra in mapped.infras}
+
+    for infra in mapped.infras:
+        view_for(infra.domain).add_node_copy(infra)
+
+    for nf in mapped.nfs:
+        host = mapped.host_of(nf.id)
+        if host is None:
+            continue
+        view_for(infra_domain[host]).add_node_copy(nf)
+
+    for sap in mapped.saps:
+        # A SAP belongs to every domain that has a port tagged with it.
+        for infra in mapped.infras:
+            for port in infra.ports.values():
+                if port.sap_tag == sap.id:
+                    view = view_for(infra.domain)
+                    if not view.has_node(sap.id):
+                        view.add_node_copy(sap)
+
+    for edge in mapped.edges:
+        if isinstance(edge, EdgeLink):
+            src_domain = infra_domain.get(edge.src_node)
+            dst_domain = infra_domain.get(edge.dst_node)
+            if edge.link_type == LinkType.STATIC:
+                if src_domain is not None and src_domain == dst_domain:
+                    view_for(src_domain).add_edge_copy(edge)
+                else:
+                    # SAP attachment links: keep when the domain view
+                    # holds both the SAP node and the infra endpoint
+                    domain = src_domain or dst_domain
+                    if domain is not None:
+                        view = view_for(domain)
+                        if (view.has_node(edge.src_node)
+                                and view.has_node(edge.dst_node)):
+                            view.add_edge_copy(edge)
+            else:  # dynamic: NF <-> infra
+                domain = dst_domain or src_domain
+                if domain is not None:
+                    view = view_for(domain)
+                    if view.has_node(edge.src_node) and view.has_node(edge.dst_node):
+                        view.add_edge_copy(edge)
+    return domains
+
+
+def consumed_resources(view: NFFG, infra_id: str) -> ResourceVector:
+    """Sum of resource demands of NFs currently placed on ``infra_id``."""
+    total = ResourceVector()
+    for nf in view.nfs_on(infra_id):
+        total = total + nf.resources
+    return total
+
+
+def available_resources(view: NFFG, infra_id: str) -> ResourceVector:
+    """Capacity minus consumption for one infra node."""
+    infra = view.infra(infra_id)
+    return infra.resources - consumed_resources(view, infra_id)
+
+
+def remaining_nffg(view: NFFG, new_id: Optional[str] = None) -> NFFG:
+    """A copy of ``view`` whose infra capacities are the *free* resources
+    and link bandwidths the *unreserved* bandwidths.
+
+    This is the graph a virtualizer exposes northbound: the client plans
+    against what is actually left.
+    """
+    result = view.copy(new_id or f"{view.id}-remaining")
+    for infra in result.infras:
+        free = available_resources(result, infra.id)
+        infra.resources = ResourceVector(
+            cpu=max(free.cpu, 0.0), mem=max(free.mem, 0.0),
+            storage=max(free.storage, 0.0),
+            bandwidth=max(infra.resources.bandwidth, 0.0),
+            delay=infra.resources.delay)
+    for link in result.links:
+        link.bandwidth = max(link.available_bandwidth, 0.0)
+        link.reserved = 0.0
+    return result
+
+
+def strip_deployment(view: NFFG, new_id: Optional[str] = None) -> NFFG:
+    """Remove NFs, dynamic links, SG hops and flow rules: bare topology."""
+    result = view.copy(new_id or f"{view.id}-bare")
+    for req in list(result.requirements):
+        result.remove_edge(req.id)
+    for hop in list(result.sg_hops):
+        result.remove_edge(hop.id)
+    for edge in list(result.dynamic_links):
+        result.remove_edge(edge.id)
+    for nf in list(result.nfs):
+        result.remove_node(nf.id)
+    result.clear_flowrules()
+    for link in result.links:
+        link.reserved = 0.0
+    # drop NF-binding ports created by place_nf
+    for infra in result.infras:
+        dangling = [pid for pid, port in infra.ports.items()
+                    if pid.count("-") and not port.sap_tag
+                    and not _port_used(result, infra.id, pid)]
+        for pid in dangling:
+            del infra.ports[pid]
+    return result
+
+
+def _port_used(view: NFFG, node_id: str, port_id: str) -> bool:
+    for edge in view.edges:
+        if ((edge.src_node == node_id and edge.src_port == port_id)
+                or (edge.dst_node == node_id and edge.dst_port == port_id)):
+            return True
+    return False

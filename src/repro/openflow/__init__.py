@@ -1,0 +1,70 @@
+"""OpenFlow-like control channel.
+
+Reproduces the OpenFlow 1.x control discipline the prototype uses for
+its SDN and Mininet domains: a controller endpoint and switch agents
+exchange typed messages (features, flow-mods, packet-in/out, barriers,
+stats) over byte-counted in-memory channels; switches keep priority-
+ordered flow tables and punt table misses to their controller.
+"""
+
+from repro.openflow.messages import (
+    Action,
+    ActionOutput,
+    ActionPopVlan,
+    ActionPushVlan,
+    ActionSetField,
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
+    Match,
+    OFMessage,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+)
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.channel import ControlChannel, ChannelStats
+from repro.openflow.switch import OpenFlowSwitch
+from repro.openflow.controller import ControllerEndpoint
+
+__all__ = [
+    "Action",
+    "ActionOutput",
+    "ActionPopVlan",
+    "ActionPushVlan",
+    "ActionSetField",
+    "BarrierReply",
+    "BarrierRequest",
+    "EchoReply",
+    "EchoRequest",
+    "FeaturesReply",
+    "FeaturesRequest",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowRemoved",
+    "FlowStatsReply",
+    "FlowStatsRequest",
+    "Match",
+    "OFMessage",
+    "PacketIn",
+    "PacketOut",
+    "PortStatus",
+    "OFPP_CONTROLLER",
+    "OFPP_FLOOD",
+    "FlowEntry",
+    "FlowTable",
+    "ControlChannel",
+    "ChannelStats",
+    "OpenFlowSwitch",
+    "ControllerEndpoint",
+]

@@ -1,0 +1,54 @@
+"""ESCAPEv2-style layered orchestration framework.
+
+The paper's architecture (Fig. 1) stacks three layers:
+
+1. **Service layer** — user-facing; turns service requests into service
+   graphs (see :mod:`repro.service`);
+2. **Resource orchestration layer** — the resource orchestrator (RO)
+   maps client configurations onto the underlying virtualizer's view
+   (:class:`ResourceOrchestrator`);
+3. **Controller adaptation layer** — domain managers/adapters that
+   translate the mapped configuration into each technology domain's
+   native control protocol (:mod:`repro.orchestration.adapters`).
+
+:class:`EscapeOrchestrator` composes the three and implements the
+recursive **Unify interface** at its north and south boundaries, so a
+whole orchestrator can serve as a single domain of a parent
+orchestrator (:class:`UnifyDomainAdapter`) — the paper's "multi-level
+control hierarchy".
+"""
+
+from repro.orchestration.report import AdapterReport, DeployReport
+from repro.orchestration.adapters import (
+    CloudDomainAdapter,
+    DirectDomainAdapter,
+    DomainAdapter,
+    EmuDomainAdapter,
+    SdnDomainAdapter,
+    UNDomainAdapter,
+)
+from repro.orchestration.ro import ResourceOrchestrator
+from repro.orchestration.cal import ControllerAdaptationLayer
+from repro.orchestration.escape import EscapeOrchestrator
+from repro.orchestration.unify import (
+    UnifyAgent,
+    UnifyDomainAdapter,
+    service_from_virtual_install,
+)
+
+__all__ = [
+    "AdapterReport",
+    "DeployReport",
+    "DomainAdapter",
+    "DirectDomainAdapter",
+    "EmuDomainAdapter",
+    "SdnDomainAdapter",
+    "CloudDomainAdapter",
+    "UNDomainAdapter",
+    "ResourceOrchestrator",
+    "ControllerAdaptationLayer",
+    "EscapeOrchestrator",
+    "UnifyAgent",
+    "UnifyDomainAdapter",
+    "service_from_virtual_install",
+]

@@ -1,0 +1,264 @@
+"""Controller adaptation layer: domain adapters.
+
+"At the infrastructure level, different technologies are supported and
+integrated with the framework" — each adapter translates the abstract
+install-NFFG of its domain into native control operations:
+
+- :class:`EmuDomainAdapter` — NETCONF edit-config/commit toward the
+  Mininet-like domain's local orchestrator;
+- :class:`SdnDomainAdapter` — "a POX controller and a corresponding
+  adapter module": programs legacy switches through POX;
+- :class:`CloudDomainAdapter` — NETCONF toward the UNIFY-conform local
+  orchestrator running on top of OpenStack+ODL;
+- :class:`UNDomainAdapter` — NETCONF toward the UN local orchestrator.
+
+(The recursion adapter, :class:`~repro.orchestration.unify.UnifyDomainAdapter`,
+lives in :mod:`repro.orchestration.unify`.)
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional
+
+from repro.cloud.domain import CloudDomain, CloudLocalOrchestrator
+from repro.emu.domain import EmulatedDomain
+from repro.emu.orchestrator import EmuDomainOrchestrator
+from repro.infra.flowprog import program_infra_flows
+from repro.netconf.client import NetconfClient
+from repro.netconf.server import NetconfServer
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType
+from repro.nffg.serialize import nffg_to_dict
+from repro.openflow.channel import ControlChannel
+from repro.orchestration.report import AdapterReport
+from repro.sdnnet.domain import SDNDomain
+from repro.un.domain import UniversalNodeDomain, UNLocalOrchestrator
+
+
+class DomainAdapter(abc.ABC):
+    """One managed technology domain, as seen by the adaptation layer."""
+
+    def __init__(self, name: str, domain_type: DomainType):
+        self.name = name
+        self.domain_type = domain_type
+        self.installs = 0
+
+    @abc.abstractmethod
+    def get_view(self) -> NFFG:
+        """The domain's pristine resource view (capacity, topology)."""
+
+    @abc.abstractmethod
+    def _push(self, install: NFFG) -> None:
+        """Push a (cumulative) install graph; raise on failure."""
+
+    def install(self, install: NFFG) -> AdapterReport:
+        started = time.perf_counter()
+        baseline_msgs, baseline_bytes = self.control_stats()
+        report = AdapterReport(
+            domain=self.name, success=True,
+            nfs_requested=len(install.nfs),
+            flowrules_requested=install.summary()["flowrules"])
+        try:
+            self._push(install)
+            self.installs += 1
+        except Exception as exc:  # noqa: BLE001 - adapter fault isolation
+            report.success = False
+            report.error = f"{type(exc).__name__}: {exc}"
+        report.push_time_s = time.perf_counter() - started
+        msgs, octets = self.control_stats()
+        report.control_messages = msgs - baseline_msgs
+        report.control_bytes = octets - baseline_bytes
+        return report
+
+    def teardown(self) -> None:
+        """Remove everything this adapter deployed (default: push empty)."""
+        empty = NFFG(id=f"{self.name}-empty")
+        self._push(empty)
+
+    def control_stats(self) -> tuple[int, int]:
+        """(total control messages, total control bytes) so far."""
+        return 0, 0
+
+    def ready(self) -> bool:
+        """True when all requested NFs are up."""
+        return True
+
+    def flow_stats(self) -> dict[str, tuple[int, int]]:
+        """Dataplane counters keyed by flow cookie (hop id):
+        ``{cookie: (packets, bytes)}``.  Default: none."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ({self.domain_type.value})>"
+
+
+def _collect_endpoint_stats(endpoint) -> dict[str, tuple[int, int]]:
+    """Poll every switch of a controller endpoint for flow stats and
+    fold them per cookie (max across switches: the ingress switch of a
+    hop sees every packet of that hop)."""
+    stats: dict[str, tuple[int, int]] = {}
+    for dpid in endpoint.connected_dpids():
+        endpoint.request_flow_stats(dpid)
+        reply = endpoint.flow_stats(dpid)
+        if reply is None:
+            continue
+        for entry in reply.entries:
+            cookie = entry.get("cookie")
+            if not cookie:
+                continue
+            packets, octets = stats.get(cookie, (0, 0))
+            stats[cookie] = (max(packets, entry.get("packets", 0)),
+                             max(octets, entry.get("bytes", 0)))
+    return stats
+
+
+class _NetconfAdapter(DomainAdapter):
+    """Shared NETCONF client plumbing for NETCONF-managed domains."""
+
+    def __init__(self, name: str, domain_type: DomainType,
+                 server: NetconfServer):
+        super().__init__(name, domain_type)
+        self.channel = ControlChannel(f"{name}-mgmt")
+        server.bind(self.channel)
+        self.client = NetconfClient(f"{name}-client", self.channel)
+        self.client.hello()
+
+    def _push(self, install: NFFG) -> None:
+        config = {"nffg": nffg_to_dict(install)}
+        self.client.edit_config(config, target="candidate",
+                                operation="replace")
+        self.client.validate("candidate")
+        self.client.commit()
+
+    def control_stats(self) -> tuple[int, int]:
+        return self.channel.stats.messages, self.channel.stats.bytes
+
+
+class EmuDomainAdapter(_NetconfAdapter):
+    """Mininet-like domain over NETCONF (+ the domain's own OF channels)."""
+
+    def __init__(self, name: str, domain: EmulatedDomain,
+                 orchestrator: Optional[EmuDomainOrchestrator] = None):
+        self.domain = domain
+        self.orchestrator = orchestrator or EmuDomainOrchestrator(domain)
+        super().__init__(name, DomainType.INTERNAL, self.orchestrator)
+
+    def get_view(self) -> NFFG:
+        return self.domain.domain_view()
+
+    def control_stats(self) -> tuple[int, int]:
+        of_stats = self.orchestrator.controller.total_stats()
+        return (self.channel.stats.messages + of_stats.messages,
+                self.channel.stats.bytes + of_stats.bytes)
+
+    def ready(self) -> bool:
+        return True  # Click processes attach synchronously on commit
+
+    def flow_stats(self) -> dict[str, tuple[int, int]]:
+        return _collect_endpoint_stats(self.orchestrator.controller)
+
+
+class SdnDomainAdapter(DomainAdapter):
+    """POX adapter for the legacy OpenFlow network.
+
+    The mapped NFFG contains per-switch flow rules; the adapter programs
+    them through the POX controller endpoint, one FlowMod per rule, and
+    keeps l2-style defaults out of the way with higher priorities.
+    """
+
+    def __init__(self, name: str, domain: SDNDomain):
+        super().__init__(name, DomainType.SDN)
+        self.domain = domain
+        self._installed_dpids: set[str] = set()
+
+    def get_view(self) -> NFFG:
+        return self.domain.domain_view()
+
+    def _push(self, install: NFFG) -> None:
+        endpoint = self.domain.pox.endpoint
+        for dpid in self._installed_dpids:
+            endpoint.delete_flows(dpid)
+        self._installed_dpids.clear()
+        for infra in install.infras:
+            if infra.id not in self.domain.switches:
+                raise KeyError(f"unknown SDN switch {infra.id!r}")
+            program_infra_flows(endpoint, infra.id, infra)
+            endpoint.barrier(infra.id)
+            self._installed_dpids.add(infra.id)
+
+    def control_stats(self) -> tuple[int, int]:
+        stats = self.domain.pox.endpoint.total_stats()
+        return stats.messages, stats.bytes
+
+    def flow_stats(self) -> dict[str, tuple[int, int]]:
+        return _collect_endpoint_stats(self.domain.pox.endpoint)
+
+
+class CloudDomainAdapter(_NetconfAdapter):
+    """OpenStack+ODL domain via its UNIFY-conform local orchestrator."""
+
+    def __init__(self, name: str, domain: CloudDomain,
+                 orchestrator: Optional[CloudLocalOrchestrator] = None):
+        self.domain = domain
+        self.orchestrator = orchestrator or CloudLocalOrchestrator(domain)
+        super().__init__(name, DomainType.OPENSTACK, self.orchestrator)
+
+    def get_view(self) -> NFFG:
+        return self.domain.domain_view()
+
+    def control_stats(self) -> tuple[int, int]:
+        odl_stats = self.domain.odl.endpoint.total_stats()
+        return (self.channel.stats.messages + odl_stats.messages,
+                self.channel.stats.bytes + odl_stats.bytes)
+
+    def ready(self) -> bool:
+        return self.orchestrator.all_vms_active()
+
+    def flow_stats(self) -> dict[str, tuple[int, int]]:
+        return _collect_endpoint_stats(self.domain.odl.endpoint)
+
+
+class UNDomainAdapter(_NetconfAdapter):
+    """Universal Node via its local orchestrator."""
+
+    def __init__(self, name: str, domain: UniversalNodeDomain,
+                 orchestrator: Optional[UNLocalOrchestrator] = None):
+        self.domain = domain
+        self.orchestrator = orchestrator or UNLocalOrchestrator(domain)
+        super().__init__(name, DomainType.UN, self.orchestrator)
+
+    def get_view(self) -> NFFG:
+        return self.domain.domain_view()
+
+    def control_stats(self) -> tuple[int, int]:
+        of_stats = self.orchestrator.controller.total_stats()
+        return (self.channel.stats.messages + of_stats.messages,
+                self.channel.stats.bytes + of_stats.bytes)
+
+    def ready(self) -> bool:
+        return self.orchestrator.all_containers_running()
+
+    def flow_stats(self) -> dict[str, tuple[int, int]]:
+        return _collect_endpoint_stats(self.orchestrator.controller)
+
+
+class DirectDomainAdapter(DomainAdapter):
+    """Adapter over a static NFFG view with no dataplane behind it.
+
+    Used in unit tests and pure-mapping benchmarks where only the
+    orchestration logic is under study.
+    """
+
+    def __init__(self, name: str, view: NFFG,
+                 domain_type: DomainType = DomainType.INTERNAL):
+        super().__init__(name, domain_type)
+        self._view = view
+        self.installed: list[NFFG] = []
+
+    def get_view(self) -> NFFG:
+        return self._view.copy()
+
+    def _push(self, install: NFFG) -> None:
+        self.installed.append(install)

@@ -1,0 +1,150 @@
+"""Controller adaptation layer (CAL).
+
+Owns the registered domain adapters, builds the **Domain Virtualizer's
+global view (DoV)** by merging the per-domain views (inter-domain
+sap-tagged ports become stitched links), keeps the DoV up to date as
+services are deployed/torn down, and fans mapped configurations out to
+the adapters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mapping.base import MappingContext, MappingResult
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType
+from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
+from repro.orchestration.adapters import DomainAdapter
+from repro.orchestration.report import AdapterReport
+
+
+class ControllerAdaptationLayer:
+    """Adapter registry + DoV maintenance + install fan-out."""
+
+    def __init__(self) -> None:
+        self.adapters: dict[str, DomainAdapter] = {}
+        self._dov: Optional[NFFG] = None
+        #: deployed services: service id -> (service graph, mapping result)
+        self._deployed: dict[str, tuple[NFFG, MappingResult]] = {}
+
+    # -- adapter registry ---------------------------------------------------
+
+    def register(self, adapter: DomainAdapter) -> DomainAdapter:
+        if adapter.name in self.adapters:
+            raise ValueError(f"duplicate adapter {adapter.name!r}")
+        self.adapters[adapter.name] = adapter
+        self._dov = None  # topology changed, rebuild lazily
+        return adapter
+
+    def adapters_for(self, domain_type: DomainType) -> list[DomainAdapter]:
+        return [adapter for adapter in self.adapters.values()
+                if adapter.domain_type == domain_type]
+
+    # -- global view --------------------------------------------------------------
+
+    def pristine_view(self) -> NFFG:
+        """Merge of all current adapter views (no deployment state)."""
+        views = [adapter.get_view() for adapter in self.adapters.values()]
+        if not views:
+            return NFFG(id="dov-empty")
+        return merge_nffgs(views, merged_id="dov")
+
+    @property
+    def dov(self) -> NFFG:
+        """The global view including everything deployed so far."""
+        if self._dov is None:
+            self._dov = self._rebuild_dov()
+        return self._dov
+
+    def _rebuild_dov(self) -> NFFG:
+        dov = self.pristine_view()
+        for service, result in self._deployed.values():
+            dov = _apply_mapping(dov, service, result)
+        return dov
+
+    def resource_view(self) -> NFFG:
+        """What the RO should map against: remaining resources."""
+        return remaining_nffg(self.dov, new_id="dov-remaining")
+
+    # -- deployment ---------------------------------------------------------------------
+
+    def commit_mapping(self, service_id: str, service: NFFG,
+                       result: MappingResult) -> None:
+        """Record a successful mapping into the DoV."""
+        self._dov = _apply_mapping(self.dov, service, result)
+        self._deployed[service_id] = (service, result)
+
+    def remove_service(self, service_id: str) -> bool:
+        if service_id not in self._deployed:
+            return False
+        del self._deployed[service_id]
+        self._dov = None
+        return True
+
+    def snapshot_service(self, service_id: str) -> tuple[NFFG, MappingResult]:
+        """The (service graph, mapping) pair recorded for a service."""
+        return self._deployed[service_id]
+
+    def restore_service(self, service_id: str,
+                        snapshot: tuple[NFFG, MappingResult]) -> None:
+        """Put a previously snapshotted service back (rollback path)."""
+        self._deployed[service_id] = snapshot
+        self._dov = None
+
+    def deployed_services(self) -> list[str]:
+        return list(self._deployed)
+
+    def push_all(self) -> list[AdapterReport]:
+        """Push the cumulative per-domain configuration to every domain.
+
+        Domain orchestrators reconcile against the full config, so the
+        push is idempotent and also serves teardown (a domain that no
+        longer appears gets an empty graph).
+        """
+        per_domain = split_per_domain(self.dov)
+        reports: list[AdapterReport] = []
+        for adapter in self.adapters.values():
+            install = per_domain.get(adapter.domain_type)
+            install = self._slice_for(adapter, install)
+            reports.append(adapter.install(install))
+        return reports
+
+    def _slice_for(self, adapter: DomainAdapter,
+                   install: Optional[NFFG]) -> NFFG:
+        """Restrict a domain-type slice to the adapter's own nodes
+        (two adapters may share a DomainType)."""
+        if install is None:
+            return NFFG(id=f"{adapter.name}-empty")
+        own_nodes = {infra.id for infra in adapter.get_view().infras}
+        foreign = [infra.id for infra in install.infras
+                   if infra.id not in own_nodes]
+        if not foreign:
+            return install
+        sliced = install.copy(f"{install.id}@{adapter.name}")
+        for infra_id in foreign:
+            for nf in sliced.nfs_on(infra_id):
+                sliced.remove_node(nf.id)
+            sliced.remove_node(infra_id)
+        return sliced
+
+    def ready(self) -> bool:
+        return all(adapter.ready() for adapter in self.adapters.values())
+
+    def control_totals(self) -> tuple[int, int]:
+        messages = octets = 0
+        for adapter in self.adapters.values():
+            m, b = adapter.control_stats()
+            messages += m
+            octets += b
+        return messages, octets
+
+
+def _apply_mapping(dov: NFFG, service: NFFG, result: MappingResult) -> NFFG:
+    """Replay a mapping's placements/routes/flowrules onto the DoV."""
+    ctx = MappingContext(service, dov)
+    for nf_id, infra_id in result.nf_placement.items():
+        ctx.place(nf_id, infra_id)
+    for route in result.hop_routes.values():
+        ctx.record_route(route)
+    return ctx.commit(mapped_id=dov.id)

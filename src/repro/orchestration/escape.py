@@ -1,0 +1,317 @@
+"""The ESCAPEv2 facade: service deployment over registered domains.
+
+An :class:`EscapeOrchestrator` is the complete stack of Fig. 1's red
+boxes for one administrative level: it accepts service graphs, maps
+them with its RO onto the CAL's global view, pushes the result to every
+technology domain and tracks lifecycle.  Its north side speaks the
+Unify interface (see :mod:`repro.orchestration.unify`), so instances
+stack recursively.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.mapping.base import Embedder
+from repro.mapping.decomposition import DecompositionLibrary
+from repro.nffg.graph import NFFG
+from repro.orchestration.cal import ControllerAdaptationLayer
+from repro.orchestration.adapters import DomainAdapter
+from repro.orchestration.report import DeployReport
+from repro.orchestration.ro import ResourceOrchestrator
+from repro.sim.kernel import Simulator
+
+
+class EscapeOrchestrator:
+    """Service layer entry point + RO + CAL, composed."""
+
+    def __init__(self, name: str = "escape", *,
+                 embedder: Optional[Embedder] = None,
+                 decomposition_library: Optional[DecompositionLibrary] = None,
+                 simulator: Optional[Simulator] = None):
+        self.name = name
+        self.ro = ResourceOrchestrator(
+            embedder=embedder, decomposition_library=decomposition_library)
+        self.cal = ControllerAdaptationLayer()
+        self.simulator = simulator
+        self.reports: dict[str, DeployReport] = {}
+
+    # -- domain management ---------------------------------------------------
+
+    def add_domain(self, adapter: DomainAdapter) -> DomainAdapter:
+        return self.cal.register(adapter)
+
+    def global_view(self) -> NFFG:
+        return self.cal.dov
+
+    def resource_view(self) -> NFFG:
+        return self.cal.resource_view()
+
+    # -- service lifecycle -----------------------------------------------------
+
+    def deploy(self, service: NFFG, *,
+               wait_activation: bool = True,
+               max_activation_ms: float = 60_000.0) -> DeployReport:
+        """Map + deploy a service graph across all domains.
+
+        Runs the shared simulator (when present) until every NF
+        reported up, so callers can inject traffic right away.
+        """
+        started = time.perf_counter()
+        report = DeployReport(service_id=service.id, success=False)
+        if service.id in self.cal.deployed_services():
+            report.error = f"service {service.id!r} already deployed"
+            report.total_time_s = time.perf_counter() - started
+            self.reports[service.id] = report
+            return report
+
+        conflicts = ([nf.id for nf in service.nfs
+                      if self.cal.dov.has_node(nf.id)]
+                     + [edge.id for edge in service.edges
+                        if self.cal.dov.has_edge(edge.id)])
+        if conflicts:
+            report.error = ("service element ids collide with deployed "
+                            f"state: {sorted(set(conflicts))} — NF and edge "
+                            "ids must be unique across services")
+            report.total_time_s = time.perf_counter() - started
+            self.reports[service.id] = report
+            return report
+
+        view_started = time.perf_counter()
+        view = self.cal.resource_view()
+        report.view_time_s = time.perf_counter() - view_started
+
+        result = self.ro.orchestrate(service, view)
+        report.mapping = result
+        report.mapping_time_s = result.runtime_s
+        if not result.success:
+            report.error = f"mapping failed: {result.failure_reason}"
+            report.total_time_s = time.perf_counter() - started
+            self.reports[service.id] = report
+            return report
+
+        effective_service = result.service if result.service is not None \
+            else service
+        self.cal.commit_mapping(service.id, effective_service, result)
+        push_started = time.perf_counter()
+        adapter_reports = self.cal.push_all()
+        report.push_time_s = time.perf_counter() - push_started
+        report.adapters = adapter_reports
+        report.domains_touched = len(
+            {self.cal.dov.infra(infra_id).domain
+             for infra_id in result.nf_placement.values()})
+        failures = [r for r in adapter_reports if not r.success]
+        if failures:
+            self.cal.remove_service(service.id)
+            self.cal.push_all()
+            report.error = "; ".join(f"{r.domain}: {r.error}"
+                                     for r in failures)
+            report.total_time_s = time.perf_counter() - started
+            self.reports[service.id] = report
+            return report
+
+        if wait_activation:
+            report.activation_virtual_ms = self._wait_activation(
+                max_activation_ms)
+        report.success = True
+        report.total_time_s = time.perf_counter() - started
+        self.reports[service.id] = report
+        return report
+
+    def _wait_activation(self, max_ms: float) -> float:
+        if self.simulator is None:
+            return 0.0
+        start = self.simulator.now
+        deadline = start + max_ms
+        while not self.cal.ready():
+            next_time = self.simulator.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.simulator.step()
+        # let in-flight dataplane/control events settle
+        self.simulator.run()
+        return self.simulator.now - start
+
+    def teardown(self, service_id: str) -> bool:
+        """Remove a deployed service and reconcile every domain."""
+        if not self.cal.remove_service(service_id):
+            return False
+        self.cal.push_all()
+        if self.simulator is not None:
+            self.simulator.run()
+        self.reports.pop(service_id, None)
+        return True
+
+    def deployed_services(self) -> list[str]:
+        return self.cal.deployed_services()
+
+    # -- dynamic operation -----------------------------------------------
+
+    def update(self, service: NFFG) -> DeployReport:
+        """Replace a deployed service with a new version, atomically
+        from the tenant's perspective.
+
+        The new version is mapped against a view *without* the old one;
+        if mapping fails the old version keeps running untouched and
+        the failure is reported.  On success one reconciliation push
+        swaps the versions — domain orchestrators keep NFs whose ids
+        did not change running across the swap.
+        """
+        if service.id not in self.cal.deployed_services():
+            return self.deploy(service)
+        snapshot = self.cal.snapshot_service(service.id)
+        self.cal.remove_service(service.id)
+        view = self.cal.resource_view()
+        result = self.ro.orchestrate(service, view)
+        if not result.success:
+            self.cal.restore_service(service.id, snapshot)
+            report = DeployReport(
+                service_id=service.id, success=False,
+                mapping=result,
+                error=(f"update rejected, previous version kept: "
+                       f"{result.failure_reason}"))
+            return report
+        effective = result.service if result.service is not None else service
+        self.cal.commit_mapping(service.id, effective, result)
+        adapter_reports = self.cal.push_all()
+        if self.simulator is not None:
+            self._wait_activation(60_000.0)
+        report = DeployReport(service_id=service.id, success=True,
+                              mapping=result, adapters=adapter_reports)
+        self.reports[service.id] = report
+        return report
+
+    def heal(self) -> dict[str, DeployReport]:
+        """Re-map services broken by topology changes (e.g. link
+        failures) against the current domain views.
+
+        Domain views are re-fetched; any deployed service whose routes
+        use a link that no longer exists is re-embedded and re-pushed.
+        Returns per-service reports for everything re-mapped.
+        """
+        fresh = self.cal.pristine_view()
+        broken: list[str] = []
+        for service_id in self.cal.deployed_services():
+            _, result = self.cal.snapshot_service(service_id)
+            uses_missing = any(
+                not fresh.has_edge(link_id)
+                for route in result.hop_routes.values()
+                for link_id in route.link_ids)
+            if uses_missing:
+                broken.append(service_id)
+        reports: dict[str, DeployReport] = {}
+        if not broken:
+            return reports
+        snapshots = {service_id: self.cal.snapshot_service(service_id)
+                     for service_id in broken}
+        for service_id in broken:
+            self.cal.remove_service(service_id)
+        for service_id in broken:
+            original_service, _ = snapshots[service_id]
+            view = self.cal.resource_view()
+            result = self.ro.orchestrate(original_service, view)
+            if result.success:
+                effective = (result.service if result.service is not None
+                             else original_service)
+                self.cal.commit_mapping(service_id, effective, result)
+                reports[service_id] = DeployReport(
+                    service_id=service_id, success=True, mapping=result)
+            else:
+                reports[service_id] = DeployReport(
+                    service_id=service_id, success=False, mapping=result,
+                    error=f"heal failed: {result.failure_reason}")
+        adapter_reports = self.cal.push_all()
+        for report in reports.values():
+            report.adapters = adapter_reports
+        if self.simulator is not None:
+            self._wait_activation(60_000.0)
+        return reports
+
+    # -- state persistence (controller restart / failover) -----------------
+
+    def export_state(self) -> dict:
+        """Serialize deployed-service state (JSON-compatible).
+
+        Captures each service's graph, NF placements and hop routes —
+        everything a fresh controller instance needs to resume
+        ownership of the same domains without re-planning.
+        """
+        from repro.nffg.serialize import nffg_to_dict
+
+        services = {}
+        for service_id in self.cal.deployed_services():
+            service, result = self.cal.snapshot_service(service_id)
+            services[service_id] = {
+                "service": nffg_to_dict(service),
+                "placement": dict(result.nf_placement),
+                "routes": {hop_id: {
+                    "infra_path": list(route.infra_path),
+                    "link_ids": list(route.link_ids),
+                    "delay": route.delay,
+                    "bandwidth": route.bandwidth,
+                } for hop_id, route in result.hop_routes.items()},
+                "decompositions": dict(result.decompositions),
+            }
+        return {"orchestrator": self.name, "services": services}
+
+    def import_state(self, state: dict, *, push: bool = True) -> list[str]:
+        """Restore exported state into this (empty) orchestrator.
+
+        Placements and routes are replayed verbatim (no re-mapping);
+        with ``push`` the domains are reconciled immediately, which is
+        a no-op on domains that still hold the configuration.
+        """
+        from repro.mapping.base import HopRoute, MappingResult
+        from repro.nffg.serialize import nffg_from_dict
+
+        if self.cal.deployed_services():
+            raise RuntimeError("import_state requires an empty orchestrator")
+        restored: list[str] = []
+        for service_id, data in state.get("services", {}).items():
+            service = nffg_from_dict(data["service"])
+            routes = {hop_id: HopRoute(hop_id=hop_id,
+                                       infra_path=list(r["infra_path"]),
+                                       link_ids=list(r["link_ids"]),
+                                       delay=float(r["delay"]),
+                                       bandwidth=float(r["bandwidth"]))
+                      for hop_id, r in data.get("routes", {}).items()}
+            result = MappingResult(
+                success=True, service=service,
+                nf_placement=dict(data.get("placement", {})),
+                hop_routes=routes,
+                decompositions=dict(data.get("decompositions", {})))
+            self.cal.commit_mapping(service_id, service, result)
+            restored.append(service_id)
+        if push and restored:
+            self.cal.push_all()
+            if self.simulator is not None:
+                self._wait_activation(60_000.0)
+        return restored
+
+    def service_flow_stats(self, service_id: str) -> dict[str, dict[str, int]]:
+        """Per-SG-hop dataplane counters for a deployed service.
+
+        Polls every domain's switches for flow statistics and keys them
+        by the hop id carried in the flow cookies.  For a hop traversing
+        several switches, the maximum per-switch counter is reported
+        (the ingress sees every packet of the hop).
+        """
+        if service_id not in self.cal.deployed_services():
+            return {}
+        _, result = self.cal.snapshot_service(service_id)
+        wanted = set(result.hop_routes)
+        totals: dict[str, dict[str, int]] = {
+            hop_id: {"packets": 0, "bytes": 0} for hop_id in wanted}
+        for adapter in self.cal.adapters.values():
+            for cookie, (packets, octets) in adapter.flow_stats().items():
+                if cookie in wanted:
+                    entry = totals[cookie]
+                    entry["packets"] = max(entry["packets"], packets)
+                    entry["bytes"] = max(entry["bytes"], octets)
+        return totals
+
+    def __repr__(self) -> str:
+        return (f"<EscapeOrchestrator {self.name}: "
+                f"{len(self.cal.adapters)} domains, "
+                f"{len(self.cal.deployed_services())} services>")

@@ -1,0 +1,66 @@
+"""Deployment reports: what happened, where the time went, what it cost
+on the control plane.  These are the primary measurement artifacts of
+the DEMO-ii benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mapping.base import MappingResult
+
+
+@dataclass
+class AdapterReport:
+    """Result of pushing one domain's install graph."""
+
+    domain: str
+    success: bool
+    error: str = ""
+    #: wall-clock seconds spent in the adapter call
+    push_time_s: float = 0.0
+    control_messages: int = 0
+    control_bytes: int = 0
+    nfs_requested: int = 0
+    flowrules_requested: int = 0
+
+
+@dataclass
+class DeployReport:
+    """End-to-end outcome of one service deployment."""
+
+    service_id: str
+    success: bool
+    error: str = ""
+    mapping: Optional[MappingResult] = None
+    adapters: list[AdapterReport] = field(default_factory=list)
+    #: wall-clock phase timings (seconds)
+    view_time_s: float = 0.0
+    mapping_time_s: float = 0.0
+    push_time_s: float = 0.0
+    total_time_s: float = 0.0
+    #: virtual milliseconds until all NFs were up (boot latency)
+    activation_virtual_ms: float = 0.0
+    domains_touched: int = 0
+
+    @property
+    def control_messages(self) -> int:
+        return sum(report.control_messages for report in self.adapters)
+
+    @property
+    def control_bytes(self) -> int:
+        return sum(report.control_bytes for report in self.adapters)
+
+    def __bool__(self) -> bool:
+        return self.success
+
+    def summary_line(self) -> str:
+        if not self.success:
+            return f"{self.service_id}: FAILED ({self.error})"
+        placement = (len(self.mapping.nf_placement)
+                     if self.mapping is not None else 0)
+        return (f"{self.service_id}: OK — {placement} NFs over "
+                f"{self.domains_touched} domains, map {self.mapping_time_s * 1e3:.1f} ms, "
+                f"push {self.push_time_s * 1e3:.1f} ms, "
+                f"{self.control_messages} ctrl msgs / {self.control_bytes} B, "
+                f"activation {self.activation_virtual_ms:.0f} vms")

@@ -1,0 +1,75 @@
+"""The resource orchestration layer.
+
+"The task of the resource orchestrator is to map the configurations of
+different client virtualizations to a configuration at the underlying
+domain virtualizer."  The RO wraps a pluggable embedder and (optionally)
+the NF decomposition library, and validates every mapping independently
+before it is allowed to reach any domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mapping.base import Embedder, MappingResult
+from repro.mapping.decomposition import (
+    DecompositionLibrary,
+    map_with_decomposition,
+)
+from repro.mapping.greedy import GreedyEmbedder
+from repro.mapping.validate import validate_mapping
+from repro.nffg.graph import NFFG
+
+
+class ResourceOrchestrator:
+    """Embedding + decomposition + verification, behind one call."""
+
+    def __init__(self, embedder: Optional[Embedder] = None,
+                 decomposition_library: Optional[DecompositionLibrary] = None,
+                 max_decomposition_options: int = 16,
+                 verify: bool = True):
+        self.embedder = embedder or GreedyEmbedder()
+        self.decomposition_library = decomposition_library
+        self.max_decomposition_options = max_decomposition_options
+        self.verify = verify
+        self.mappings_attempted = 0
+        self.mappings_succeeded = 0
+
+    def orchestrate(self, service: NFFG, resource_view: NFFG) -> MappingResult:
+        """Map a service graph onto a resource view.
+
+        When a decomposition library is configured, abstract NFs are
+        expanded and alternatives tried cheapest-first.  The winning
+        mapping is re-validated from scratch (defense against embedder
+        bugs) before being returned as successful.
+        """
+        self.mappings_attempted += 1
+        if self.decomposition_library is not None:
+            result = map_with_decomposition(
+                self.embedder, service, resource_view,
+                self.decomposition_library,
+                max_options=self.max_decomposition_options)
+        else:
+            result = self.embedder.map(service, resource_view)
+        if result.success and self.verify:
+            effective_service = result.service if result.service is not None \
+                else service
+            problems = validate_mapping(effective_service, resource_view,
+                                        result)
+            if problems:
+                result.success = False
+                result.failure_reason = ("mapping verification failed: "
+                                         + "; ".join(problems))
+        if result.success:
+            self.mappings_succeeded += 1
+        return result
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if self.mappings_attempted == 0:
+            return 0.0
+        return self.mappings_succeeded / self.mappings_attempted
+
+    def __repr__(self) -> str:
+        return (f"<ResourceOrchestrator embedder={self.embedder.name} "
+                f"decomposition={'on' if self.decomposition_library else 'off'}>")

@@ -1,0 +1,213 @@
+"""The recursive Unify interface.
+
+"The manager - virtualizer relationship is recursive, thus Unify
+domains can be stacked into a multi-level control hierarchy similar to
+ONF's SDN architecture.  The recursive interface is the Unify
+interface."
+
+North side (:class:`UnifyAgent`): a NETCONF server in front of an
+:class:`~repro.orchestration.escape.EscapeOrchestrator`.  It advertises
+a virtual view (by default a single BiS-BiS) as a virtualizer tree and
+accepts edited virtualizer configurations, which it re-maps onto its
+own domains.
+
+South side (:class:`UnifyDomainAdapter`): makes a whole child
+orchestrator look like one more technology domain to its parent — the
+parent places NFs on the child's advertised BiS-BiS and edits its
+flowtable exactly as it would for any other domain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.netconf.client import NetconfClient
+from repro.netconf.messages import UNIFY_CAPABILITY
+from repro.netconf.server import NetconfServer
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType
+from repro.openflow.channel import ControlChannel
+from repro.orchestration.adapters import DomainAdapter
+from repro.orchestration.escape import EscapeOrchestrator
+from repro.virtualizer.convert import nffg_to_virtualizer, virtualizer_to_nffg
+from repro.virtualizer.model import Virtualizer
+from repro.virtualizer.views import SingleBiSBiSView, ViewPolicy
+
+
+def service_from_virtual_install(install: NFFG,
+                                 service_id: str = "unify-client") -> NFFG:
+    """Reconstruct a service graph from an edited virtual view.
+
+    The parent expressed the service as (i) NF instances on virtual
+    BiS-BiS nodes and (ii) flow entries steering between SAP ports and
+    NF ports.  Flow rules carry their SG hop id, bandwidth and delay
+    budget, which is exactly enough to rebuild the SAP/NF-level service
+    graph the child can re-map freely onto its own resources.
+    """
+    service = NFFG(id=service_id, name=f"reconstructed from {install.id}")
+    for nf in install.nfs:
+        service.add_node_copy(nf)
+    # hop id -> ordered flowrule endpoints
+    sap_tags: set[str] = set()
+    for infra in install.infras:
+        for port in infra.ports.values():
+            if port.sap_tag is not None:
+                sap_tags.add(port.sap_tag)
+
+    def classify(port_id: str) -> Optional[tuple[str, str]]:
+        """Virtual BiS-BiS port -> (service node, service port) for SAP
+        and NF attachment ports; None for transit/unknown ports."""
+        if port_id.startswith("sap-"):
+            tag = port_id[len("sap-"):]
+            if not service.has_node(tag):
+                service.add_sap(tag)
+            return tag, list(service.sap(tag).ports)[0]
+        nf_id, _, nf_port = port_id.rpartition("-")
+        if service.has_node(nf_id):
+            return nf_id, nf_port
+        return None
+
+    # A hop routed across several virtual nodes leaves one rule per
+    # node; its service-level endpoints are the edge (SAP/NF) ports of
+    # its first and last rule.  Collect per hop id, then rebuild.
+    hops: dict[str, dict[str, Any]] = {}
+    for infra in install.infras:
+        for port, rule in infra.iter_flowrules():
+            match_fields = rule.match_fields()
+            action_fields = rule.action_fields()
+            in_port = match_fields.get("in_port", port.id)
+            out_port = action_fields.get("output", "")
+            hop_id = rule.hop_id or f"{service_id}-{in_port}-{out_port}"
+            record = hops.setdefault(hop_id, {
+                "src": None, "dst": None, "flowclass": "",
+                "bandwidth": 0.0, "delay": 0.0})
+            src = classify(in_port)
+            if src is not None and record["src"] is None:
+                record["src"] = src
+            dst = classify(out_port)
+            if dst is not None:
+                record["dst"] = dst
+            if match_fields.get("flowclass"):
+                record["flowclass"] = match_fields["flowclass"]
+            record["bandwidth"] = max(record["bandwidth"], rule.bandwidth)
+            record["delay"] = max(record["delay"], rule.delay)
+    for hop_id, record in sorted(hops.items()):
+        if record["src"] is None or record["dst"] is None:
+            continue  # pure transit of a hop terminating elsewhere
+        src_node, src_port = record["src"]
+        dst_node, dst_port = record["dst"]
+        service.add_sg_hop(src_node, src_port, dst_node, dst_port,
+                           id=hop_id, flowclass=record["flowclass"],
+                           bandwidth=record["bandwidth"],
+                           delay=record["delay"])
+    return service
+
+
+class UnifyAgent(NetconfServer):
+    """North-side Unify interface of an orchestrator."""
+
+    def __init__(self, orchestrator: EscapeOrchestrator, *,
+                 view_policy: Optional[ViewPolicy] = None):
+        super().__init__(f"{orchestrator.name}-unify",
+                         capabilities=[UNIFY_CAPABILITY])
+        self.orchestrator = orchestrator
+        self.view_policy = view_policy or SingleBiSBiSView(
+            bisbis_id=f"{orchestrator.name}-bisbis")
+        self._client_service_id = f"{orchestrator.name}-client-svc"
+        self.edits_applied = 0
+        self.on_apply(self._apply_config)
+        self.register_rpc("get-virtualizer",
+                          lambda params: self.current_virtualizer().to_dict())
+
+    # -- view generation ------------------------------------------------------
+
+    def current_view(self) -> NFFG:
+        remaining = self.orchestrator.resource_view()
+        view = self.view_policy.build_view(
+            remaining, view_id=f"{self.orchestrator.name}-virtual-view")
+        # Advertise decomposable abstract NF types: "an NF mapped to a
+        # BiS-BiS in the client virtualization can be replaced with an
+        # interconnection of NFs during the mapping process" — clients
+        # may place e.g. a vCPE here and this level will decompose it.
+        library = self.orchestrator.ro.decomposition_library
+        if library is not None:
+            abstract_types = set(library.decomposable_types())
+            for infra in view.infras:
+                if infra.supported_types:
+                    infra.supported_types |= abstract_types
+        return view
+
+    def current_virtualizer(self) -> Virtualizer:
+        return nffg_to_virtualizer(self.current_view(),
+                                   virtualizer_id=self.orchestrator.name)
+
+    # -- configuration hooks ------------------------------------------------------
+
+    def validate_config(self, config: Any) -> list[str]:
+        if config is None:
+            return []
+        try:
+            Virtualizer.from_dict(config["virtualizer"])
+        except Exception as exc:  # noqa: BLE001
+            return [f"config is not a valid virtualizer: {exc}"]
+        return []
+
+    def state_data(self) -> dict[str, Any]:
+        return {"deployed_services": self.orchestrator.deployed_services(),
+                "edits": self.edits_applied}
+
+    def _apply_config(self, config: Any) -> None:
+        if config is None:
+            self.orchestrator.teardown(self._client_service_id)
+            return
+        virt = Virtualizer.from_dict(config["virtualizer"])
+        install = virtualizer_to_nffg(virt)
+        service = service_from_virtual_install(install,
+                                               service_id=self._client_service_id)
+        self.edits_applied += 1
+        # reconciliation at client-service granularity: replace the
+        # previous client configuration with the new one
+        if self._client_service_id in self.orchestrator.deployed_services():
+            self.orchestrator.teardown(self._client_service_id)
+        if not service.nfs and not service.sg_hops:
+            self.notify("deploy-finished", {"service": service.id,
+                                            "empty": True})
+            return
+        report = self.orchestrator.deploy(service)
+        if not report.success:
+            raise RuntimeError(f"child mapping failed: {report.error}")
+        self.notify("deploy-finished", {"service": service.id})
+
+
+class UnifyDomainAdapter(DomainAdapter):
+    """South-side: a child Unify domain as seen by the parent."""
+
+    def __init__(self, name: str, agent: UnifyAgent):
+        super().__init__(name, DomainType.UNIFY)
+        self.agent = agent
+        self.channel = ControlChannel(f"{name}-unify")
+        agent.bind(self.channel)
+        self.client = NetconfClient(f"{name}-parent", self.channel)
+        self.client.hello()
+        if UNIFY_CAPABILITY not in self.client.server_capabilities:
+            raise RuntimeError(f"{name}: peer does not speak Unify")
+
+    def get_view(self) -> NFFG:
+        data = self.client.rpc("get-virtualizer")
+        view = virtualizer_to_nffg(Virtualizer.from_dict(data))
+        for infra in view.infras:
+            infra.domain = DomainType.UNIFY
+        return view
+
+    def _push(self, install: NFFG) -> None:
+        virt = nffg_to_virtualizer(install, virtualizer_id=install.id)
+        self.client.edit_config({"virtualizer": virt.to_dict()},
+                                target="candidate", operation="replace")
+        self.client.validate("candidate")
+        self.client.commit()
+
+    def control_stats(self) -> tuple[int, int]:
+        return self.channel.stats.messages, self.channel.stats.bytes
+
+    def ready(self) -> bool:
+        return self.agent.orchestrator.cal.ready()

@@ -1,0 +1,33 @@
+"""Legacy OpenFlow network domain + POX-like controller.
+
+"The control of legacy OpenFlow networks is realized by a POX
+controller and a corresponding adapter module."  This package
+reproduces that: an event-driven controller framework in POX's style
+(components subscribe to events on a core object), an L2-learning
+module, topology bookkeeping and a path-pusher component the UNIFY
+adapter drives to steer chain traffic across the legacy network.
+
+Switches in this domain are forwarding-only (``SDN-SWITCH`` infra
+type): they cannot host NFs, only transit traffic between neighbouring
+domains — exactly the role of the legacy network in Fig. 1.
+"""
+
+from repro.sdnnet.pox import (
+    Event,
+    EventBus,
+    L2LearningComponent,
+    PathPusherComponent,
+    POXController,
+    TopologyComponent,
+)
+from repro.sdnnet.domain import SDNDomain
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "POXController",
+    "L2LearningComponent",
+    "PathPusherComponent",
+    "TopologyComponent",
+    "SDNDomain",
+]

@@ -1,0 +1,134 @@
+"""The legacy SDN network domain.
+
+Plain OpenFlow switches (no NF hosting) under a POX controller.  In
+Fig. 1 this domain transits traffic between the others; its domain view
+advertises ``SDN-SWITCH`` infra nodes so the mapping layer routes hops
+*through* it but never places NFs on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.netem.network import Network
+from repro.netem.node import Host
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType, InfraType, ResourceVector
+from repro.openflow.switch import OpenFlowSwitch
+from repro.sdnnet.pox import (
+    L2LearningComponent,
+    PathPusherComponent,
+    POXController,
+    TopologyComponent,
+)
+
+
+class SDNDomain:
+    """A legacy OpenFlow network under POX control."""
+
+    domain_type = DomainType.SDN
+
+    def __init__(self, name: str, network: Network, *,
+                 switch_ids: Sequence[str] = (),
+                 links: Iterable[tuple[str, str]] = (),
+                 link_bandwidth: float = 10_000.0, link_delay: float = 0.5,
+                 enable_l2_learning: bool = False):
+        self.name = name
+        self.network = network
+        self.link_bandwidth = link_bandwidth
+        self.link_delay = link_delay
+        self.switches: dict[str, OpenFlowSwitch] = {}
+        self.sap_hosts: dict[str, Host] = {}
+        self._links: list[tuple[str, str, str, str]] = []
+        self._link_params: dict[tuple[str, str], tuple[float, float]] = {}
+        self._handoff_ports: dict[str, tuple[str, str]] = {}
+        self.pox = POXController(f"{name}-pox", simulator=network.simulator)
+        self.topology = self.pox.register(TopologyComponent())
+        self.path_pusher = self.pox.register(PathPusherComponent(self.topology))
+        if enable_l2_learning:
+            self.pox.register(L2LearningComponent())
+        for switch_id in switch_ids:
+            self.add_switch(switch_id)
+        for src, dst in links:
+            self.add_link(src, dst)
+
+    # -- topology construction ------------------------------------------------
+
+    def add_switch(self, switch_id: str) -> OpenFlowSwitch:
+        switch = OpenFlowSwitch(switch_id, self.network.simulator,
+                                forwarding_delay_ms=0.005)
+        self.network.add(switch)
+        self.switches[switch_id] = switch
+        self.pox.connect(switch)
+        return switch
+
+    def add_link(self, src: str, dst: str, *,
+                 bandwidth: Optional[float] = None,
+                 delay: Optional[float] = None) -> None:
+        port_a, port_b = f"to-{dst}", f"to-{src}"
+        effective_bw = bandwidth if bandwidth is not None else self.link_bandwidth
+        effective_delay = delay if delay is not None else self.link_delay
+        self.network.connect(src, port_a, dst, port_b,
+                             bandwidth_mbps=effective_bw,
+                             delay_ms=effective_delay)
+        self._links.append((src, port_a, dst, port_b))
+        self._link_params[(src, dst)] = (effective_bw, effective_delay)
+        self.topology.add_link(src, port_a, dst, port_b,
+                               delay=effective_delay)
+
+    def add_sap(self, sap_id: str, switch_id: str) -> Host:
+        host = self.network.add_host(f"{self.name}-host-{sap_id}")
+        port = f"sap-{sap_id}"
+        self.network.connect(host.id, "0", switch_id, port,
+                             bandwidth_mbps=self.link_bandwidth, delay_ms=0.1)
+        self.sap_hosts[sap_id] = host
+        self._handoff_ports[sap_id] = (switch_id, port)
+        return host
+
+    def add_handoff(self, tag: str, switch_id: str) -> tuple[str, str]:
+        port = f"sap-{tag}"
+        self._handoff_ports[tag] = (switch_id, port)
+        return switch_id, port
+
+    def handoff(self, tag: str) -> tuple[str, str]:
+        return self._handoff_ports[tag]
+
+    # -- resource description ---------------------------------------------------
+
+    def domain_view(self) -> NFFG:
+        view = NFFG(id=f"{self.name}-view", name=f"SDN domain {self.name}")
+        for switch_id, switch in self.switches.items():
+            infra = view.add_infra(
+                switch_id, infra_type=InfraType.SDN_SWITCH,
+                domain=self.domain_type,
+                resources=ResourceVector(bandwidth=self.link_bandwidth * 10,
+                                         delay=0.005))
+            for port_id in switch.links:
+                infra.add_port(port_id)
+        for src, port_a, dst, port_b in self._links:
+            physical = self.network.link_between(src, dst)
+            if physical is not None and not physical.up:
+                continue  # failed links disappear from the view
+            bandwidth, delay = self._link_params.get(
+                (src, dst), (self.link_bandwidth, self.link_delay))
+            view.add_link(src, port_a, dst, port_b,
+                          id=f"{self.name}-{src}-{dst}",
+                          bandwidth=bandwidth, delay=delay)
+        for sap_id in self.sap_hosts:
+            sap = view.add_sap(sap_id)
+            switch_id, port = self._handoff_ports[sap_id]
+            view.infra(switch_id).port(port).sap_tag = sap_id
+            view.add_link(sap_id, list(sap.ports)[0], switch_id, port,
+                          id=f"sl-{self.name}-{sap_id}",
+                          bandwidth=self.link_bandwidth, delay=0.1)
+        for tag, (switch_id, port) in self._handoff_ports.items():
+            if tag in self.sap_hosts:
+                continue
+            infra = view.infra(switch_id)
+            if not infra.has_port(port):
+                infra.add_port(port)
+            infra.port(port).sap_tag = tag
+        return view
+
+    def __repr__(self) -> str:
+        return f"<SDNDomain {self.name}: {len(self.switches)} switches>"

@@ -1,0 +1,24 @@
+"""The service layer.
+
+"On top of ESCAPEv2, we have implemented a simple service layer with
+GUI where users can define service requests with their requirements,
+e.g., bandwidth or delay constraints between arbitrary elements in the
+service graph."  The GUI is presentation only; this package provides
+its programmatic equivalent: a request builder, SLA constraints, and a
+:class:`ServiceLayer` that owns the request lifecycle on top of an
+orchestrator.
+"""
+
+from repro.service.request import (
+    ServiceRequest,
+    ServiceRequestBuilder,
+    ServiceState,
+)
+from repro.service.layer import ServiceLayer
+
+__all__ = [
+    "ServiceRequest",
+    "ServiceRequestBuilder",
+    "ServiceState",
+    "ServiceLayer",
+]

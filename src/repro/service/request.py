@@ -1,0 +1,136 @@
+"""Service requests: what a user asks for.
+
+A :class:`ServiceRequest` wraps a service-graph NFFG with lifecycle
+state and SLA metadata.  :class:`ServiceRequestBuilder` is the
+programmatic stand-in for the demo GUI: chains, branches, flowclass
+filters, bandwidth and delay constraints "between arbitrary elements".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.click.catalog import NF_CATALOG
+from repro.nffg.builder import NFFGBuilder
+from repro.nffg.graph import NFFG
+
+
+class ServiceState(str, enum.Enum):
+    REQUESTED = "requested"
+    MAPPED = "mapped"
+    DEPLOYED = "deployed"
+    FAILED = "failed"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class ServiceRequest:
+    id: str
+    sg: NFFG
+    state: ServiceState = ServiceState.REQUESTED
+    error: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def sla_summary(self) -> dict[str, Any]:
+        return {
+            "chains": len(self.sg.sg_hops),
+            "nfs": [nf.functional_type for nf in self.sg.nfs],
+            "delay_constraints": [
+                {"from": req.src_node, "to": req.dst_node,
+                 "max_delay_ms": req.max_delay}
+                for req in self.sg.requirements
+                if req.max_delay != float("inf")],
+            "bandwidth_demands": sorted(
+                {hop.bandwidth for hop in self.sg.sg_hops if hop.bandwidth}),
+        }
+
+
+class ServiceRequestBuilder:
+    """Fluent request construction (the GUI's drawing surface as code).
+
+    >>> req = (ServiceRequestBuilder("demo")
+    ...        .sap("sap1").sap("sap2")
+    ...        .nf("fw", "firewall")
+    ...        .chain("sap1", "fw", "sap2", bandwidth=10.0)
+    ...        .delay_requirement("sap1", "sap2", max_delay=50.0)
+    ...        .build())
+    >>> req.state
+    <ServiceState.REQUESTED: 'requested'>
+    """
+
+    def __init__(self, request_id: str):
+        self.request_id = request_id
+        self._builder = NFFGBuilder(request_id)
+        self._metadata: dict[str, Any] = {}
+
+    def sap(self, sap_id: str, name: str = "") -> "ServiceRequestBuilder":
+        self._builder.sap(sap_id, name=name)
+        return self
+
+    def nf(self, nf_id: str, functional_type: str, *,
+           cpu: Optional[float] = None, mem: Optional[float] = None,
+           storage: Optional[float] = None,
+           num_ports: int = 2,
+           domain: Optional[str] = None,
+           pin_to: Optional[str] = None,
+           not_with: Optional[list[str]] = None) -> "ServiceRequestBuilder":
+        """Add an NF; resource defaults come from the NF catalog.
+
+        Placement constraints: ``domain`` restricts the NF to a
+        technology domain (a :class:`~repro.nffg.model.DomainType`
+        value), ``pin_to`` to one specific infra node, ``not_with``
+        forbids co-location with the listed NFs of this service.
+        """
+        impl = NF_CATALOG.get(functional_type)
+        defaults = impl.default_resources if impl is not None else None
+        self._builder.nf(
+            nf_id, functional_type,
+            cpu=cpu if cpu is not None else (defaults.cpu if defaults else 1.0),
+            mem=mem if mem is not None else (defaults.mem if defaults else 128.0),
+            storage=storage if storage is not None
+            else (defaults.storage if defaults else 1.0),
+            num_ports=num_ports)
+        node = self._builder._nffg.nf(nf_id)
+        if domain is not None:
+            node.metadata["constraint:domain"] = str(domain)
+        if pin_to is not None:
+            node.metadata["constraint:infra"] = pin_to
+        if not_with:
+            node.metadata["constraint:anti_affinity"] = list(not_with)
+        return self
+
+    def chain(self, *node_ids: str, flowclass: str = "",
+              bandwidth: float = 0.0) -> "ServiceRequestBuilder":
+        self._builder.chain(*node_ids, flowclass=flowclass,
+                            bandwidth=bandwidth)
+        return self
+
+    def hop(self, src: str, dst: str, *, flowclass: str = "",
+            bandwidth: float = 0.0, delay: float = 0.0,
+            src_port: Optional[str] = None,
+            dst_port: Optional[str] = None) -> "ServiceRequestBuilder":
+        self._builder.hop(src, dst, flowclass=flowclass, bandwidth=bandwidth,
+                          delay=delay, src_port=src_port, dst_port=dst_port)
+        return self
+
+    def delay_requirement(self, src: str, dst: str, *,
+                          max_delay: float) -> "ServiceRequestBuilder":
+        self._builder.requirement(src, dst, max_delay=max_delay)
+        return self
+
+    def bandwidth_requirement(self, src: str, dst: str, *,
+                              bandwidth: float) -> "ServiceRequestBuilder":
+        self._builder.requirement(src, dst, bandwidth=bandwidth)
+        return self
+
+    def meta(self, key: str, value: Any) -> "ServiceRequestBuilder":
+        self._metadata[key] = value
+        return self
+
+    def build(self) -> ServiceRequest:
+        sg = self._builder.build()
+        request = ServiceRequest(id=self.request_id, sg=sg)
+        request.metadata.update(self._metadata)
+        return request

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+Every substrate in this reproduction (packet network, cloud, Universal
+Node, control channels) runs on virtual time provided by this kernel so
+experiments are deterministic and independent of wall-clock speed.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    EventCancelled,
+    Process,
+    SimClock,
+    Simulator,
+    SimulationError,
+)
+from repro.sim.random import SeededRandom
+
+__all__ = [
+    "Event",
+    "EventCancelled",
+    "Process",
+    "SimClock",
+    "Simulator",
+    "SimulationError",
+    "SeededRandom",
+]

@@ -1,0 +1,69 @@
+"""Seeded randomness helpers.
+
+All stochastic behaviour in the reproduction (workload generation, jitter
+on service times, scheduler tie-breaks) flows through
+:class:`SeededRandom` so every experiment is reproducible from a single
+integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRandom:
+    """A thin wrapper over :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, label: str) -> "SeededRandom":
+        """Derive an independent, reproducible child stream."""
+        child_seed = (hash((self.seed, label)) & 0x7FFFFFFF)
+        return SeededRandom(child_seed)
+
+    # -- passthroughs ------------------------------------------------------
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    # -- domain helpers ----------------------------------------------------
+
+    def jitter(self, base: float, fraction: float = 0.1) -> float:
+        """Return ``base`` perturbed by up to +/- ``fraction``."""
+        return base * self._rng.uniform(1.0 - fraction, 1.0 + fraction)
+
+    def weighted_choice(self, items: Iterable[tuple[T, float]]) -> T:
+        items = list(items)
+        total = sum(weight for _, weight in items)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        pick = self._rng.uniform(0.0, total)
+        acc = 0.0
+        for value, weight in items:
+            acc += weight
+            if pick <= acc:
+                return value
+        return items[-1][0]

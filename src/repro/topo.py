@@ -1,0 +1,155 @@
+"""Reference testbeds.
+
+:func:`build_reference_multidomain` reproduces the proof-of-concept
+infrastructure of Fig. 1: a Mininet-like emulated domain, a legacy
+OpenFlow network under POX, an OpenStack+ODL data center and a
+Universal Node — all on one packet simulator, stitched by inter-domain
+links, and orchestrated by a single ESCAPEv2 instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.domain import CloudDomain
+from repro.emu.domain import EmulatedDomain
+from repro.mapping.base import Embedder
+from repro.mapping.decomposition import (
+    DecompositionLibrary,
+    default_decomposition_library,
+)
+from repro.netem.network import Network
+from repro.netem.node import Host
+from repro.orchestration.adapters import (
+    CloudDomainAdapter,
+    EmuDomainAdapter,
+    SdnDomainAdapter,
+    UNDomainAdapter,
+)
+from repro.orchestration.escape import EscapeOrchestrator
+from repro.sdnnet.domain import SDNDomain
+from repro.service.layer import ServiceLayer
+from repro.un.domain import UniversalNodeDomain
+
+
+@dataclass
+class MultiDomainTestbed:
+    """Everything the Fig. 1 proof of concept consists of."""
+
+    network: Network
+    escape: EscapeOrchestrator
+    service_layer: ServiceLayer
+    emu: EmulatedDomain
+    sdn: SDNDomain
+    cloud: CloudDomain
+    un: UniversalNodeDomain
+    sap_hosts: dict[str, Host] = field(default_factory=dict)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.network.run(until=until)
+
+    def host(self, sap_id: str) -> Host:
+        return self.sap_hosts[sap_id]
+
+
+def _wire_handoff(network: Network, tag: str,
+                  side_a: tuple[str, str], side_b: tuple[str, str], *,
+                  bandwidth: float = 10_000.0, delay: float = 1.0) -> None:
+    """Physically connect two domains' hand-off ports."""
+    (node_a, port_a), (node_b, port_b) = side_a, side_b
+    network.connect(node_a, port_a, node_b, port_b,
+                    bandwidth_mbps=bandwidth, delay_ms=delay)
+
+
+def build_reference_multidomain(
+        *, embedder: Optional[Embedder] = None,
+        decomposition_library: Optional[DecompositionLibrary] = None,
+        use_default_decompositions: bool = True,
+        emu_switches: int = 2, sdn_switches: int = 2,
+        cloud_leaves: int = 2, cloud_hosts_per_leaf: int = 2,
+        vm_boot_delay_ms: float = 1500.0,
+        container_start_delay_ms: float = 300.0) -> MultiDomainTestbed:
+    """Build the Fig. 1 stack.
+
+    SAP placement: ``sap1`` in the emulated domain, ``sap2`` on the
+    Universal Node, ``sap3`` in the cloud — so a sap1->sap2 chain must
+    traverse the legacy SDN network and can place NFs in any of the
+    three NF-capable domains.
+    """
+    network = Network()
+
+    emu = EmulatedDomain(
+        "emu", network,
+        node_ids=[f"emu-bb{i}" for i in range(emu_switches)],
+        links=[(f"emu-bb{i}", f"emu-bb{i + 1}")
+               for i in range(emu_switches - 1)])
+    emu.add_sap("sap1", "emu-bb0")
+
+    sdn = SDNDomain(
+        "sdn", network,
+        switch_ids=[f"sdn-sw{i}" for i in range(sdn_switches)],
+        links=[(f"sdn-sw{i}", f"sdn-sw{i + 1}")
+               for i in range(sdn_switches - 1)])
+
+    cloud = CloudDomain("cloud", network, num_leaves=cloud_leaves,
+                        hosts_per_leaf=cloud_hosts_per_leaf,
+                        vm_boot_delay_ms=vm_boot_delay_ms)
+    cloud.add_sap("sap3", leaf_index=min(1, cloud_leaves - 1))
+
+    un = UniversalNodeDomain(
+        "un", network, container_start_delay_ms=container_start_delay_ms)
+    un.add_sap("sap2")
+
+    # inter-domain hand-offs (Fig. 1: the SDN network is the transit core)
+    last_emu = f"emu-bb{emu_switches - 1}"
+    first_sdn, last_sdn = "sdn-sw0", f"sdn-sw{sdn_switches - 1}"
+    _wire_handoff(network, "emu-sdn",
+                  emu.add_handoff("emu-sdn", last_emu),
+                  sdn.add_handoff("emu-sdn", first_sdn))
+    _wire_handoff(network, "sdn-cloud",
+                  sdn.add_handoff("sdn-cloud", last_sdn),
+                  cloud.add_handoff("sdn-cloud", leaf_index=0))
+    _wire_handoff(network, "sdn-un",
+                  sdn.add_handoff("sdn-un", last_sdn),
+                  un.add_handoff("sdn-un"))
+
+    library = decomposition_library
+    if library is None and use_default_decompositions:
+        library = default_decomposition_library()
+    escape = EscapeOrchestrator("escape", embedder=embedder,
+                                decomposition_library=library,
+                                simulator=network.simulator)
+    escape.add_domain(EmuDomainAdapter("emu", emu))
+    escape.add_domain(SdnDomainAdapter("sdn", sdn))
+    escape.add_domain(CloudDomainAdapter("cloud", cloud))
+    escape.add_domain(UNDomainAdapter("un", un))
+
+    service_layer = ServiceLayer(escape)
+    sap_hosts = dict(emu.sap_hosts)
+    sap_hosts.update(cloud.sap_hosts)
+    sap_hosts.update(un.sap_hosts)
+    return MultiDomainTestbed(network=network, escape=escape,
+                              service_layer=service_layer, emu=emu, sdn=sdn,
+                              cloud=cloud, un=un, sap_hosts=sap_hosts)
+
+
+def build_emulated_testbed(*, switches: int = 3,
+                           embedder: Optional[Embedder] = None) -> MultiDomainTestbed:
+    """A single-domain testbed (emu only) for focused tests."""
+    network = Network()
+    emu = EmulatedDomain(
+        "emu", network,
+        node_ids=[f"emu-bb{i}" for i in range(switches)],
+        links=[(f"emu-bb{i}", f"emu-bb{i + 1}")
+               for i in range(switches - 1)])
+    emu.add_sap("sap1", "emu-bb0")
+    emu.add_sap("sap2", f"emu-bb{switches - 1}")
+    escape = EscapeOrchestrator("escape-emu", embedder=embedder,
+                                simulator=network.simulator)
+    escape.add_domain(EmuDomainAdapter("emu", emu))
+    layer = ServiceLayer(escape)
+    return MultiDomainTestbed(
+        network=network, escape=escape, service_layer=layer, emu=emu,
+        sdn=None, cloud=None, un=None,  # type: ignore[arg-type]
+        sap_hosts=dict(emu.sap_hosts))

@@ -1,0 +1,27 @@
+"""Universal Node (UN).
+
+The paper's "novel infrastructure element ... a COTS hardware based
+packet processor node with the capability of i) high performance
+forwarding and ii) running high complexity NFs in its virtualized
+environment".  The reproduction models:
+
+- :class:`LogicalSwitchInstance` — the DPDK-accelerated software
+  switch (an NF-hosting switch with very low forwarding latency);
+- :class:`ContainerRuntime` — Docker-like container lifecycle for NFs
+  (fast start compared to cloud VMs);
+- :class:`UNLocalOrchestrator` — "UN local orchestrator is responsible
+  for controlling logical switch instances ... and for managing NFs
+  running as Docker containers".
+"""
+
+from repro.un.containers import Container, ContainerRuntime, ContainerState
+from repro.un.domain import LogicalSwitchInstance, UNLocalOrchestrator, UniversalNodeDomain
+
+__all__ = [
+    "Container",
+    "ContainerRuntime",
+    "ContainerState",
+    "LogicalSwitchInstance",
+    "UNLocalOrchestrator",
+    "UniversalNodeDomain",
+]

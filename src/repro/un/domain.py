@@ -1,0 +1,212 @@
+"""The Universal Node domain and its local orchestrator."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.click.catalog import supported_functional_types
+from repro.infra.flowprog import program_infra_flows
+from repro.infra.nfswitch import NFHostingSwitch
+from repro.netconf.messages import UNIFY_CAPABILITY
+from repro.netconf.server import NetconfServer
+from repro.netem.network import Network
+from repro.netem.node import Host
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType, InfraType, ResourceVector
+from repro.nffg.serialize import nffg_from_dict
+from repro.openflow.controller import ControllerEndpoint
+from repro.un.containers import Container, ContainerRuntime
+
+
+class LogicalSwitchInstance(NFHostingSwitch):
+    """The UN's DPDK-accelerated software switch.
+
+    Same contract as any NF-hosting switch, but with a forwarding
+    latency an order of magnitude below the software switches of the
+    emulated domain — the "high performance forwarding" of the paper.
+    """
+
+    def __init__(self, dpid: str, simulator, forwarding_delay_ms: float = 0.001):
+        super().__init__(dpid, simulator,
+                         forwarding_delay_ms=forwarding_delay_ms)
+
+
+class UniversalNodeDomain:
+    """One Universal Node: a single LSI + a container runtime."""
+
+    domain_type = DomainType.UN
+
+    def __init__(self, name: str, network: Network, *,
+                 cpu: float = 16.0, mem_mb: float = 16384.0,
+                 storage_gb: float = 256.0,
+                 port_bandwidth: float = 40_000.0,
+                 container_start_delay_ms: float = 300.0):
+        self.name = name
+        self.network = network
+        self.storage_gb = storage_gb
+        self.port_bandwidth = port_bandwidth
+        self.lsi = LogicalSwitchInstance(f"{name}-lsi", network.simulator)
+        network.add(self.lsi)
+        self.runtime = ContainerRuntime(
+            network.simulator, node_name=name, cpu_capacity=cpu,
+            mem_capacity_mb=mem_mb,
+            start_delay_ms=container_start_delay_ms)
+        self.sap_hosts: dict[str, Host] = {}
+        self._handoff_ports: dict[str, tuple[str, str]] = {}
+
+    # -- edge attachment ----------------------------------------------------
+
+    def add_sap(self, sap_id: str) -> Host:
+        host = self.network.add_host(f"{self.name}-host-{sap_id}")
+        port = f"sap-{sap_id}"
+        self.network.connect(host.id, "0", self.lsi.id, port,
+                             bandwidth_mbps=self.port_bandwidth, delay_ms=0.05)
+        self.sap_hosts[sap_id] = host
+        self._handoff_ports[sap_id] = (self.lsi.id, port)
+        return host
+
+    def add_handoff(self, tag: str) -> tuple[str, str]:
+        port = f"sap-{tag}"
+        self._handoff_ports[tag] = (self.lsi.id, port)
+        return self.lsi.id, port
+
+    def handoff(self, tag: str) -> tuple[str, str]:
+        return self._handoff_ports[tag]
+
+    # -- northbound description -----------------------------------------------
+
+    @property
+    def bisbis_id(self) -> str:
+        return f"{self.name}-bisbis"
+
+    def domain_view(self) -> NFFG:
+        view = NFFG(id=f"{self.name}-view",
+                    name=f"universal node {self.name}")
+        # installed inventory, not live-free: the parent's adaptation
+        # layer tracks its own deployments (see CloudDomain.domain_view)
+        infra = view.add_infra(
+            self.bisbis_id, infra_type=InfraType.BISBIS,
+            domain=self.domain_type,
+            resources=ResourceVector(
+                cpu=self.runtime.cpu_capacity,
+                mem=self.runtime.mem_capacity_mb,
+                storage=self.storage_gb,
+                bandwidth=self.port_bandwidth, delay=0.002),
+            supported_types=supported_functional_types(),
+            cost_per_cpu=0.5)
+        for tag in self._handoff_ports:
+            infra.add_port(f"sap-{tag}", sap_tag=tag)
+        for sap_id in self.sap_hosts:
+            sap = view.add_sap(sap_id)
+            view.add_link(sap_id, list(sap.ports)[0], infra.id,
+                          f"sap-{sap_id}", id=f"sl-{self.name}-{sap_id}",
+                          bandwidth=self.port_bandwidth, delay=0.05)
+        return view
+
+
+class UNLocalOrchestrator(NetconfServer):
+    """UN local orchestrator: containers + LSI flow control."""
+
+    def __init__(self, domain: UniversalNodeDomain):
+        super().__init__(f"{domain.name}-lo", capabilities=[UNIFY_CAPABILITY])
+        self.domain = domain
+        self.controller = ControllerEndpoint(
+            f"{domain.name}-ctl", simulator=domain.network.simulator)
+        self.controller.connect_switch(domain.lsi)
+        self._nf_containers: dict[str, Container] = {}
+        self.deploy_count = 0
+        self.on_apply(self._apply_config)
+        self.register_rpc("list-containers", lambda params: [
+            {"id": c.id, "name": c.name, "image": c.image,
+             "state": c.state.value} for c in self.domain.runtime.running()])
+
+    # -- NETCONF hooks ------------------------------------------------------------
+
+    def validate_config(self, config: Any) -> list[str]:
+        if config is None:
+            return []
+        try:
+            install = nffg_from_dict(config["nffg"])
+        except Exception as exc:  # noqa: BLE001
+            return [f"config is not a valid NFFG: {exc}"]
+        problems = []
+        for infra in install.infras:
+            if infra.id != self.domain.bisbis_id:
+                problems.append(f"unknown BiS-BiS {infra.id!r}")
+        demand_cpu = sum(nf.resources.cpu for nf in install.nfs)
+        if demand_cpu > self.domain.runtime.cpu_capacity:
+            problems.append(
+                f"cpu demand {demand_cpu} exceeds UN capacity "
+                f"{self.domain.runtime.cpu_capacity}")
+        return problems
+
+    def state_data(self) -> dict[str, Any]:
+        return {
+            "containers": {nf_id: c.state.value
+                           for nf_id, c in self._nf_containers.items()},
+            "flow_mods_sent": self.controller.flow_mods_sent,
+            "deploys": self.deploy_count,
+        }
+
+    # -- reconciliation -----------------------------------------------------------------
+
+    def _apply_config(self, config: Any) -> None:
+        if config is None:
+            self._teardown_all()
+            return
+        install = nffg_from_dict(config["nffg"])
+        self.deploy_count += 1
+        self._reconcile_containers(install)
+        self._reprogram_lsi(install)
+        self.notify("deploy-finished", {"nffg": install.id})
+
+    def _reconcile_containers(self, install: NFFG) -> None:
+        wanted = {nf.id: nf for nf in install.nfs
+                  if install.host_of(nf.id) == self.domain.bisbis_id}
+        for nf_id in list(self._nf_containers):
+            container = self._nf_containers[nf_id]
+            nf = wanted.get(nf_id)
+            if nf is None or nf.functional_type != container.image:
+                del self._nf_containers[nf_id]
+                self.domain.lsi.detach_nf(nf_id)
+                self.domain.runtime.stop(container.id)
+                self.notify("vnf-stopped", {"id": nf_id})
+        for nf_id, nf in wanted.items():
+            if nf_id in self._nf_containers:
+                continue
+            container = self.domain.runtime.run(
+                nf_id, nf.functional_type, cpu=nf.resources.cpu,
+                mem_mb=nf.resources.mem)
+            self._nf_containers[nf_id] = container
+            nf_ports = sorted(int(p) for p in nf.ports) or [1, 2]
+            container.on_running(
+                lambda ctr, nf_id=nf_id, ports=nf_ports:
+                self._attach_container(nf_id, ctr, ports))
+
+    def _attach_container(self, nf_id: str, container: Container,
+                          nf_ports: list[int]) -> None:
+        assert container.process is not None
+        self.domain.lsi.attach_nf(nf_id, container.process, nf_ports=nf_ports)
+        self.notify("vnf-started", {"id": nf_id, "container": container.id})
+
+    def _reprogram_lsi(self, install: NFFG) -> None:
+        dpid = self.domain.lsi.dpid
+        self.controller.delete_flows(dpid)
+        if install.has_node(self.domain.bisbis_id):
+            infra = install.infra(self.domain.bisbis_id)
+            program_infra_flows(self.controller, dpid, infra)
+        self.controller.barrier(dpid)
+
+    def _teardown_all(self) -> None:
+        for nf_id, container in list(self._nf_containers.items()):
+            self.domain.lsi.detach_nf(nf_id)
+            self.domain.runtime.stop(container.id)
+        self._nf_containers.clear()
+        self.controller.delete_flows(self.domain.lsi.dpid)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def all_containers_running(self) -> bool:
+        from repro.un.containers import ContainerState
+        return all(c.state == ContainerState.RUNNING
+                   for c in self._nf_containers.values())

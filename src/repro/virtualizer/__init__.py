@@ -1,0 +1,31 @@
+"""The Unify virtualizer: YANG-modelled virtual views.
+
+A *virtualizer* (green box in Fig. 1 of the paper) presents a virtual
+view — an arbitrary interconnection of BiS-BiS nodes — to its manager
+(a resource orchestrator).  The manager programs the view by assigning
+NF instances to BiS-BiS nodes and editing their flow tables; the edits
+travel as YANG-tree diffs over the Unify interface.
+
+- :mod:`repro.virtualizer.model` — the YANG schema and a typed wrapper;
+- :mod:`repro.virtualizer.convert` — NFFG <-> virtualizer conversion;
+- :mod:`repro.virtualizer.views` — view-generation policies (single
+  BiS-BiS, full topology, filtered).
+"""
+
+from repro.virtualizer.model import Virtualizer, virtualizer_schema
+from repro.virtualizer.convert import nffg_to_virtualizer, virtualizer_to_nffg
+from repro.virtualizer.views import (
+    FullTopologyView,
+    SingleBiSBiSView,
+    ViewPolicy,
+)
+
+__all__ = [
+    "Virtualizer",
+    "virtualizer_schema",
+    "nffg_to_virtualizer",
+    "virtualizer_to_nffg",
+    "ViewPolicy",
+    "SingleBiSBiSView",
+    "FullTopologyView",
+]

@@ -1,0 +1,283 @@
+"""The virtualizer YANG schema and a typed convenience wrapper.
+
+The schema mirrors the UNIFY ``virtualizer.yang`` structure (condensed
+to the parts the control plane exercises)::
+
+    virtualizer
+      +- id, name
+      +- nodes/node[id]
+      |    +- id, name, type, domain
+      |    +- ports/port[id] (id, name, port_type, sap)
+      |    +- resources (cpu, mem, storage, bandwidth, delay)
+      |    +- capabilities/supported_NFs/nf[type]
+      |    +- NF_instances/node[id]
+      |    |     (id, name, type, deployment_type, status,
+      |    |      ports/port[id], resources)
+      |    +- flowtable/flowentry[id]
+      |          (id, port, match, action, out, hop_id,
+      |           resources (bandwidth, delay))
+      +- links/link[id]
+           (id, src_node, src_port, dst_node, dst_port,
+            resources (delay, bandwidth))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.yang.data import DataNode, data_from_dict
+from repro.yang.schema import Container, Leaf, LeafType, YangList
+
+_SCHEMA: Optional[Container] = None
+
+
+def _resources_container(name: str = "resources") -> Container:
+    return Container(name, [
+        Leaf("cpu", LeafType.DECIMAL),
+        Leaf("mem", LeafType.DECIMAL),
+        Leaf("storage", LeafType.DECIMAL),
+        Leaf("bandwidth", LeafType.DECIMAL),
+        Leaf("delay", LeafType.DECIMAL),
+    ])
+
+
+def _ports_container() -> Container:
+    return Container("ports", [
+        YangList("port", key="id", children=[
+            Leaf("id"),
+            Leaf("name"),
+            Leaf("port_type", LeafType.ENUM,
+                 enum_values=("port-abstract", "port-sap")),
+            Leaf("sap"),
+        ]),
+    ])
+
+
+def virtualizer_schema() -> Container:
+    """The (memoized) virtualizer schema tree."""
+    global _SCHEMA
+    if _SCHEMA is not None:
+        return _SCHEMA
+    nf_instance = YangList("node", key="id", children=[
+        Leaf("id"),
+        Leaf("name"),
+        Leaf("type", mandatory=True),
+        Leaf("deployment_type"),
+        Leaf("status"),
+        _ports_container(),
+        _resources_container(),
+    ])
+    flowentry = YangList("flowentry", key="id", children=[
+        Leaf("id"),
+        Leaf("port", mandatory=True),
+        Leaf("match"),
+        Leaf("action"),
+        Leaf("out"),
+        Leaf("hop_id"),
+        _resources_container(),
+    ])
+    node = YangList("node", key="id", children=[
+        Leaf("id"),
+        Leaf("name"),
+        Leaf("type"),
+        Leaf("domain"),
+        Leaf("cost_per_cpu", LeafType.DECIMAL),
+        _ports_container(),
+        _resources_container(),
+        Container("capabilities", [
+            Container("supported_NFs", [
+                YangList("nf", key="type", children=[Leaf("type")]),
+            ]),
+        ]),
+        Container("NF_instances", [nf_instance]),
+        Container("flowtable", [flowentry]),
+    ])
+    link = YangList("link", key="id", children=[
+        Leaf("id"),
+        Leaf("src_node"), Leaf("src_port"),
+        Leaf("dst_node"), Leaf("dst_port"),
+        _resources_container(),
+    ])
+    _SCHEMA = Container("virtualizer", [
+        Leaf("id", mandatory=True),
+        Leaf("name"),
+        Container("nodes", [node]),
+        Container("links", [link]),
+    ])
+    return _SCHEMA
+
+
+class Virtualizer:
+    """Typed wrapper over a virtualizer data tree.
+
+    All mutating helpers keep the underlying :class:`DataNode` valid, so
+    a Virtualizer can always be diffed/serialized directly.
+    """
+
+    def __init__(self, id: str, name: str = "", tree: Optional[DataNode] = None):
+        if tree is None:
+            tree = DataNode(virtualizer_schema())
+            tree.set_leaf("id", id)
+            tree.set_leaf("name", name or id)
+        self.tree = tree
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def id(self) -> str:
+        return self.tree.get("id")
+
+    @property
+    def name(self) -> str:
+        return self.tree.get("name", "")
+
+    # -- nodes -------------------------------------------------------------
+
+    def add_node(self, node_id: str, *, name: str = "", type: str = "BiSBiS",
+                 domain: str = "VIRTUAL", cpu: float = 0.0, mem: float = 0.0,
+                 storage: float = 0.0, bandwidth: float = 0.0,
+                 delay: float = 0.0, cost_per_cpu: float = 1.0) -> DataNode:
+        holder = self.tree.container("nodes").list_node("node")
+        node = holder.add_instance(node_id)
+        node.set_leaf("name", name or node_id)
+        node.set_leaf("type", type)
+        node.set_leaf("domain", domain)
+        node.set_leaf("cost_per_cpu", cost_per_cpu)
+        resources = node.container("resources")
+        resources.set_leaf("cpu", cpu)
+        resources.set_leaf("mem", mem)
+        resources.set_leaf("storage", storage)
+        resources.set_leaf("bandwidth", bandwidth)
+        resources.set_leaf("delay", delay)
+        return node
+
+    def node(self, node_id: str) -> DataNode:
+        return self.tree.container("nodes").list_node("node").instance(node_id)
+
+    def has_node(self, node_id: str) -> bool:
+        return self.tree.container("nodes").list_node("node").has_instance(node_id)
+
+    def nodes(self) -> Iterator[DataNode]:
+        return self.tree.container("nodes").list_node("node").instances()
+
+    def node_ids(self) -> list[str]:
+        return self.tree.container("nodes").list_node("node").instance_keys()
+
+    # -- ports ---------------------------------------------------------------
+
+    @staticmethod
+    def add_port(owner: DataNode, port_id: str, *, name: str = "",
+                 sap: Optional[str] = None) -> DataNode:
+        port = owner.container("ports").list_node("port").add_instance(port_id)
+        port.set_leaf("name", name or port_id)
+        port.set_leaf("port_type", "port-sap" if sap else "port-abstract")
+        if sap:
+            port.set_leaf("sap", sap)
+        return port
+
+    @staticmethod
+    def ports(owner: DataNode) -> Iterator[DataNode]:
+        return owner.container("ports").list_node("port").instances()
+
+    # -- capabilities -----------------------------------------------------------
+
+    def set_supported_nfs(self, node_id: str, types: list[str]) -> None:
+        holder = (self.node(node_id).container("capabilities")
+                  .container("supported_NFs").list_node("nf"))
+        for key in list(holder.instance_keys()):
+            holder.remove_instance(key)
+        for nf_type in types:
+            holder.add_instance(nf_type)
+
+    def supported_nfs(self, node_id: str) -> list[str]:
+        holder = (self.node(node_id).container("capabilities")
+                  .container("supported_NFs").list_node("nf"))
+        return holder.instance_keys()
+
+    # -- NF instances ---------------------------------------------------------
+
+    def add_nf_instance(self, node_id: str, nf_id: str, *, type: str,
+                        name: str = "", deployment_type: str = "",
+                        status: str = "initialized", cpu: float = 0.0,
+                        mem: float = 0.0, storage: float = 0.0) -> DataNode:
+        holder = self.node(node_id).container("NF_instances").list_node("node")
+        nf = holder.add_instance(nf_id)
+        nf.set_leaf("name", name or nf_id)
+        nf.set_leaf("type", type)
+        if deployment_type:
+            nf.set_leaf("deployment_type", deployment_type)
+        nf.set_leaf("status", status)
+        resources = nf.container("resources")
+        resources.set_leaf("cpu", cpu)
+        resources.set_leaf("mem", mem)
+        resources.set_leaf("storage", storage)
+        return nf
+
+    def nf_instances(self, node_id: str) -> Iterator[DataNode]:
+        return self.node(node_id).container("NF_instances").list_node("node").instances()
+
+    def remove_nf_instance(self, node_id: str, nf_id: str) -> None:
+        self.node(node_id).container("NF_instances").list_node("node") \
+            .remove_instance(nf_id)
+
+    # -- flowtable ---------------------------------------------------------------
+
+    def add_flowentry(self, node_id: str, entry_id: str, *, port: str,
+                      out: str, match: str = "", action: str = "",
+                      bandwidth: float = 0.0, delay: float = 0.0,
+                      hop_id: str = "") -> DataNode:
+        holder = self.node(node_id).container("flowtable").list_node("flowentry")
+        entry = holder.add_instance(entry_id)
+        entry.set_leaf("port", port)
+        entry.set_leaf("out", out)
+        if match:
+            entry.set_leaf("match", match)
+        if action:
+            entry.set_leaf("action", action)
+        if hop_id:
+            entry.set_leaf("hop_id", hop_id)
+        resources = entry.container("resources")
+        resources.set_leaf("bandwidth", bandwidth)
+        resources.set_leaf("delay", delay)
+        return entry
+
+    def flowentries(self, node_id: str) -> Iterator[DataNode]:
+        return self.node(node_id).container("flowtable").list_node("flowentry").instances()
+
+    # -- links -----------------------------------------------------------------
+
+    def add_link(self, link_id: str, *, src_node: str, src_port: str,
+                 dst_node: str, dst_port: str, delay: float = 0.0,
+                 bandwidth: float = 0.0) -> DataNode:
+        holder = self.tree.container("links").list_node("link")
+        link = holder.add_instance(link_id)
+        link.set_leaf("src_node", src_node)
+        link.set_leaf("src_port", src_port)
+        link.set_leaf("dst_node", dst_node)
+        link.set_leaf("dst_port", dst_port)
+        resources = link.container("resources")
+        resources.set_leaf("delay", delay)
+        resources.set_leaf("bandwidth", bandwidth)
+        return link
+
+    def links(self) -> Iterator[DataNode]:
+        return self.tree.container("links").list_node("link").instances()
+
+    # -- whole-tree operations ----------------------------------------------------
+
+    def copy(self) -> "Virtualizer":
+        return Virtualizer(self.id, tree=self.tree.copy())
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.tree.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Virtualizer":
+        tree = data_from_dict(virtualizer_schema(), data)
+        return cls(tree.get("id"), tree=tree)
+
+    def validate(self) -> list[str]:
+        return self.tree.validate()
+
+    def __repr__(self) -> str:
+        return f"<Virtualizer {self.id}: {len(self.node_ids())} nodes>"

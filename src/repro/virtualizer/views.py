@@ -1,0 +1,230 @@
+"""View-generation policies.
+
+A domain virtualizer decides *how much* of the underlying resources a
+client may see.  The paper highlights the extreme point — a single
+BiS-BiS hiding the whole domain ("then its orchestration task is
+trivial... delegation of all resource management to the lower layer") —
+next to full topology views for clients that want to optimize placement
+themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.nffg.graph import NFFG
+from repro.nffg.model import DomainType, InfraType, ResourceVector
+from repro.nffg.ops import available_resources, remaining_nffg
+
+
+class ViewPolicy(abc.ABC):
+    """Strategy producing a client view NFFG from a domain view NFFG."""
+
+    @abc.abstractmethod
+    def build_view(self, domain_view: NFFG, view_id: str) -> NFFG:
+        """Return a fresh NFFG the client may plan against."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class FullTopologyView(ViewPolicy):
+    """Expose the complete (remaining-resource) domain topology."""
+
+    def build_view(self, domain_view: NFFG, view_id: str) -> NFFG:
+        return remaining_nffg(domain_view, new_id=view_id)
+
+
+class SingleBiSBiSView(ViewPolicy):
+    """Collapse the whole domain into one BiS-BiS node.
+
+    - capacity = sum of free infra capacities (cpu/mem/storage),
+    - internal bandwidth = min cut is approximated by the smallest
+      free link bandwidth on the domain's spanning paths (conservative:
+      minimum over all links),
+    - internal delay = diameter delay (worst-case SAP-to-SAP),
+    - supported NF types = union over member BiS-BiS nodes,
+    - every SAP of the domain becomes a sap-tagged port.
+    """
+
+    def __init__(self, bisbis_id: Optional[str] = None):
+        self.bisbis_id = bisbis_id
+
+    def build_view(self, domain_view: NFFG, view_id: str) -> NFFG:
+        view = NFFG(id=view_id, name=f"single BiS-BiS of {domain_view.id}")
+        total = ResourceVector()
+        supported: set[str] = set()
+        hosting = [infra for infra in domain_view.infras
+                   if infra.infra_type != InfraType.SDN_SWITCH]
+        for infra in hosting:
+            free = available_resources(domain_view, infra.id)
+            total = total + ResourceVector(cpu=max(free.cpu, 0.0),
+                                           mem=max(free.mem, 0.0),
+                                           storage=max(free.storage, 0.0))
+            supported |= infra.supported_types
+        link_bws = [link.available_bandwidth for link in domain_view.links
+                    if link.available_bandwidth > 0]
+        internal_bw = min(link_bws) if link_bws else 0.0
+        internal_delay = _diameter_delay(domain_view)
+        bisbis = view.add_infra(
+            self.bisbis_id or f"{domain_view.id}-bisbis",
+            infra_type=InfraType.BISBIS, domain=DomainType.VIRTUAL,
+            resources=ResourceVector(cpu=total.cpu, mem=total.mem,
+                                     storage=total.storage,
+                                     bandwidth=internal_bw,
+                                     delay=internal_delay),
+            supported_types=sorted(supported))
+        for sap in domain_view.saps:
+            port = bisbis.add_port(f"sap-{sap.id}", sap_tag=sap.id)
+            new_sap = view.add_sap(sap.id, binding=sap.binding)
+            view.add_link(sap.id, list(new_sap.ports)[0], bisbis.id, port.id,
+                          id=f"sl-{sap.id}", bandwidth=internal_bw, delay=0.0)
+        # preserve inter-domain hand-off ports that are not user SAPs
+        for infra in domain_view.infras:
+            for port in infra.ports.values():
+                if port.sap_tag and not domain_view.has_node(port.sap_tag):
+                    if not bisbis.has_port(f"sap-{port.sap_tag}"):
+                        bisbis.add_port(f"sap-{port.sap_tag}",
+                                        sap_tag=port.sap_tag)
+        return view
+
+
+class PerDomainBiSBiSView(ViewPolicy):
+    """One BiS-BiS per technology domain.
+
+    The middle ground the paper's "arbitrary interconnection of BiS-BiS
+    nodes" allows: the client sees domain boundaries (so it can spread a
+    chain across providers deliberately) but none of the intra-domain
+    detail.  Domains are linked where any inter-domain hand-off exists
+    between them.
+    """
+
+    def build_view(self, domain_view: NFFG, view_id: str) -> NFFG:
+        from collections import defaultdict
+
+        view = NFFG(id=view_id, name=f"per-domain view of {domain_view.id}")
+        members: dict = defaultdict(list)
+        for infra in domain_view.infras:
+            members[infra.domain].append(infra)
+        infra_domain = {infra.id: infra.domain
+                        for infra in domain_view.infras}
+        aggregate_id = {}
+        for domain, infras in members.items():
+            total = ResourceVector()
+            supported: set[str] = set()
+            for infra in infras:
+                if infra.infra_type == InfraType.SDN_SWITCH:
+                    continue
+                free = available_resources(domain_view, infra.id)
+                total = total + ResourceVector(cpu=max(free.cpu, 0.0),
+                                               mem=max(free.mem, 0.0),
+                                               storage=max(free.storage, 0.0))
+                supported |= infra.supported_types
+            link_bws = [link.available_bandwidth
+                        for link in domain_view.links
+                        if infra_domain.get(link.src_node) == domain
+                        and infra_domain.get(link.dst_node) == domain
+                        and link.available_bandwidth > 0]
+            node_id = f"{view_id}-{domain.value}"
+            aggregate_id[domain] = node_id
+            infra_type = (InfraType.SDN_SWITCH
+                          if all(i.infra_type == InfraType.SDN_SWITCH
+                                 for i in infras) else InfraType.BISBIS)
+            view.add_infra(
+                node_id, infra_type=infra_type, domain=domain,
+                resources=ResourceVector(
+                    cpu=total.cpu, mem=total.mem, storage=total.storage,
+                    bandwidth=min(link_bws) if link_bws else 10_000.0,
+                    delay=_domain_diameter_delay(domain_view, infras)),
+                supported_types=sorted(supported))
+        # SAPs keep their identity, attached to their domain's aggregate
+        for sap in domain_view.saps:
+            bindings = domain_view.sap_bindings()
+            if sap.id not in bindings:
+                continue
+            host_infra, _ = bindings[sap.id]
+            domain = infra_domain[host_infra]
+            aggregate = view.infra(aggregate_id[domain])
+            port = aggregate.add_port(f"sap-{sap.id}", sap_tag=sap.id)
+            new_sap = view.add_sap(sap.id, binding=sap.binding)
+            view.add_link(sap.id, list(new_sap.ports)[0], aggregate.id,
+                          port.id, id=f"sl-{view_id}-{sap.id}",
+                          bandwidth=aggregate.resources.bandwidth,
+                          delay=0.0)
+        # inter-domain connectivity: one link per domain pair that has
+        # at least one physical inter-domain link
+        pair_best: dict[frozenset, tuple[float, float]] = {}
+        for link in domain_view.links:
+            src_domain = infra_domain.get(link.src_node)
+            dst_domain = infra_domain.get(link.dst_node)
+            if (src_domain is None or dst_domain is None
+                    or src_domain == dst_domain):
+                continue
+            key = frozenset((src_domain, dst_domain))
+            bandwidth, delay = pair_best.get(key, (0.0, float("inf")))
+            pair_best[key] = (max(bandwidth, link.available_bandwidth),
+                              min(delay, link.delay))
+        for key, (bandwidth, delay) in pair_best.items():
+            domain_a, domain_b = sorted(key, key=lambda d: d.value)
+            node_a = view.infra(aggregate_id[domain_a])
+            node_b = view.infra(aggregate_id[domain_b])
+            port_a = node_a.add_port(f"to-{node_b.id}")
+            port_b = node_b.add_port(f"to-{node_a.id}")
+            view.add_link(node_a.id, port_a.id, node_b.id, port_b.id,
+                          id=f"{view_id}-{domain_a.value}-{domain_b.value}",
+                          bandwidth=bandwidth, delay=delay)
+        return view
+
+
+def _domain_diameter_delay(domain_view: NFFG, infras) -> float:
+    member_ids = {infra.id for infra in infras}
+    sliced = NFFG(id="tmp-slice")
+    for infra in infras:
+        sliced.add_node_copy(infra)
+    for link in domain_view.links:
+        if link.src_node in member_ids and link.dst_node in member_ids:
+            try:
+                sliced.add_edge_copy(link)
+            except Exception:  # noqa: BLE001 - tolerate dangling ports
+                continue
+    return _diameter_delay(sliced)
+
+
+class FilteredView(ViewPolicy):
+    """Expose only a whitelisted subset of infra nodes (policy slices)."""
+
+    def __init__(self, allowed_infras: Sequence[str]):
+        self.allowed = set(allowed_infras)
+
+    def build_view(self, domain_view: NFFG, view_id: str) -> NFFG:
+        full = remaining_nffg(domain_view, new_id=view_id)
+        for nf in list(full.nfs):
+            host = full.host_of(nf.id)
+            if host is not None and host not in self.allowed:
+                full.remove_node(nf.id)
+        for infra in list(full.infras):
+            if infra.id not in self.allowed:
+                full.remove_node(infra.id)
+        for sap in list(full.saps):
+            if not any(True for _ in full.edges_of(sap.id)):
+                full.remove_node(sap.id)
+        return full
+
+
+def _diameter_delay(view: NFFG) -> float:
+    """Worst-case shortest-path delay between any two infra nodes."""
+    import networkx as nx
+
+    topo = view.infra_topology()
+    if topo.number_of_nodes() <= 1:
+        return 0.1
+    try:
+        lengths = dict(nx.all_pairs_dijkstra_path_length(topo, weight="delay"))
+    except Exception:  # pragma: no cover - defensive
+        return 0.1
+    worst = 0.0
+    for src, targets in lengths.items():
+        for dst, dist in targets.items():
+            worst = max(worst, dist)
+    return max(worst, 0.1)

@@ -1,0 +1,288 @@
+"""Data-side classes of the YANG-like engine.
+
+A :class:`DataNode` instantiates a schema node: containers hold child
+data nodes by name, list nodes hold instances by key value, leaves hold
+a canonicalized value.  Paths use the compact form
+``/virtualizer/nodes/node[un1]/flowtable/flowentry[f3]/match``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Optional
+
+from repro.yang.schema import Container, Leaf, SchemaNode, YangList
+
+
+class ValidationError(ValueError):
+    """Raised when data does not conform to its schema."""
+
+
+class DataNode:
+    """One node of a data tree, bound to its schema node."""
+
+    def __init__(self, schema: SchemaNode, key_value: Optional[str] = None):
+        self.schema = schema
+        #: for list *instances*: the key value addressing this instance
+        self.key_value = key_value
+        self.parent: Optional[DataNode] = None
+        self.value: Any = None                      # leaves only
+        self._children: dict[str, DataNode] = {}    # containers & instances
+        self._instances: dict[str, DataNode] = {}   # list nodes only
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return isinstance(self.schema, Leaf)
+
+    @property
+    def is_list(self) -> bool:
+        return isinstance(self.schema, YangList) and self.key_value is None
+
+    @property
+    def is_list_instance(self) -> bool:
+        return isinstance(self.schema, YangList) and self.key_value is not None
+
+    @property
+    def is_container(self) -> bool:
+        return isinstance(self.schema, Container)
+
+    # -- structure building -------------------------------------------------
+
+    def set_leaf(self, name: str, value: Any) -> "DataNode":
+        """Create/overwrite a child leaf."""
+        schema = self._child_schema(name)
+        if not isinstance(schema, Leaf):
+            raise ValidationError(f"{self.path()}/{name} is not a leaf")
+        node = self._children.get(name)
+        if node is None:
+            node = DataNode(schema)
+            node.parent = self
+            self._children[name] = node
+        node.value = schema.check_value(value)
+        return node
+
+    def container(self, name: str) -> "DataNode":
+        """Get-or-create a child container."""
+        schema = self._child_schema(name)
+        if not isinstance(schema, Container):
+            raise ValidationError(f"{self.path()}/{name} is not a container")
+        node = self._children.get(name)
+        if node is None:
+            node = DataNode(schema)
+            node.parent = self
+            self._children[name] = node
+        return node
+
+    def list_node(self, name: str) -> "DataNode":
+        """Get-or-create the child *list* node (holder of instances)."""
+        schema = self._child_schema(name)
+        if not isinstance(schema, YangList):
+            raise ValidationError(f"{self.path()}/{name} is not a list")
+        node = self._children.get(name)
+        if node is None:
+            node = DataNode(schema)
+            node.parent = self
+            self._children[name] = node
+        return node
+
+    def add_instance(self, key_value: str) -> "DataNode":
+        """Add an instance to a list node (self must be the list holder)."""
+        if not self.is_list:
+            raise ValidationError(f"{self.path()} is not a list node")
+        key_value = str(key_value)
+        if key_value in self._instances:
+            raise ValidationError(f"duplicate list key {key_value!r} at {self.path()}")
+        instance = DataNode(self.schema, key_value=key_value)
+        instance.parent = self
+        assert isinstance(self.schema, YangList)
+        instance.set_leaf(self.schema.key, key_value)
+        self._instances[key_value] = instance
+        return instance
+
+    def instance(self, key_value: str) -> "DataNode":
+        try:
+            return self._instances[str(key_value)]
+        except KeyError:
+            raise ValidationError(
+                f"no instance {key_value!r} in list {self.path()}") from None
+
+    def has_instance(self, key_value: str) -> bool:
+        return str(key_value) in self._instances
+
+    def remove_instance(self, key_value: str) -> None:
+        if str(key_value) not in self._instances:
+            raise ValidationError(
+                f"no instance {key_value!r} in list {self.path()}")
+        del self._instances[str(key_value)]
+
+    def remove_child(self, name: str) -> None:
+        if name not in self._children:
+            raise ValidationError(f"no child {name!r} at {self.path()}")
+        del self._children[name]
+
+    # -- navigation ---------------------------------------------------------
+
+    def child(self, name: str) -> "DataNode":
+        try:
+            return self._children[name]
+        except KeyError:
+            raise ValidationError(f"no child {name!r} at {self.path()}") from None
+
+    def has_child(self, name: str) -> bool:
+        return name in self._children
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Value of child leaf ``name`` or ``default``."""
+        node = self._children.get(name)
+        if node is None or not node.is_leaf:
+            return default
+        return node.value
+
+    def children(self) -> Iterator["DataNode"]:
+        return iter(self._children.values())
+
+    def instances(self) -> Iterator["DataNode"]:
+        return iter(self._instances.values())
+
+    def instance_keys(self) -> list[str]:
+        return list(self._instances)
+
+    def _child_schema(self, name: str) -> SchemaNode:
+        schema = self.schema
+        if isinstance(schema, (Container, YangList)):
+            if name not in schema.children:
+                raise ValidationError(f"schema has no child {name!r} at {self.path()}")
+            return schema.children[name]
+        raise ValidationError(f"{self.path()} cannot have children")
+
+    # -- paths ----------------------------------------------------------------
+
+    def path(self) -> str:
+        parts: list[str] = []
+        node: Optional[DataNode] = self
+        while node is not None:
+            if node.is_list_instance:
+                parts.append(f"{node.schema.name}[{node.key_value}]")
+                node = node.parent.parent if node.parent else None
+            else:
+                parts.append(node.schema.name)
+                node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    def resolve(self, path: str) -> "DataNode":
+        """Resolve a path relative to this node ('' or '/' = self)."""
+        node: DataNode = self
+        for token in [t for t in path.strip("/").split("/") if t]:
+            if "[" in token:
+                name, _, rest = token.partition("[")
+                key = rest.rstrip("]")
+                node = node.list_node(name) if name not in node._children \
+                    else node._children[name]
+                node = node.instance(key)
+            else:
+                node = node.child(token)
+        return node
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Return a list of problems (empty = valid)."""
+        problems: list[str] = []
+        self._validate_into(problems)
+        return problems
+
+    def _validate_into(self, problems: list[str]) -> None:
+        schema = self.schema
+        if isinstance(schema, Leaf):
+            if self.value is None and schema.mandatory:
+                problems.append(f"{self.path()}: mandatory leaf unset")
+            return
+        if isinstance(schema, YangList) and self.is_list:
+            for instance in self._instances.values():
+                instance._validate_into(problems)
+            return
+        # container or list instance: check mandatory leaves exist
+        for name, child_schema in schema.children.items():
+            if isinstance(child_schema, Leaf) and child_schema.mandatory:
+                if name not in self._children or self._children[name].value is None:
+                    problems.append(f"{self.path()}/{name}: mandatory leaf missing")
+        for child in self._children.values():
+            child._validate_into(problems)
+
+    # -- copy / serialization ------------------------------------------------------
+
+    def copy(self) -> "DataNode":
+        clone = DataNode(self.schema, key_value=self.key_value)
+        clone.value = self.value
+        for name, child in self._children.items():
+            child_clone = child.copy()
+            child_clone.parent = clone
+            clone._children[name] = child_clone
+        for key, instance in self._instances.items():
+            instance_clone = instance.copy()
+            instance_clone.parent = clone
+            clone._instances[key] = instance_clone
+        return clone
+
+    def to_dict(self) -> Any:
+        if self.is_leaf:
+            return self.value
+        if self.is_list:
+            return {key: inst.to_dict() for key, inst in sorted(self._instances.items())}
+        return {name: child.to_dict() for name, child in sorted(self._children.items())}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_xml(self, indent: int = 0) -> str:
+        """Compact XML-ish rendering (for logs and byte-count metrics)."""
+        pad = "  " * indent
+        name = self.schema.name
+        if self.is_leaf:
+            return f"{pad}<{name}>{self.value}</{name}>"
+        if self.is_list:
+            return "\n".join(inst.to_xml(indent) for inst in self._instances.values())
+        inner = [child.to_xml(indent + 1) for child in self._children.values()]
+        if not inner:
+            return f"{pad}<{name}/>"
+        body = "\n".join(inner)
+        return f"{pad}<{name}>\n{body}\n{pad}</{name}>"
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"<DataLeaf {self.path()}={self.value!r}>"
+        return f"<DataNode {self.path()}>"
+
+
+def data_from_dict(schema: SchemaNode, data: Any,
+                   key_value: Optional[str] = None) -> DataNode:
+    """Build a data tree from :meth:`DataNode.to_dict` output."""
+    node = DataNode(schema, key_value=key_value)
+    _fill_from_dict(node, data)
+    return node
+
+
+def _fill_from_dict(node: DataNode, data: Any) -> None:
+    if node.is_leaf:
+        if data is not None:
+            assert isinstance(node.schema, Leaf)
+            node.value = node.schema.check_value(data)
+        return
+    if node.is_list:
+        for key, instance_data in data.items():
+            instance = node.add_instance(key)
+            _fill_from_dict(instance, instance_data)
+        return
+    schema = node.schema
+    for name, child_data in data.items():
+        child_schema = schema.children.get(name)
+        if child_schema is None:
+            raise ValidationError(f"unknown child {name!r} at {node.path()}")
+        if isinstance(child_schema, Leaf):
+            node.set_leaf(name, child_data)
+        elif isinstance(child_schema, Container):
+            _fill_from_dict(node.container(name), child_data)
+        else:
+            _fill_from_dict(node.list_node(name), child_data)

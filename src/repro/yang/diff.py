@@ -1,0 +1,188 @@
+"""Structural diff and patch for YANG-like data trees.
+
+The Unify interface is diff-based: a manager fetches a view, edits it
+locally and sends only the delta.  :func:`diff_trees` produces an
+ordered edit script; :func:`apply_patch` replays it on another copy.
+Deletes are emitted before creates so that replace-by-key works.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.yang.data import DataNode, ValidationError, _fill_from_dict
+
+
+class DiffOp(str, enum.Enum):
+    SET = "set"          #: set a leaf value (path -> leaf)
+    DELETE = "delete"    #: remove a list instance or unset a leaf
+    CREATE = "create"    #: create a list instance subtree (value = dict)
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    op: DiffOp
+    path: str
+    value: Any = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op.value, "path": self.path, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DiffEntry":
+        return cls(op=DiffOp(data["op"]), path=data["path"],
+                   value=data.get("value"))
+
+
+def diff_trees(old: DataNode, new: DataNode) -> list[DiffEntry]:
+    """Edit script transforming ``old`` into ``new``.
+
+    Both trees must share a schema.  The script touches leaves with SET,
+    list instances with CREATE/DELETE; containers are recursed into.
+    """
+    if old.schema is not new.schema and old.schema.path() != new.schema.path():
+        raise ValidationError("cannot diff trees with different schemas")
+    entries: list[DiffEntry] = []
+    _diff_node(old, new, entries)
+    return entries
+
+
+def _diff_node(old: DataNode, new: DataNode, entries: list[DiffEntry]) -> None:
+    if old.is_leaf:
+        if old.value != new.value:
+            if new.value is None:
+                entries.append(DiffEntry(DiffOp.DELETE, new.path()))
+            else:
+                entries.append(DiffEntry(DiffOp.SET, new.path(), new.value))
+        return
+    if old.is_list and new.is_list:
+        old_keys = set(old.instance_keys())
+        new_keys = set(new.instance_keys())
+        for key in sorted(old_keys - new_keys):
+            # the holder path already ends in the list name; the instance
+            # path just appends its key selector
+            entries.append(DiffEntry(DiffOp.DELETE, f"{new.path()}[{key}]"))
+        for key in sorted(new_keys - old_keys):
+            instance = new.instance(key)
+            entries.append(DiffEntry(DiffOp.CREATE, instance.path(),
+                                     instance.to_dict()))
+        for key in sorted(old_keys & new_keys):
+            _diff_node(old.instance(key), new.instance(key), entries)
+        return
+    # container or list instance
+    old_children = {child.schema.name: child for child in old.children()}
+    new_children = {child.schema.name: child for child in new.children()}
+    for name in sorted(set(old_children) - set(new_children)):
+        entries.append(DiffEntry(DiffOp.DELETE, f"{old.path()}/{name}"))
+    for name in sorted(set(new_children) - set(old_children)):
+        child = new_children[name]
+        if child.is_leaf:
+            entries.append(DiffEntry(DiffOp.SET, child.path(), child.value))
+        else:
+            _emit_creates(child, entries)
+    for name in sorted(set(old_children) & set(new_children)):
+        _diff_node(old_children[name], new_children[name], entries)
+
+
+def _emit_creates(node: DataNode, entries: list[DiffEntry]) -> None:
+    """Emit CREATEs for every list instance reachable under a fresh node,
+    and SETs for loose leaves under fresh containers."""
+    if node.is_leaf:
+        if node.value is not None:
+            entries.append(DiffEntry(DiffOp.SET, node.path(), node.value))
+        return
+    if node.is_list:
+        for instance in node.instances():
+            entries.append(DiffEntry(DiffOp.CREATE, instance.path(),
+                                     instance.to_dict()))
+        return
+    for child in node.children():
+        _emit_creates(child, entries)
+
+
+def apply_patch(tree: DataNode, entries: list[DiffEntry]) -> DataNode:
+    """Apply an edit script (in place); returns ``tree`` for chaining."""
+    root_name = tree.schema.name
+    for entry in entries:
+        relative = _strip_root(entry.path, root_name)
+        if entry.op == DiffOp.SET:
+            parent_path, leaf_name = _split_leaf(relative)
+            parent = _resolve_creating(tree, parent_path)
+            parent.set_leaf(leaf_name, entry.value)
+        elif entry.op == DiffOp.DELETE:
+            _apply_delete(tree, relative)
+        elif entry.op == DiffOp.CREATE:
+            parent_path, instance_token = _split_leaf(relative)
+            name, _, rest = instance_token.partition("[")
+            key = rest.rstrip("]")
+            parent = _resolve_creating(tree, parent_path) if parent_path else tree
+            holder = parent.list_node(name)
+            if holder.has_instance(key):
+                holder.remove_instance(key)
+            instance = holder.add_instance(key)
+            _fill_from_dict(instance, entry.value)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValidationError(f"unknown diff op {entry.op}")
+    return tree
+
+
+def _resolve_creating(tree: DataNode, path: str) -> DataNode:
+    """Resolve a path, creating missing *containers* on the way (NETCONF
+    merge semantics).  Missing list instances are still errors — they
+    must arrive via explicit CREATE entries."""
+    from repro.yang.schema import Container
+
+    node = tree
+    for token in [t for t in path.strip("/").split("/") if t]:
+        if "[" in token:
+            name, _, rest = token.partition("[")
+            key = rest.rstrip("]")
+            node = node.list_node(name).instance(key)
+        else:
+            child_schema = node._child_schema(token)
+            if isinstance(child_schema, Container):
+                node = node.container(token)
+            else:
+                node = node.list_node(token)
+    return node
+
+
+def _apply_delete(tree: DataNode, relative: str) -> None:
+    parent_path, token = _split_leaf(relative)
+    parent = tree.resolve(parent_path) if parent_path else tree
+    if "[" in token:
+        name, _, rest = token.partition("[")
+        key = rest.rstrip("]")
+        parent.list_node(name).remove_instance(key)
+    else:
+        parent.remove_child(token)
+
+
+def _strip_root(path: str, root_name: str) -> str:
+    path = path.strip("/")
+    prefix = root_name
+    if path == prefix:
+        return ""
+    if path.startswith(prefix + "/"):
+        return path[len(prefix) + 1:]
+    # root may itself be a list instance token like "virtualizer[v1]"
+    if path.startswith(prefix + "["):
+        _, _, rest = path.partition("/")
+        return rest
+    raise ValidationError(f"path {path!r} does not start at root {root_name!r}")
+
+
+def _split_leaf(path: str) -> tuple[str, str]:
+    path = path.strip("/")
+    if "/" not in path:
+        return "", path
+    parent, _, last = path.rpartition("/")
+    return parent, last
+
+
+def patch_size_bytes(entries: list[DiffEntry]) -> int:
+    """Wire size of an edit script (JSON), for control-plane metrics."""
+    return len(json.dumps([entry.to_dict() for entry in entries]).encode())

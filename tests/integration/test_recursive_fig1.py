@@ -1,0 +1,90 @@
+"""Integration: a parent orchestrator over the complete Fig. 1 stack.
+
+The deepest end-to-end path in the reproduction: parent -> Unify ->
+child ESCAPE -> four technology domains -> packet dataplane, including
+decomposition chosen below the recursion boundary.
+"""
+
+import pytest
+
+from repro.netem.packet import tcp_packet
+from repro.orchestration import (
+    EscapeOrchestrator,
+    UnifyAgent,
+    UnifyDomainAdapter,
+)
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_reference_multidomain
+
+
+@pytest.fixture
+def stacked():
+    testbed = build_reference_multidomain()
+    parent = EscapeOrchestrator("parent",
+                                simulator=testbed.network.simulator)
+    parent.add_domain(UnifyDomainAdapter("lower",
+                                         UnifyAgent(testbed.escape)))
+    return testbed, parent
+
+
+class TestParentOverFig1:
+    def test_parent_sees_aggregate_of_everything(self, stacked):
+        testbed, parent = stacked
+        view = parent.resource_view()
+        assert len(view.infras) == 1
+        # 2 emu x 8 + cloud 64 + un 16
+        assert view.infras[0].resources.cpu == 96.0
+        sap_tags = {p.sap_tag for p in view.infras[0].ports.values()
+                    if p.sap_tag}
+        assert {"sap1", "sap2", "sap3"} <= sap_tags
+
+    def test_concrete_chain_through_parent(self, stacked):
+        testbed, parent = stacked
+        service = (ServiceRequestBuilder("deep")
+                   .sap("sap1").sap("sap2")
+                   .nf("deep-fw", "firewall").nf("deep-nat", "nat")
+                   .chain("sap1", "deep-fw", "deep-nat", "sap2",
+                          bandwidth=5.0).build())
+        report = parent.deploy(service.sg)
+        assert report.success, report.error
+        h1, h2 = testbed.host("sap1"), testbed.host("sap2")
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        testbed.run()
+        assert len(h2.received) == 1
+        assert h2.received[0].ip_src == "192.0.2.1"
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=22))
+        testbed.run()
+        assert len(h2.received) == 1  # fw drop below recursion boundary
+
+    def test_abstract_nf_through_parent(self, stacked):
+        testbed, parent = stacked
+        service = (ServiceRequestBuilder("deep-vcpe")
+                   .sap("sap1").sap("sap2")
+                   .nf("dv-cpe", "vCPE", cpu=1.5, mem=192.0, storage=2.0)
+                   .chain("sap1", "dv-cpe", "sap2", bandwidth=5.0).build())
+        report = parent.deploy(service.sg)
+        assert report.success, report.error
+        # the child (which owns the library) decomposed it
+        child_report = list(testbed.escape.reports.values())[-1]
+        assert child_report.mapping.decompositions
+        h1, h2 = testbed.host("sap1"), testbed.host("sap2")
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        testbed.run()
+        assert len(h2.received) == 1
+
+    def test_parent_teardown_reaches_dataplane(self, stacked):
+        testbed, parent = stacked
+        service = (ServiceRequestBuilder("ephemeral")
+                   .sap("sap1").sap("sap2")
+                   .nf("ep-fw", "firewall")
+                   .chain("sap1", "ep-fw", "sap2", bandwidth=1.0).build())
+        assert parent.deploy(service.sg).success
+        assert parent.teardown("ephemeral")
+        testbed.run()
+        attached = [nf for switch in testbed.emu.switches.values()
+                    for nf in switch.attached_nfs()]
+        assert attached == []
+        h1, h2 = testbed.host("sap1"), testbed.host("sap2")
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        testbed.run()
+        assert len(h2.received) == 0

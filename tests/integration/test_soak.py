@@ -1,0 +1,79 @@
+"""Soak test: sustained deploy/teardown cycles leave zero residue.
+
+Resource leaks, stale flow rules and orphaned NFs are the classic
+orchestrator rot; this drives many lifecycle cycles over the full
+multi-domain testbed and asserts the world returns to pristine state.
+"""
+
+import pytest
+
+from repro.topo import build_reference_multidomain
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_reference_multidomain()
+
+
+def _pristine_snapshot(testbed):
+    view = testbed.escape.resource_view()
+    return {
+        "cpu": sum(i.resources.cpu for i in view.infras),
+        "mem": sum(i.resources.mem for i in view.infras),
+        "link_bw": sum(l.bandwidth for l in view.links),
+    }
+
+
+def test_soak_thirty_lifecycle_cycles(testbed):
+    pristine = _pristine_snapshot(testbed)
+    generator = WorkloadGenerator(seed=21, sap_ids=("sap1", "sap2", "sap3"))
+    deployed_total = 0
+    for request in generator.batch(30):
+        report = testbed.escape.deploy(request.service,
+                                       wait_activation=False)
+        if report.success:
+            deployed_total += 1
+            assert testbed.escape.teardown(request.service.id)
+    assert deployed_total >= 20  # the mix mostly fits one at a time
+    testbed.run()
+    assert _pristine_snapshot(testbed) == pristine
+    # no NFs left anywhere
+    leftovers = [nf for switch in testbed.emu.switches.values()
+                 for nf in switch.attached_nfs()]
+    leftovers += testbed.un.lsi.attached_nfs()
+    leftovers += [vm.name for vm in testbed.cloud.nova.list_instances()]
+    assert leftovers == []
+    # no flow rules left anywhere
+    total_rules = sum(s.flow_count() for s in testbed.emu.switches.values())
+    total_rules += sum(s.flow_count()
+                       for s in testbed.sdn.switches.values())
+    total_rules += testbed.un.lsi.flow_count()
+    total_rules += sum(s.flow_count()
+                       for s in testbed.cloud.compute_switches.values())
+    assert total_rules == 0
+
+
+def test_soak_concurrent_pairs(testbed):
+    """Deploy in overlapping pairs (A, B alive together), teardown in
+    mixed order; accounting must survive interleaving."""
+    pristine = _pristine_snapshot(testbed)
+    generator = WorkloadGenerator(seed=22, sap_ids=("sap1", "sap2"))
+    requests = iter(generator.batch(20))
+    alive: list[str] = []
+    deployed = 0
+    for request in requests:
+        report = testbed.escape.deploy(request.service,
+                                       wait_activation=False)
+        if report.success:
+            deployed += 1
+            alive.append(request.service.id)
+        if len(alive) >= 2:
+            # tear down the *older* one first, then keep the newer
+            victim = alive.pop(0)
+            assert testbed.escape.teardown(victim)
+    for service_id in alive:
+        assert testbed.escape.teardown(service_id)
+    testbed.run()
+    assert deployed >= 10
+    assert _pristine_snapshot(testbed) == pristine

@@ -1,0 +1,77 @@
+"""Property-based tests for Click NFs and the simulator kernel."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.click import make_nf_process
+from repro.click.catalog import supported_functional_types
+from repro.netem.packet import Packet
+from repro.sim import Simulator
+
+packets = st.builds(
+    Packet,
+    ip_src=st.sampled_from(["10.0.0.1", "10.0.0.2"]),
+    ip_dst=st.sampled_from(["10.0.1.1", "10.0.1.2"]),
+    ip_proto=st.sampled_from([6, 17]),
+    tp_src=st.integers(1024, 2048),
+    tp_dst=st.integers(1, 1024),
+    payload=st.text(alphabet="abcdef malware", max_size=20),
+    size_bytes=st.integers(64, 1500),
+)
+
+
+@given(st.sampled_from(supported_functional_types()),
+       st.lists(packets, min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_nfs_never_duplicate_or_crash(functional_type, burst):
+    """Any catalog NF, any packet burst: per input packet at most one
+    emission per output gate, and no exceptions."""
+    process = make_nf_process("x", functional_type)
+    for packet in burst:
+        emissions = process.push(packet, 0, now=0.0)
+        assert len(emissions) <= 2
+        for port, emitted in emissions:
+            assert isinstance(port, int)
+            assert emitted.size_bytes > 0
+
+
+@given(st.sampled_from(["firewall", "nat", "forwarder", "monitor"]),
+       packets)
+@settings(max_examples=60, deadline=None)
+def test_forwarding_nfs_preserve_identity(functional_type, packet):
+    """Forwarded packets keep their uid (no silent re-origination)."""
+    process = make_nf_process("x", functional_type)
+    original_uid = packet.uid
+    for port, emitted in process.push(packet, 0):
+        assert emitted.uid == original_uid
+
+
+@given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                          st.integers(0, 1000)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_simulator_fires_in_nondecreasing_time_order(events):
+    sim = Simulator()
+    fired: list[float] = []
+    for delay, _ in events:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(events)
+
+
+@given(st.lists(st.floats(0, 50, allow_nan=False), min_size=1,
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_simulator_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    observations: list[float] = []
+
+    def observe():
+        observations.append(sim.now)
+
+    for delay in delays:
+        sim.schedule(delay, observe)
+    sim.run()
+    assert observations == sorted(observations)
+    assert sim.now == max(delays)

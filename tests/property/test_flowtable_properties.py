@@ -1,0 +1,86 @@
+"""Property-based tests for flow tables and packet matching."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.netem.packet import Packet
+from repro.openflow import FlowMod, FlowModCommand, FlowTable, Match
+from repro.openflow.messages import ActionOutput
+
+packets = st.builds(
+    Packet,
+    ip_src=st.sampled_from(["10.0.0.1", "10.0.0.2", "10.0.0.3"]),
+    ip_dst=st.sampled_from(["10.0.1.1", "10.0.1.2"]),
+    ip_proto=st.sampled_from([6, 17]),
+    tp_src=st.integers(1024, 1030),
+    tp_dst=st.sampled_from([22, 53, 80, 443]),
+    size_bytes=st.integers(64, 1500),
+)
+
+matches = st.builds(
+    Match,
+    in_port=st.one_of(st.none(), st.sampled_from(["1", "2"])),
+    nw_src=st.one_of(st.none(),
+                     st.sampled_from(["10.0.0.1", "10.0.0.2"])),
+    nw_proto=st.one_of(st.none(), st.sampled_from([6, 17])),
+    tp_dst=st.one_of(st.none(), st.sampled_from([22, 80])),
+)
+
+
+@given(packets, matches)
+def test_wildcarding_is_monotone(packet, match):
+    """If a match hits, removing any constraint still hits."""
+    in_port = "1"
+    if match.matches(packet, in_port):
+        for field_name in ("in_port", "nw_src", "nw_proto", "tp_dst"):
+            relaxed = Match(**{**match.to_dict(), field_name: None})
+            assert relaxed.matches(packet, in_port)
+
+
+@given(packets)
+def test_empty_match_hits_everything(packet):
+    assert Match().matches(packet, "any-port")
+
+
+@given(st.lists(st.tuples(matches, st.integers(1, 300)), min_size=1,
+                max_size=8), packets)
+@settings(max_examples=60, deadline=None)
+def test_lookup_returns_highest_priority_hit(rules, packet):
+    table = FlowTable()
+    for index, (match, priority) in enumerate(rules):
+        table.apply_flow_mod(FlowMod(
+            command=FlowModCommand.ADD, match=match,
+            actions=[ActionOutput(str(index))], priority=priority))
+    entry = table.lookup(packet, "1")
+    hits = [priority for match, priority in rules
+            if match.matches(packet, "1")]
+    if entry is None:
+        assert not hits
+    else:
+        assert entry.priority == max(hits)
+
+
+@given(st.lists(st.tuples(matches, st.integers(1, 300)), min_size=1,
+                max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_delete_all_empties_table(rules):
+    table = FlowTable()
+    for index, (match, priority) in enumerate(rules):
+        table.apply_flow_mod(FlowMod(command=FlowModCommand.ADD,
+                                     match=match,
+                                     actions=[ActionOutput(str(index))],
+                                     priority=priority))
+    table.apply_flow_mod(FlowMod(command=FlowModCommand.DELETE,
+                                 match=Match(), actions=[]))
+    assert len(table) == 0
+
+
+@given(packets)
+def test_flowclass_matching_consistent_with_match(packet):
+    """Match.from_flowclass and Packet.matches_flowclass agree."""
+    spec = f"nw_src={packet.ip_src},tp_dst={packet.tp_dst}"
+    assert packet.matches_flowclass(spec)
+    assert Match.from_flowclass(spec).matches(packet, "x")
+    wrong = "nw_src=203.0.113.9"
+    assert not packet.matches_flowclass(wrong)
+    assert not Match.from_flowclass(wrong).matches(packet, "x")

@@ -1,0 +1,123 @@
+"""Tests for the domain adapter layer (install accounting, teardown,
+failure isolation)."""
+
+import pytest
+
+from repro.emu import EmulatedDomain
+from repro.netem import Network
+from repro.nffg import NFFG, NFFGBuilder
+from repro.nffg.builder import linear_substrate
+from repro.nffg.model import DomainType
+from repro.mapping import GreedyEmbedder
+from repro.orchestration import (
+    DirectDomainAdapter,
+    EmuDomainAdapter,
+    SdnDomainAdapter,
+)
+from repro.sdnnet import SDNDomain
+
+
+class TestDirectAdapter:
+    def test_records_installs(self):
+        adapter = DirectDomainAdapter("d", linear_substrate(2, id="d"))
+        install = NFFG(id="install")
+        report = adapter.install(install)
+        assert report.success
+        assert adapter.installs == 1
+        assert adapter.installed == [install]
+
+    def test_get_view_returns_copy(self):
+        view = linear_substrate(2, id="d")
+        adapter = DirectDomainAdapter("d", view)
+        got = adapter.get_view()
+        got.add_sap("intruder")
+        assert not adapter.get_view().has_node("intruder")
+
+    def test_teardown_pushes_empty(self):
+        adapter = DirectDomainAdapter("d", linear_substrate(2, id="d"))
+        adapter.teardown()
+        assert adapter.installed[-1].summary()["infras"] == 0
+
+    def test_default_flow_stats_empty(self):
+        adapter = DirectDomainAdapter("d", NFFG(id="v"))
+        assert adapter.flow_stats() == {}
+
+
+class TestAdapterFaultIsolation:
+    def test_push_exception_becomes_failed_report(self):
+        class ExplodingAdapter(DirectDomainAdapter):
+            def _push(self, install):
+                raise RuntimeError("boom")
+
+        adapter = ExplodingAdapter("bad", NFFG(id="v"))
+        report = adapter.install(NFFG(id="x"))
+        assert not report.success
+        assert "RuntimeError: boom" in report.error
+        assert adapter.installs == 0
+
+    def test_report_counts_control_traffic_delta(self):
+        net = Network()
+        domain = EmulatedDomain("emu", net, node_ids=["bb0"])
+        domain.add_sap("sap1", "bb0")
+        adapter = EmuDomainAdapter("emu", domain)
+        first = adapter.install(domain.domain_view())
+        second = adapter.install(domain.domain_view())
+        assert first.control_messages > 0
+        assert second.control_messages > 0
+        # deltas, not cumulative totals
+        total_messages, _ = adapter.control_stats()
+        assert total_messages >= first.control_messages \
+            + second.control_messages
+
+
+class TestSdnAdapter:
+    def _setup(self):
+        net = Network()
+        domain = SDNDomain("sdn", net, switch_ids=["sw0", "sw1"],
+                           links=[("sw0", "sw1")])
+        domain.add_sap("a", "sw0")
+        domain.add_sap("b", "sw1")
+        return net, domain, SdnDomainAdapter("sdn", domain)
+
+    def test_programs_switch_rules(self):
+        net, domain, adapter = self._setup()
+        view = adapter.get_view()
+        # fabricate a transit install: steer a->b through both switches
+        install = view.copy("install")
+        install.infra("sw0").port("sap-a").add_flowrule(
+            "in_port=sap-a", "output=to-sw1;tag=h1", hop_id="h1")
+        install.infra("sw1").port("to-sw0").add_flowrule(
+            "in_port=to-sw0;tag=h1", "output=sap-b;untag", hop_id="h1")
+        report = adapter.install(install)
+        assert report.success, report.error
+        assert domain.switches["sw0"].flow_count() == 1
+        assert domain.switches["sw1"].flow_count() == 1
+
+    def test_unknown_switch_fails_report(self):
+        net, domain, adapter = self._setup()
+        install = NFFG(id="x")
+        install.add_infra("ghost-switch", domain=DomainType.SDN,
+                          num_ports=1)
+        report = adapter.install(install)
+        assert not report.success
+        assert "ghost-switch" in report.error
+
+    def test_reinstall_replaces_flows(self):
+        net, domain, adapter = self._setup()
+        view = adapter.get_view()
+        install = view.copy("install")
+        install.infra("sw0").port("sap-a").add_flowrule(
+            "in_port=sap-a", "output=to-sw1", hop_id="h1")
+        adapter.install(install)
+        adapter.install(install)
+        assert domain.switches["sw0"].flow_count() == 1
+
+    def test_teardown_clears(self):
+        net, domain, adapter = self._setup()
+        view = adapter.get_view()
+        install = view.copy("install")
+        install.infra("sw0").port("sap-a").add_flowrule(
+            "in_port=sap-a", "output=to-sw1", hop_id="h1")
+        adapter.install(install)
+        adapter.teardown()
+        assert domain.switches["sw0"].flow_count() == 0

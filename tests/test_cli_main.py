@@ -1,0 +1,58 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSubcommands:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo", "--packets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "2/2 delivered" in out
+        assert "nf:demo-fw" in out
+
+    def test_topology_ascii(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "emu-bb0" in out
+        assert "un-bisbis" in out
+
+    def test_topology_dot(self, capsys):
+        assert main(["topology", "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"cloud-bisbis"' in out
+
+    def test_topology_scaling_flags(self, capsys):
+        assert main(["topology", "--emu-switches", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "emu-bb3" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "firewall" in out and "dpi" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1" in out and "ABL-1" in out
+        assert "pytest benchmarks/" in out
+
+    def test_scale_cycle(self, capsys):
+        assert main(["scale", "--packets", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "scale-out" in out
+        assert "final level 1" in out

@@ -1,0 +1,230 @@
+"""Tests for the OpenStack+ODL-like cloud domain."""
+
+import pytest
+
+from repro.cloud import (
+    CloudDomain,
+    CloudLocalOrchestrator,
+    ComputeHost,
+    FilterScheduler,
+    Flavor,
+    Image,
+    NovaCompute,
+    NoValidHost,
+)
+from repro.cloud.nova import VMState, flavor_for
+from repro.mapping import GreedyEmbedder
+from repro.netconf import NetconfClient
+from repro.netem import Network
+from repro.netem.packet import tcp_packet
+from repro.nffg import NFFGBuilder
+from repro.nffg.serialize import nffg_to_dict
+from repro.openflow.channel import ControlChannel
+from repro.sim import Simulator
+
+
+class TestScheduler:
+    def _hosts(self):
+        return [ComputeHost("h1", vcpus=4, ram_mb=4096, disk_gb=100),
+                ComputeHost("h2", vcpus=8, ram_mb=8192, disk_gb=100)]
+
+    def test_picks_most_free(self):
+        scheduler = FilterScheduler()
+        flavor = Flavor("f", 1, 512, 1)
+        image = Image("img", "firewall")
+        host = scheduler.select_host(self._hosts(), flavor, image)
+        assert host.name == "h2"
+
+    def test_filters_prune_full_hosts(self):
+        scheduler = FilterScheduler()
+        hosts = self._hosts()
+        hosts[1].vcpus_used = 8.0
+        flavor = Flavor("f", 2, 512, 1)
+        host = scheduler.select_host(hosts, flavor, Image("img", "x"))
+        assert host.name == "h1"
+
+    def test_no_valid_host(self):
+        scheduler = FilterScheduler()
+        with pytest.raises(NoValidHost):
+            scheduler.select_host(self._hosts(), Flavor("f", 64, 1, 1),
+                                  Image("img", "x"))
+
+    def test_image_properties_filter(self):
+        scheduler = FilterScheduler()
+        image = Image("big", "x", min_ram_mb=2048)
+        with pytest.raises(NoValidHost):
+            scheduler.select_host(self._hosts(), Flavor("f", 1, 512, 1),
+                                  image)
+
+    def test_flavor_for_picks_smallest_fit(self):
+        assert flavor_for(0.4, 32, 0.5).name == "m1.tiny"
+        assert flavor_for(2, 256, 4).name == "m1.medium"
+        assert flavor_for(32, 99999, 1).name.startswith("custom")
+
+
+class TestNovaLifecycle:
+    def test_boot_reaches_active_after_delay(self):
+        sim = Simulator()
+        nova = NovaCompute(sim, boot_delay_ms=1000.0)
+        nova.add_host(ComputeHost("h1", 4, 4096, 100))
+        vm = nova.boot("vm1", Flavor("f", 1, 512, 1), Image("img", "x"))
+        assert vm.state == VMState.BUILD
+        sim.run()
+        assert vm.state == VMState.ACTIVE
+        assert vm.booted_at == 1000.0
+
+    def test_on_active_callback(self):
+        sim = Simulator()
+        nova = NovaCompute(sim, boot_delay_ms=500.0)
+        nova.add_host(ComputeHost("h1", 4, 4096, 100))
+        vm = nova.boot("vm1", Flavor("f", 1, 512, 1), Image("img", "x"))
+        seen = []
+        vm.on_active(lambda v: seen.append(v.id))
+        sim.run()
+        assert seen == [vm.id]
+        # late registration fires immediately
+        vm.on_active(lambda v: seen.append("late"))
+        assert seen[-1] == "late"
+
+    def test_resources_claimed_and_released(self):
+        sim = Simulator()
+        nova = NovaCompute(sim)
+        host = nova.add_host(ComputeHost("h1", 4, 4096, 100))
+        vm = nova.boot("vm1", Flavor("f", 2, 1024, 10), Image("img", "x"))
+        assert host.vcpus_used == 2
+        nova.delete(vm.id)
+        assert host.vcpus_used == 0
+        assert vm.state == VMState.DELETED
+
+    def test_capacity(self):
+        sim = Simulator()
+        nova = NovaCompute(sim)
+        nova.add_host(ComputeHost("h1", 4, 4096, 100))
+        nova.add_host(ComputeHost("h2", 4, 4096, 100))
+        nova.boot("vm1", Flavor("f", 1, 512, 10), Image("img", "x"))
+        vcpus, ram, disk = nova.capacity()
+        assert vcpus == 7 and ram == 7680 and disk == 190
+
+    def test_list_instances_excludes_deleted(self):
+        sim = Simulator()
+        nova = NovaCompute(sim)
+        nova.add_host(ComputeHost("h1", 4, 4096, 100))
+        vm = nova.boot("vm1", Flavor("f", 1, 512, 1), Image("img", "x"))
+        nova.delete(vm.id)
+        assert nova.list_instances() == []
+        assert len(nova.list_instances(include_deleted=True)) == 1
+
+
+@pytest.fixture
+def cloud():
+    net = Network()
+    domain = CloudDomain("cloud", net, num_spines=1, num_leaves=2,
+                         hosts_per_leaf=1, vm_boot_delay_ms=500.0)
+    domain.add_sap("in", leaf_index=0)
+    domain.add_sap("out", leaf_index=1)
+    orchestrator = CloudLocalOrchestrator(domain)
+    channel = ControlChannel("mgmt")
+    orchestrator.bind(channel)
+    client = NetconfClient("parent", channel)
+    client.hello()
+    return net, domain, orchestrator, client
+
+
+def _install_for(domain, nf_type="firewall"):
+    view = domain.domain_view()
+    service = (NFFGBuilder("svc").sap("in").sap("out")
+               .nf("fw", nf_type)
+               .chain("in", "fw", "out", bandwidth=10.0).build())
+    result = GreedyEmbedder().map(service, view)
+    assert result.success, result.failure_reason
+    return result.mapped
+
+
+class TestCloudDomain:
+    def test_view_is_single_bisbis(self, cloud):
+        _, domain, _, _ = cloud
+        view = domain.domain_view()
+        assert len(view.infras) == 1
+        infra = view.infras[0]
+        assert infra.id == "cloud-bisbis"
+        assert infra.resources.cpu == 32.0  # 2 hosts x 16 vcpus
+        assert "firewall" in infra.supported_types
+
+    def test_view_reports_installed_inventory(self, cloud):
+        """The view is the installed inventory — local consumption is
+        the parent CAL's bookkeeping, not the view's (otherwise it
+        would be subtracted twice)."""
+        net, domain, orchestrator, client = cloud
+        client.edit_config({"nffg": nffg_to_dict(_install_for(domain))},
+                           operation="replace")
+        client.commit()
+        view = domain.domain_view()
+        assert view.infras[0].resources.cpu == 32.0
+        # live consumption is visible through Nova instead
+        free_vcpus, _, _ = domain.nova.capacity()
+        assert free_vcpus < 32.0
+
+    def test_deploy_boots_vm_and_attaches(self, cloud):
+        net, domain, orchestrator, client = cloud
+        client.edit_config({"nffg": nffg_to_dict(_install_for(domain))},
+                           operation="replace")
+        client.commit()
+        assert not orchestrator.all_vms_active()
+        assert orchestrator.wait_ready()
+        vms = client.rpc("list-vms")
+        assert vms[0]["state"] == "ACTIVE"
+        host_dpid = vms[0]["host"]
+        assert "fw" in domain.compute_switches[host_dpid].attached_nfs()
+
+    def test_dataplane_through_vm(self, cloud):
+        net, domain, orchestrator, client = cloud
+        client.edit_config({"nffg": nffg_to_dict(_install_for(domain))},
+                           operation="replace")
+        client.commit()
+        orchestrator.wait_ready()
+        h_in, h_out = domain.sap_hosts["in"], domain.sap_hosts["out"]
+        h_in.send(tcp_packet(h_in.ip, h_out.ip, tp_dst=80))
+        net.run()
+        assert len(h_out.received) == 1
+        assert "nf:fw" in h_out.received[0].trace
+        # firewall semantics preserved inside the VM
+        h_in.send(tcp_packet(h_in.ip, h_out.ip, tp_dst=22))
+        net.run()
+        assert len(h_out.received) == 1
+
+    def test_teardown_deletes_vm(self, cloud):
+        net, domain, orchestrator, client = cloud
+        client.edit_config({"nffg": nffg_to_dict(_install_for(domain))},
+                           operation="replace")
+        client.commit()
+        orchestrator.wait_ready()
+        client.edit_config(None, operation="delete")
+        client.commit()
+        assert domain.nova.list_instances() == []
+        vcpus, _, _ = domain.nova.capacity()
+        assert vcpus == 32.0
+
+    def test_validation_rejects_foreign_bisbis(self, cloud):
+        net, domain, orchestrator, client = cloud
+        install = _install_for(domain)
+        data = nffg_to_dict(install)
+        for node in data["nodes"]:
+            if node["id"] == "cloud-bisbis":
+                node["id"] = "other-bisbis"
+        for edge in data["edges"]:
+            for key in ("src_node", "dst_node"):
+                if edge[key] == "cloud-bisbis":
+                    edge[key] = "other-bisbis"
+        client.edit_config({"nffg": data}, operation="replace")
+        from repro.netconf import NetconfError
+        with pytest.raises(NetconfError):
+            client.commit()
+
+    def test_state_data(self, cloud):
+        net, domain, orchestrator, client = cloud
+        client.edit_config({"nffg": nffg_to_dict(_install_for(domain))},
+                           operation="replace")
+        client.commit()
+        state = client.get()["state"]
+        assert state["deploys"] == 1
+        assert "fw" in state["vms"]

@@ -1,0 +1,187 @@
+"""Tests for NF decomposition (paper §2, ref [2])."""
+
+import pytest
+
+from repro.mapping import (
+    Decomposition,
+    DecompositionLibrary,
+    DecompositionRule,
+    GreedyEmbedder,
+    default_decomposition_library,
+    expand_service,
+    validate_mapping,
+)
+from repro.mapping.decomposition import (
+    ComponentSpec,
+    iter_decompositions,
+    map_with_decomposition,
+)
+from repro.nffg import NFFGBuilder, ResourceVector
+from repro.nffg.builder import linear_substrate
+
+
+def vcpe_service(max_delay=None):
+    builder = (NFFGBuilder("svc").sap("sap1").sap("sap2")
+               .nf("cpe", "vCPE")
+               .chain("sap1", "cpe", "sap2", bandwidth=5.0))
+    if max_delay is not None:
+        builder.requirement("sap1", "sap2", max_delay=max_delay)
+    return builder.build()
+
+
+@pytest.fixture
+def library():
+    return default_decomposition_library()
+
+
+class TestLibrary:
+    def test_options_cheapest_first(self, library):
+        options = library.options_for("vCPE")
+        cpus = [rule.total_cpu() for rule in options]
+        assert cpus == sorted(cpus)
+
+    def test_abstract_type_has_no_identity(self, library):
+        assert all(not rule.is_identity
+                   for rule in library.options_for("vCPE"))
+
+    def test_concrete_type_gets_identity(self, library):
+        options = library.options_for("firewall")
+        assert any(rule.is_identity for rule in options)
+
+    def test_decomposable_types(self, library):
+        assert "vCPE" in library.decomposable_types()
+        assert "dpi" in library.decomposable_types()
+
+
+class TestExpand:
+    def test_expand_replaces_nf_with_chain(self, library):
+        service = vcpe_service()
+        rule = next(r for r in library.options_for("vCPE")
+                    if r.name == "vcpe-split")
+        expanded = expand_service(service, Decomposition({"cpe": rule}))
+        assert not expanded.has_node("cpe")
+        assert expanded.has_node("cpe.fw")
+        assert expanded.has_node("cpe.nat")
+        # sap1 -> cpe.fw -> cpe.nat -> sap2
+        assert len(expanded.sg_hops) == 3
+
+    def test_expand_preserves_hop_ids(self, library):
+        service = vcpe_service()
+        original_hops = {hop.id for hop in service.sg_hops}
+        rule = library.options_for("vCPE")[0]
+        expanded = expand_service(service, Decomposition({"cpe": rule}))
+        assert original_hops <= {hop.id for hop in expanded.sg_hops}
+
+    def test_expand_splices_requirement_paths(self, library):
+        service = vcpe_service(max_delay=40.0)
+        rule = next(r for r in library.options_for("vCPE")
+                    if r.name == "vcpe-split")
+        expanded = expand_service(service, Decomposition({"cpe": rule}))
+        req = expanded.requirements[0]
+        assert len(req.sg_path) == 3
+        for hop_id in req.sg_path:
+            assert expanded.has_edge(hop_id)
+
+    def test_identity_expansion_is_noop(self, library):
+        service = vcpe_service()
+        rule = DecompositionRule("identity-vCPE", "vCPE", ())
+        expanded = expand_service(service, Decomposition({"cpe": rule}))
+        assert expanded.has_node("cpe")
+
+    def test_original_service_untouched(self, library):
+        service = vcpe_service()
+        before = service.summary()
+        rule = library.options_for("vCPE")[0]
+        expand_service(service, Decomposition({"cpe": rule}))
+        assert service.summary() == before
+
+
+class TestIterDecompositions:
+    def test_combination_count(self, library):
+        service = (NFFGBuilder("s").sap("a").sap("b")
+                   .nf("cpe", "vCPE").nf("d", "dpi")
+                   .chain("a", "cpe", "d", "b").build())
+        combos = list(iter_decompositions(service, library))
+        # vCPE has 2 options, dpi has pipeline + identity = 2
+        assert len(combos) == 4
+
+    def test_cheapest_combo_first(self, library):
+        service = vcpe_service()
+        combos = list(iter_decompositions(service, library))
+        assert combos[0].total_cpu() <= combos[-1].total_cpu()
+
+    def test_unknown_type_gets_identity(self):
+        library = DecompositionLibrary()
+        service = (NFFGBuilder("s").sap("a").sap("b")
+                   .nf("x", "exotic").chain("a", "x", "b").build())
+        combos = list(iter_decompositions(service, library))
+        assert len(combos) == 1
+        assert combos[0].choices["x"].is_identity
+
+
+class TestMapWithDecomposition:
+    def test_picks_cheapest_feasible(self, library):
+        substrate = linear_substrate(
+            3, supported_types=["firewall", "nat", "fw-nat-combo"])
+        result = map_with_decomposition(GreedyEmbedder(), vcpe_service(),
+                                        substrate, library)
+        assert result.success
+        assert result.decompositions["cpe"] == "vcpe-consolidated"
+
+    def test_falls_back_when_cheapest_unsupported(self, library):
+        substrate = linear_substrate(3, supported_types=["firewall", "nat"])
+        result = map_with_decomposition(GreedyEmbedder(), vcpe_service(),
+                                        substrate, library)
+        assert result.success
+        assert result.decompositions["cpe"] == "vcpe-split"
+        assert set(result.nf_placement) == {"cpe.fw", "cpe.nat"}
+
+    def test_result_validates_against_expanded_service(self, library):
+        substrate = linear_substrate(3, supported_types=["firewall", "nat"])
+        result = map_with_decomposition(GreedyEmbedder(), vcpe_service(),
+                                        substrate, library)
+        assert result.service is not None
+        assert validate_mapping(result.service, substrate, result) == []
+
+    def test_all_options_fail(self, library):
+        substrate = linear_substrate(2, supported_types=["forwarder"])
+        result = map_with_decomposition(GreedyEmbedder(), vcpe_service(),
+                                        substrate, library)
+        assert not result.success
+
+    def test_max_options_cap(self, library):
+        substrate = linear_substrate(2, supported_types=["forwarder"])
+        result = map_with_decomposition(GreedyEmbedder(), vcpe_service(),
+                                        substrate, library, max_options=1)
+        assert not result.success
+
+    def test_decomposition_increases_acceptance(self, library):
+        """Ref [2]'s headline shape: with decompositions enabled more
+        requests fit — a substrate that only runs the combo image
+        accepts vCPE only through decomposition."""
+        substrate = linear_substrate(2, supported_types=["fw-nat-combo"])
+        plain = GreedyEmbedder().map(vcpe_service(), substrate)
+        assert not plain.success  # abstract vCPE is not deployable
+        decomposed = map_with_decomposition(GreedyEmbedder(), vcpe_service(),
+                                            substrate, library)
+        assert decomposed.success
+
+
+class TestCustomRules:
+    def test_three_component_chain(self):
+        library = DecompositionLibrary()
+        library.mark_abstract("mega")
+        library.add_rule(DecompositionRule(
+            "mega3", "mega",
+            components=tuple(
+                ComponentSpec(s, "forwarder",
+                              ResourceVector(cpu=0.5, mem=64, storage=1))
+                for s in ("a", "b", "c"))))
+        service = (NFFGBuilder("s").sap("sap1").sap("sap2").nf("m", "mega")
+                   .chain("sap1", "m", "sap2", bandwidth=1.0).build())
+        substrate = linear_substrate(2, supported_types=["forwarder"])
+        result = map_with_decomposition(GreedyEmbedder(), service, substrate,
+                                        library)
+        assert result.success
+        assert set(result.nf_placement) == {"m.a", "m.b", "m.c"}
+        assert len(result.hop_routes) == 4

@@ -1,0 +1,25 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.sim.kernel
+import repro.nffg.builder
+import repro.service.request
+import repro.workload
+
+MODULES = [
+    repro.sim.kernel,
+    repro.nffg.builder,
+    repro.service.request,
+    repro.workload,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

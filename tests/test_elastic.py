@@ -1,0 +1,144 @@
+"""Tests for the elasticity controller (the UNIFY elastic-router loop)."""
+
+import pytest
+
+from repro.elastic import (
+    ElasticityController,
+    ScalingAction,
+    ScalingRule,
+)
+from repro.netem.packet import tcp_packet
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_emulated_testbed
+
+
+def _version(level: int):
+    """An 'elastic' chain: level N = N forwarder workers in series
+    (stand-in for parallel scale-out, same orchestration mechanics)."""
+    builder = (ServiceRequestBuilder("elastic")
+               .sap("sap1").sap("sap2"))
+    names = []
+    for index in range(level):
+        name = f"elastic-w{index}"
+        builder.nf(name, "forwarder")
+        names.append(name)
+    builder.chain("sap1", *names, "sap2", bandwidth=1.0)
+    return builder.build().sg
+
+
+RULE = ScalingRule(metric_hop="elastic-hop1", scale_out_pps=100.0,
+                   scale_in_pps=10.0, min_level=1, max_level=3)
+
+
+@pytest.fixture
+def managed():
+    testbed = build_emulated_testbed(switches=2)
+    report = testbed.escape.deploy(_version(1))
+    assert report.success
+    controller = ElasticityController(testbed.escape)
+    controller.manage("elastic", RULE, _version)
+    return testbed, controller
+
+
+def _blast(testbed, count, spacing_ms=1.0):
+    src = testbed.host("sap1")
+    dst = testbed.host("sap2")
+    packets = [tcp_packet(src.ip, dst.ip, tp_src=40000 + i)
+               for i in range(count)]
+    src.send_burst(packets, interval=spacing_ms)
+    testbed.run()
+
+
+class TestScalingRule:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ScalingRule(metric_hop="h", scale_out_pps=10.0,
+                        scale_in_pps=20.0)
+        with pytest.raises(ValueError):
+            ScalingRule(metric_hop="h", scale_out_pps=10.0,
+                        scale_in_pps=1.0, min_level=0)
+
+
+class TestControlLoop:
+    def test_scale_out_on_load(self, managed):
+        testbed, controller = managed
+        # 200 packets over ~0.2 virtual seconds = ~1000 pps >> 100
+        _blast(testbed, 200)
+        events = controller.poll()
+        assert len(events) == 1
+        assert events[0].action == ScalingAction.OUT
+        assert controller.managed_level("elastic") == 2
+        assert events[0].observed_pps > RULE.scale_out_pps
+        # the scaled version is actually deployed: 2 workers attached
+        attached = [nf for switch in testbed.emu.switches.values()
+                    for nf in switch.attached_nfs()]
+        assert len(attached) == 2
+
+    def test_scale_in_when_idle(self, managed):
+        testbed, controller = managed
+        _blast(testbed, 200)
+        controller.poll()
+        assert controller.managed_level("elastic") == 2
+        # idle period: advance virtual time with a single slow packet
+        testbed.network.simulator.schedule(10_000.0, lambda: None)
+        testbed.run()
+        events = controller.poll()
+        assert events and events[0].action == ScalingAction.IN
+        assert controller.managed_level("elastic") == 1
+
+    def test_respects_max_level(self, managed):
+        testbed, controller = managed
+        for _ in range(5):
+            _blast(testbed, 300)
+            controller.poll()
+        assert controller.managed_level("elastic") <= RULE.max_level
+
+    def test_no_action_in_deadband(self, managed):
+        testbed, controller = managed
+        # ~50 pps: between scale_in (10) and scale_out (100)
+        _blast(testbed, 50, spacing_ms=20.0)
+        assert controller.poll() == []
+        assert controller.managed_level("elastic") == 1
+
+    def test_blocked_scaling_reports(self, managed):
+        testbed, controller = managed
+
+        def broken_builder(level):
+            version = _version(level)
+            for nf in version.nfs:
+                nf.functional_type = "warpdrive"
+            return version
+
+        controller._managed["elastic"].version_builder = broken_builder
+        _blast(testbed, 200)
+        events = controller.poll()
+        assert events[0].action == ScalingAction.BLOCKED
+        assert controller.managed_level("elastic") == 1
+        # traffic still flows through the old version
+        _blast(testbed, 2)
+        assert len(testbed.host("sap2").received) >= 2
+
+    def test_manage_requires_deployed_service(self):
+        testbed = build_emulated_testbed()
+        controller = ElasticityController(testbed.escape)
+        with pytest.raises(ValueError):
+            controller.manage("ghost", RULE, _version)
+
+    def test_version_builder_must_keep_id(self, managed):
+        testbed, controller = managed
+
+        def renaming_builder(level):
+            version = _version(level)
+            version.id = "other"
+            return version
+
+        controller._managed["elastic"].version_builder = renaming_builder
+        _blast(testbed, 200)
+        with pytest.raises(ValueError):
+            controller.poll()
+
+    def test_unmanage_stops_polling(self, managed):
+        testbed, controller = managed
+        controller.unmanage("elastic")
+        _blast(testbed, 200)
+        assert controller.poll() == []

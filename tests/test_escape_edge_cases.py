@@ -1,0 +1,119 @@
+"""Edge-case tests for the orchestrator facade and domain views."""
+
+import pytest
+
+from repro.emu import EmulatedDomain
+from repro.netem import Network
+from repro.nffg import NFFGBuilder
+from repro.orchestration import EmuDomainAdapter, EscapeOrchestrator
+from repro.sdnnet import SDNDomain
+from repro.topo import build_emulated_testbed
+
+
+class TestIdConflicts:
+    def test_nf_id_collision_across_services_rejected(self):
+        testbed = build_emulated_testbed(switches=2)
+        first = (NFFGBuilder("a").sap("sap1").sap("sap2")
+                 .nf("shared-nf", "firewall")
+                 .chain("sap1", "shared-nf", "sap2", bandwidth=1.0).build())
+        second = (NFFGBuilder("b").sap("sap1").sap("sap2")
+                  .nf("shared-nf", "nat")
+                  .chain("sap1", "shared-nf", "sap2", bandwidth=1.0).build())
+        assert testbed.escape.deploy(first).success
+        report = testbed.escape.deploy(second)
+        assert not report.success
+        assert "collide" in report.error
+        assert "shared-nf" in report.error
+        # first service untouched
+        assert testbed.escape.deployed_services() == ["a"]
+
+    def test_hop_id_collision_rejected(self):
+        testbed = build_emulated_testbed(switches=2)
+        first = (NFFGBuilder("c").sap("sap1").sap("sap2")
+                 .nf("c-nf", "firewall")
+                 .chain("sap1", "c-nf", "sap2", bandwidth=1.0).build())
+        assert testbed.escape.deploy(first).success
+        # a service with different NF ids but a manually colliding hop id
+        second = (NFFGBuilder("d").sap("sap1").sap("sap2")
+                  .nf("d-nf", "nat").build())
+        second.add_sg_hop("sap1", "1", "d-nf", "1", id="c-hop1",
+                          bandwidth=1.0)
+        second.add_sg_hop("d-nf", "2", "sap2", "1", id="d-own-hop",
+                          bandwidth=1.0)
+        report = testbed.escape.deploy(second)
+        assert not report.success
+        assert "c-hop1" in report.error
+
+    def test_same_service_redeploy_after_teardown_ok(self):
+        testbed = build_emulated_testbed(switches=2)
+        service = (NFFGBuilder("e").sap("sap1").sap("sap2")
+                   .nf("e-nf", "firewall")
+                   .chain("sap1", "e-nf", "sap2", bandwidth=1.0).build())
+        assert testbed.escape.deploy(service).success
+        assert testbed.escape.teardown("e")
+        assert testbed.escape.deploy(service.copy()).success
+
+
+class TestPerLinkParameters:
+    def test_emu_view_reflects_custom_link_params(self):
+        net = Network()
+        emu = EmulatedDomain("emu", net, node_ids=["bb0", "bb1", "bb2"])
+        emu.add_link("bb0", "bb1", bandwidth=123.0, delay=7.0)
+        emu.add_link("bb1", "bb2")  # domain defaults
+        view = emu.domain_view()
+        custom = view.edge("emu-bb0-bb1")
+        assert custom.bandwidth == 123.0
+        assert custom.delay == 7.0
+        default = view.edge("emu-bb1-bb2")
+        assert default.bandwidth == emu.link_bandwidth
+        assert default.delay == emu.link_delay
+
+    def test_emu_dataplane_honours_custom_delay(self):
+        net = Network()
+        emu = EmulatedDomain("emu", net, node_ids=["bb0", "bb1"])
+        emu.add_link("bb0", "bb1", delay=25.0)
+        physical = net.link_between("bb0", "bb1")
+        assert physical.delay_ms == 25.0
+
+    def test_sdn_view_reflects_custom_link_params(self):
+        net = Network()
+        sdn = SDNDomain("sdn", net, switch_ids=["sw0", "sw1"])
+        sdn.add_link("sw0", "sw1", bandwidth=55.0, delay=9.0)
+        view = sdn.domain_view()
+        link = view.edge("sdn-sw0-sw1")
+        assert link.bandwidth == 55.0
+        assert link.delay == 9.0
+
+    def test_sdn_topology_component_uses_custom_delay(self):
+        net = Network()
+        sdn = SDNDomain("sdn", net, switch_ids=["sw0", "sw1", "sw2"])
+        sdn.add_link("sw0", "sw1", delay=100.0)
+        sdn.add_link("sw1", "sw2", delay=1.0)
+        sdn.add_link("sw0", "sw2", delay=1.0)
+        # shortest path avoids the slow link
+        assert sdn.topology.shortest_path("sw0", "sw1") == \
+            ["sw0", "sw2", "sw1"]
+
+    def test_mapping_respects_slow_custom_link(self):
+        """A tight delay requirement fails when the only path uses a
+        slow custom link — proving the view carries real parameters."""
+        net = Network()
+        emu = EmulatedDomain("emu", net, node_ids=["bb0", "bb1"])
+        emu.add_link("bb0", "bb1", delay=500.0)
+        emu.add_sap("sap1", "bb0")
+        emu.add_sap("sap2", "bb1")
+        escape = EscapeOrchestrator("esc", simulator=net.simulator)
+        escape.add_domain(EmuDomainAdapter("emu", emu))
+        service = (NFFGBuilder("slow").sap("sap1").sap("sap2")
+                   .nf("slow-nf", "firewall")
+                   .chain("sap1", "slow-nf", "sap2", bandwidth=1.0)
+                   .build())
+        # tight requirement: cannot cross a 500 ms link...
+        tight = service.copy()
+        tight.add_requirement(
+            "sap1", "1", "sap2", "1",
+            sg_path=[hop.id for hop in tight.sg_hops], max_delay=50.0)
+        assert not escape.deploy(tight).success
+        # ...without the requirement the same chain deploys fine
+        report = escape.deploy(service)
+        assert report.success, report.error

@@ -1,0 +1,118 @@
+"""Tests for shared infra pieces: chain tags, flow-rule translation."""
+
+import pytest
+
+from repro.infra.flowprog import (
+    flowrule_to_flowmod,
+    program_infra_flows,
+    remove_service_flows,
+)
+from repro.infra.tags import vlan_for_hop
+from repro.netem import Network
+from repro.nffg.model import Flowrule, NodeInfra
+from repro.openflow import ControllerEndpoint, OpenFlowSwitch
+from repro.openflow.messages import (
+    ActionOutput,
+    ActionPopVlan,
+    ActionPushVlan,
+)
+
+
+class TestVlanForHop:
+    def test_deterministic(self):
+        assert vlan_for_hop("hop-a") == vlan_for_hop("hop-a")
+
+    def test_in_valid_range(self):
+        for hop_id in ("h1", "svc-hop3", "a" * 100, ""):
+            vlan = vlan_for_hop(hop_id)
+            assert 100 <= vlan < 4000 + 100
+
+    def test_distinct_for_typical_ids(self):
+        vlans = {vlan_for_hop(f"svc-hop{i}") for i in range(100)}
+        assert len(vlans) >= 98  # collisions possible but rare
+
+
+class TestFlowruleTranslation:
+    def test_plain_output(self):
+        rule = Flowrule(match="in_port=p1", action="output=p2")
+        match, actions, priority = flowrule_to_flowmod(rule)
+        assert match.in_port == "p1"
+        assert actions == [ActionOutput("p2")]
+
+    def test_flowclass_fields(self):
+        rule = Flowrule(match="in_port=p1;flowclass=tp_dst=80,nw_proto=6",
+                        action="output=p2")
+        match, actions, _ = flowrule_to_flowmod(rule)
+        assert match.tp_dst == 80 and match.nw_proto == 6
+
+    def test_tag_match_becomes_vlan(self):
+        rule = Flowrule(match="in_port=p1;tag=hop9", action="output=p2")
+        match, _, _ = flowrule_to_flowmod(rule)
+        assert match.dl_vlan == vlan_for_hop("hop9")
+
+    def test_tag_action_pushes_vlan(self):
+        rule = Flowrule(match="in_port=p1", action="output=p2;tag=hop9")
+        _, actions, _ = flowrule_to_flowmod(rule)
+        assert ActionPushVlan(vlan_for_hop("hop9")) in actions
+        # push happens before output
+        assert actions.index(ActionPushVlan(vlan_for_hop("hop9"))) < \
+            actions.index(ActionOutput("p2"))
+
+    def test_untag_action_pops_vlan(self):
+        rule = Flowrule(match="in_port=p1;tag=hop9",
+                        action="output=p2;untag")
+        _, actions, _ = flowrule_to_flowmod(rule)
+        assert ActionPopVlan() in actions
+
+    def test_priority_scales_with_specificity(self):
+        vague = Flowrule(match="in_port=p1", action="output=p2")
+        precise = Flowrule(match="in_port=p1;flowclass=tp_dst=80,nw_src=1.2.3.4",
+                           action="output=p2")
+        _, _, p_vague = flowrule_to_flowmod(vague)
+        _, _, p_precise = flowrule_to_flowmod(precise)
+        assert p_precise > p_vague
+
+
+class TestProgramInfraFlows:
+    def _wired(self):
+        net = Network()
+        switch = net.add(OpenFlowSwitch("bb", net.simulator))
+        controller = ControllerEndpoint("c", simulator=net.simulator)
+        controller.connect_switch(switch)
+        infra = NodeInfra("bb")
+        port = infra.add_port("p1")
+        infra.add_port("p2")
+        return switch, controller, infra, port
+
+    def test_installs_one_flowmod_per_rule(self):
+        switch, controller, infra, port = self._wired()
+        port.add_flowrule("in_port=p1", "output=p2", hop_id="h1")
+        port.add_flowrule("in_port=p1;flowclass=tp_dst=80", "output=p2",
+                          hop_id="h2")
+        sent = program_infra_flows(controller, "bb", infra)
+        assert sent == 2
+        assert switch.flow_count() == 2
+
+    def test_missing_in_port_defaults_to_rule_port(self):
+        switch, controller, infra, port = self._wired()
+        port.add_flowrule("flowclass=tp_dst=80", "output=p2")
+        program_infra_flows(controller, "bb", infra)
+        entry = switch.table.entries()[0]
+        assert entry.match.in_port == "p1"
+
+    def test_hop_filter(self):
+        switch, controller, infra, port = self._wired()
+        port.add_flowrule("in_port=p1", "output=p2", hop_id="keep")
+        port.add_flowrule("in_port=p1;flowclass=tp_dst=1", "output=p2",
+                          hop_id="skip")
+        sent = program_infra_flows(controller, "bb", infra,
+                                   hop_filter={"keep"})
+        assert sent == 1
+
+    def test_cookie_teardown(self):
+        switch, controller, infra, port = self._wired()
+        port.add_flowrule("in_port=p1", "output=p2", hop_id="h1")
+        program_infra_flows(controller, "bb", infra, cookie="svc")
+        assert switch.flow_count() == 1
+        remove_service_flows(controller, "bb", "svc")
+        assert switch.flow_count() == 0

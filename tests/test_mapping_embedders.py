@@ -1,0 +1,183 @@
+"""Tests for the three embedding algorithms (shared behaviours +
+algorithm-specific ones)."""
+
+import pytest
+
+from repro.mapping import (
+    BacktrackingEmbedder,
+    DelayAwareEmbedder,
+    GreedyEmbedder,
+    validate_mapping,
+)
+from repro.mapping.greedy import service_order
+from repro.nffg import NFFG, NFFGBuilder, ResourceVector
+from repro.nffg.builder import linear_substrate, mesh_substrate
+
+ALL_EMBEDDERS = [GreedyEmbedder, BacktrackingEmbedder, DelayAwareEmbedder]
+
+
+def simple_service(bandwidth=10.0, max_delay=None):
+    builder = (NFFGBuilder("svc").sap("sap1").sap("sap2")
+               .nf("fw", "firewall").nf("nat", "nat")
+               .chain("sap1", "fw", "nat", "sap2", bandwidth=bandwidth))
+    if max_delay is not None:
+        builder.requirement("sap1", "sap2", max_delay=max_delay)
+    return builder.build()
+
+
+@pytest.fixture
+def substrate():
+    return linear_substrate(4, id="s",
+                            supported_types=["firewall", "nat", "dpi"])
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_successful_mapping_is_valid(self, embedder_cls, substrate):
+        service = simple_service(max_delay=30.0)
+        result = embedder_cls().map(service, substrate)
+        assert result.success, result.failure_reason
+        assert validate_mapping(service, substrate, result) == []
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_all_nfs_placed_all_hops_routed(self, embedder_cls, substrate):
+        service = simple_service()
+        result = embedder_cls().map(service, substrate)
+        assert set(result.nf_placement) == {"fw", "nat"}
+        assert set(result.hop_routes) == {hop.id for hop in service.sg_hops}
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_unsupported_type_fails(self, embedder_cls):
+        substrate = linear_substrate(3, supported_types=["nat"])
+        result = embedder_cls().map(simple_service(), substrate)
+        assert not result.success
+        assert "fw" in result.failure_reason or "host" in result.failure_reason
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_insufficient_cpu_fails(self, embedder_cls):
+        substrate = linear_substrate(2, cpu=0.5)
+        result = embedder_cls().map(simple_service(), substrate)
+        assert not result.success
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_insufficient_bandwidth_fails(self, embedder_cls):
+        substrate = linear_substrate(3, link_bw=5.0)
+        result = embedder_cls().map(simple_service(bandwidth=50.0), substrate)
+        assert not result.success
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_impossible_delay_fails(self, embedder_cls):
+        substrate = linear_substrate(5, link_delay=100.0)
+        result = embedder_cls().map(simple_service(max_delay=5.0), substrate)
+        # either refuses during routing or via requirement check
+        assert not result.success
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_failure_does_not_raise(self, embedder_cls):
+        empty = NFFG(id="nothing")
+        result = embedder_cls().map(simple_service(), empty)
+        assert not result.success
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_mapped_graph_carries_flowrules(self, embedder_cls, substrate):
+        service = simple_service()
+        result = embedder_cls().map(service, substrate)
+        total_rules = result.mapped.summary()["flowrules"]
+        expected = sum(len(route.infra_path)
+                       for route in result.hop_routes.values())
+        assert total_rules == expected
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_mesh_substrate(self, embedder_cls):
+        substrate = mesh_substrate(20, degree=3, seed=7,
+                                   supported_types=["firewall", "nat"])
+        service = simple_service(bandwidth=5.0)
+        result = embedder_cls().map(service, substrate)
+        assert result.success, result.failure_reason
+        assert validate_mapping(service, substrate, result) == []
+
+    @pytest.mark.parametrize("embedder_cls", ALL_EMBEDDERS)
+    def test_source_views_not_mutated(self, embedder_cls, substrate):
+        service = simple_service()
+        before_sub = substrate.summary()
+        before_svc = service.summary()
+        embedder_cls().map(service, substrate)
+        assert substrate.summary() == before_sub
+        assert service.summary() == before_svc
+        assert all(link.reserved == 0 for link in substrate.links)
+
+
+class TestServiceOrder:
+    def test_chain_order_from_sap(self):
+        service = simple_service()
+        assert service_order(service) == ["fw", "nat"]
+
+    def test_isolated_nf_still_ordered(self):
+        sg = NFFG(id="iso")
+        sg.add_nf("lonely", "firewall", num_ports=1)
+        assert service_order(sg) == ["lonely"]
+
+    def test_branching_order_visits_all(self):
+        sg = (NFFGBuilder("b").sap("u").sap("s")
+              .nf("a", "x").nf("b", "y")
+              .hop("u", "a").hop("u", "b").hop("a", "s").hop("b", "s")
+              .build())
+        assert set(service_order(sg)) == {"a", "b"}
+
+
+class TestBacktracking:
+    def test_finds_solution_greedy_misses(self):
+        """Two NFs, two nodes; the greedy-preferred node can host only
+        one NF, and the far node is reachable only through a
+        bandwidth-limited link that forces fw onto the near node."""
+        view = NFFG(id="trap")
+        near = view.add_infra("near", resources=ResourceVector(
+            cpu=1.0, mem=4096, storage=50), supported_types=["firewall", "nat"])
+        far = view.add_infra("far", resources=ResourceVector(
+            cpu=8.0, mem=4096, storage=50), supported_types=["firewall", "nat"],
+            cost_per_cpu=5.0)
+        port_n = near.add_port("to-far")
+        port_f = far.add_port("to-near")
+        view.add_link("near", port_n.id, "far", port_f.id, bandwidth=100.0,
+                      delay=1.0)
+        sap = view.add_sap("sap1")
+        sap_port = near.add_port("sap-sap1", sap_tag="sap1")
+        view.add_link("sap1", "1", "near", sap_port.id, bandwidth=100.0)
+        service = (NFFGBuilder("svc").sap("sap1")
+                   .nf("fw", "firewall", cpu=1.0).nf("nat", "nat", cpu=1.0)
+                   .chain("sap1", "fw", "nat", bandwidth=10.0).build())
+        result = BacktrackingEmbedder().map(service, view)
+        assert result.success, result.failure_reason
+        assert validate_mapping(service, view, result) == []
+
+    def test_backtrack_budget_respected(self):
+        substrate = linear_substrate(2, cpu=0.1)
+        embedder = BacktrackingEmbedder(max_backtracks=5)
+        result = embedder.map(simple_service(), substrate)
+        assert not result.success
+        assert result.backtracks <= 6
+
+
+class TestDelayAware:
+    def test_respects_tight_budget_better_than_greedy(self):
+        """Delay-aware places the NF between the SAPs instead of at the
+        cheap end when an end-to-end delay requirement is tight."""
+        substrate = linear_substrate(5, id="line", link_delay=5.0,
+                                     supported_types=["firewall"])
+        # make the far end cheap so greedy drifts there
+        for index, infra in enumerate(substrate.infras):
+            infra.cost_per_cpu = 5.0 - index
+        service = (NFFGBuilder("svc").sap("sap1").sap("sap2")
+                   .nf("fw", "firewall")
+                   .chain("sap1", "fw", "sap2", bandwidth=1.0)
+                   .requirement("sap1", "sap2", max_delay=60.0).build())
+        result = DelayAwareEmbedder(alpha=0.1, beta=5.0).map(service, substrate)
+        assert result.success, result.failure_reason
+        assert validate_mapping(service, substrate, result) == []
+
+    def test_cost_metrics_populated(self):
+        substrate = linear_substrate(3, supported_types=["firewall", "nat"])
+        result = DelayAwareEmbedder().map(simple_service(), substrate)
+        assert result.cost > 0
+        assert result.nodes_examined > 0
+        assert result.runtime_s >= 0

@@ -1,0 +1,93 @@
+"""Tests for constrained substrate path finding."""
+
+import pytest
+
+from repro.mapping import MappingError, ResourceLedger
+from repro.mapping.paths import find_route, path_delay_estimate, route_or_none
+from repro.nffg import NFFG, ResourceVector
+from repro.nffg.builder import linear_substrate
+
+
+@pytest.fixture
+def chain4():
+    return linear_substrate(4, id="c", link_bw=100.0, link_delay=2.0)
+
+
+def test_shortest_path_found(chain4):
+    ledger = ResourceLedger(chain4)
+    route = find_route(chain4, ledger, "h", "c-bb0", "c-bb3", bandwidth=10.0)
+    assert route.infra_path == ["c-bb0", "c-bb1", "c-bb2", "c-bb3"]
+    assert len(route.link_ids) == 3
+
+
+def test_delay_includes_nodes_and_links(chain4):
+    ledger = ResourceLedger(chain4)
+    route = find_route(chain4, ledger, "h", "c-bb0", "c-bb1", bandwidth=0.0)
+    # node delays 0.1 + 0.1 and link delay 2.0
+    assert route.delay == pytest.approx(2.2)
+
+
+def test_same_node_route(chain4):
+    ledger = ResourceLedger(chain4)
+    route = find_route(chain4, ledger, "h", "c-bb1", "c-bb1", bandwidth=5.0)
+    assert route.infra_path == ["c-bb1"]
+    assert route.link_ids == []
+    assert route.delay == pytest.approx(0.1)
+
+
+def test_bandwidth_constraint_blocks(chain4):
+    ledger = ResourceLedger(chain4)
+    with pytest.raises(MappingError):
+        find_route(chain4, ledger, "h", "c-bb0", "c-bb3", bandwidth=150.0)
+
+
+def test_ledger_reservations_respected(chain4):
+    ledger = ResourceLedger(chain4)
+    first = find_route(chain4, ledger, "h1", "c-bb0", "c-bb3", bandwidth=60.0)
+    ledger.alloc_links(first.link_ids, 60.0)
+    assert route_or_none(chain4, ledger, "h2", "c-bb0", "c-bb3",
+                         bandwidth=60.0) is None
+    ledger.release_links(first.link_ids, 60.0)
+    assert route_or_none(chain4, ledger, "h2", "c-bb0", "c-bb3",
+                         bandwidth=60.0) is not None
+
+
+def test_max_delay_constraint(chain4):
+    ledger = ResourceLedger(chain4)
+    assert route_or_none(chain4, ledger, "h", "c-bb0", "c-bb3",
+                         bandwidth=0.0, max_delay=1.0) is None
+    assert route_or_none(chain4, ledger, "h", "c-bb0", "c-bb3",
+                         bandwidth=0.0, max_delay=10.0) is not None
+
+
+def test_prefers_lower_delay_path():
+    view = NFFG(id="tri")
+    for name in ("a", "b", "c"):
+        view.add_infra(name, resources=ResourceVector(cpu=1, delay=0.0))
+    for src, dst, delay in (("a", "b", 10.0), ("a", "c", 1.0),
+                            ("c", "b", 1.0)):
+        port_s = view.infra(src).add_port(f"to-{dst}")
+        port_d = view.infra(dst).add_port(f"to-{src}")
+        view.add_link(src, port_s.id, dst, port_d.id, bandwidth=100.0,
+                      delay=delay)
+    ledger = ResourceLedger(view)
+    route = find_route(view, ledger, "h", "a", "b", bandwidth=1.0)
+    assert route.infra_path == ["a", "c", "b"]
+
+
+def test_unreachable_raises():
+    view = NFFG(id="iso")
+    view.add_infra("a", resources=ResourceVector())
+    view.add_infra("b", resources=ResourceVector())
+    ledger = ResourceLedger(view)
+    with pytest.raises(MappingError):
+        find_route(view, ledger, "h", "a", "b", bandwidth=0.0)
+
+
+def test_path_delay_estimate(chain4):
+    assert path_delay_estimate(chain4, "c-bb0", "c-bb3") == pytest.approx(
+        3 * 2.0 + 4 * 0.1)
+    view = NFFG(id="iso2")
+    view.add_infra("a")
+    view.add_infra("b")
+    assert path_delay_estimate(view, "a", "b") == float("inf")

@@ -1,0 +1,95 @@
+"""Grab-bag tests for remaining corners: reports, POX no-path, probe
+factories, renderer edge cases."""
+
+import pytest
+
+from repro.cli import ScenarioRunner, render_deploy_report, render_nffg
+from repro.netem import Network
+from repro.netem.packet import udp_packet
+from repro.orchestration.report import AdapterReport, DeployReport
+from repro.sdnnet import SDNDomain
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_emulated_testbed
+
+
+class TestReports:
+    def test_deploy_report_aggregates_adapters(self):
+        report = DeployReport(service_id="x", success=True)
+        report.adapters = [
+            AdapterReport(domain="a", success=True, control_messages=3,
+                          control_bytes=100),
+            AdapterReport(domain="b", success=True, control_messages=7,
+                          control_bytes=50),
+        ]
+        assert report.control_messages == 10
+        assert report.control_bytes == 150
+
+    def test_failed_report_is_falsy(self):
+        report = DeployReport(service_id="x", success=False, error="why")
+        assert not report
+        assert "FAILED" in report.summary_line()
+        assert "why" in report.summary_line()
+
+    def test_successful_report_is_truthy(self):
+        assert DeployReport(service_id="x", success=True)
+
+    def test_render_failed_deploy_report(self):
+        report = DeployReport(service_id="x", success=False, error="boom")
+        report.adapters = [AdapterReport(domain="a", success=False,
+                                         error="adapter exploded")]
+        text = render_deploy_report(report)
+        assert "boom" in text and "adapter exploded" in text
+
+
+class TestPoxNoPath:
+    def test_push_path_raises_on_partition(self):
+        import networkx as nx
+        net = Network()
+        domain = SDNDomain("sdn", net, switch_ids=["sw0", "sw1"])
+        # no links: sw0 and sw1 are disconnected
+        with pytest.raises(nx.NetworkXNoPath):
+            domain.path_pusher.push_path(
+                ingress_dpid="sw0", ingress_port="p",
+                egress_dpid="sw1", egress_port="q")
+
+
+class TestScenarioProbeFactory:
+    def test_custom_packet_factory(self):
+        testbed = build_emulated_testbed(switches=2)
+        runner = ScenarioRunner(testbed)
+        request = (ServiceRequestBuilder("udp-svc")
+                   .sap("sap1").sap("sap2")
+                   .nf("u-f", "forwarder")
+                   .chain("sap1", "u-f", "sap2", bandwidth=1.0).build())
+        assert runner.deploy(request).success
+        src = testbed.host("sap1")
+        dst = testbed.host("sap2")
+        traffic = runner.probe(
+            "sap1", "sap2", count=3,
+            packet_factory=lambda i: udp_packet(src.ip, dst.ip,
+                                                tp_src=6000 + i))
+        assert traffic.delivered == 3
+        assert all(p.ip_proto == 17 for p in dst.received)
+
+    def test_traffic_result_defaults(self):
+        from repro.cli.scenario import TrafficResult
+        empty = TrafficResult()
+        assert empty.delivery_ratio == 0.0
+        assert empty.mean_latency_ms == 0.0
+
+
+class TestRendererEdges:
+    def test_render_empty_nffg(self):
+        from repro.nffg import NFFG
+        text = render_nffg(NFFG(id="void"))
+        assert "void" in text
+
+    def test_render_shows_reserved_capacity(self):
+        testbed = build_emulated_testbed(switches=2)
+        request = (ServiceRequestBuilder("rsvc")
+                   .sap("sap1").sap("sap2")
+                   .nf("r-f", "forwarder")
+                   .chain("sap1", "r-f", "sap2", bandwidth=5.0).build())
+        assert testbed.service_layer.submit(request).success
+        text = render_nffg(testbed.escape.global_view())
+        assert "NFs: r-f" in text

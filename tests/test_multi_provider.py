@@ -1,0 +1,127 @@
+"""Two providers with the *same* technology under one orchestrator.
+
+Fig. 1 shows heterogeneous domains; multi-domain orchestration equally
+covers two domains of the same type (e.g. two emulated providers).
+This exercises the adaptation layer's per-adapter slicing: both
+adapters have DomainType INTERNAL, so the per-domain-type split must be
+further sliced by node ownership.
+"""
+
+import pytest
+
+from repro.emu import EmulatedDomain
+from repro.netem import Network
+from repro.netem.packet import tcp_packet
+from repro.nffg import NFFGBuilder
+from repro.orchestration import EmuDomainAdapter, EscapeOrchestrator
+
+
+@pytest.fixture
+def two_providers():
+    net = Network()
+    west = EmulatedDomain("west", net, node_ids=["west-bb0", "west-bb1"],
+                          links=[("west-bb0", "west-bb1")])
+    east = EmulatedDomain("east", net, node_ids=["east-bb0", "east-bb1"],
+                          links=[("east-bb0", "east-bb1")])
+    west.add_sap("sap1", "west-bb0")
+    east.add_sap("sap2", "east-bb1")
+    # physical peering west-bb1 <-> east-bb0
+    (w_node, w_port) = west.add_handoff("peer", "west-bb1")
+    (e_node, e_port) = east.add_handoff("peer", "east-bb0")
+    net.connect(w_node, w_port, e_node, e_port,
+                bandwidth_mbps=1000.0, delay_ms=2.0)
+    escape = EscapeOrchestrator("esc", simulator=net.simulator)
+    west_adapter = escape.add_domain(EmuDomainAdapter("west", west))
+    east_adapter = escape.add_domain(EmuDomainAdapter("east", east))
+    return net, west, east, escape, west_adapter, east_adapter
+
+
+def _cross_service():
+    return (NFFGBuilder("x").sap("sap1").sap("sap2")
+            .nf("x-fw", "firewall").nf("x-nat", "nat")
+            .chain("sap1", "x-fw", "x-nat", "sap2", bandwidth=5.0)
+            .build())
+
+
+class TestTwoProviders:
+    def test_views_stitched_at_peering(self, two_providers):
+        net, west, east, escape, _, _ = two_providers
+        view = escape.resource_view()
+        assert len(view.infras) == 4
+        assert view.has_edge("interdomain-peer")
+
+    def test_cross_provider_chain_carries_traffic(self, two_providers):
+        net, west, east, escape, _, _ = two_providers
+        report = escape.deploy(_cross_service())
+        assert report.success, report.error
+        h1 = west.sap_hosts["sap1"]
+        h2 = east.sap_hosts["sap2"]
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        net.run()
+        assert len(h2.received) == 1
+        trace = h2.received[0].trace
+        assert any(node.startswith("west-") for node in trace)
+        assert any(node.startswith("east-") for node in trace)
+
+    def test_each_adapter_gets_only_its_nodes(self, two_providers):
+        net, west, east, escape, west_adapter, east_adapter = two_providers
+        report = escape.deploy(_cross_service())
+        assert report.success
+        # every NF deployed exactly once, in the right provider
+        west_nfs = [nf for switch in west.switches.values()
+                    for nf in switch.attached_nfs()]
+        east_nfs = [nf for switch in east.switches.values()
+                    for nf in switch.attached_nfs()]
+        assert sorted(west_nfs + east_nfs) == ["x-fw", "x-nat"]
+        for nf_id, host in report.mapping.nf_placement.items():
+            if host.startswith("west"):
+                assert nf_id in west_nfs
+            else:
+                assert nf_id in east_nfs
+
+    def test_forced_split_across_providers(self, two_providers):
+        """Pin one NF per provider via supported types and verify the
+        chain crosses the peering link mid-chain."""
+        net, west, east, escape, _, _ = two_providers
+        west.supported_types = ["firewall"]
+        east.supported_types = ["nat"]
+        report = escape.deploy(_cross_service())
+        assert report.success, report.error
+        assert report.mapping.nf_placement["x-fw"].startswith("west")
+        assert report.mapping.nf_placement["x-nat"].startswith("east")
+        h1, h2 = west.sap_hosts["sap1"], east.sap_hosts["sap2"]
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        net.run()
+        assert len(h2.received) == 1
+        assert h2.received[0].ip_src == "192.0.2.1"  # NAT ran in east
+
+    def test_teardown_cleans_both_providers(self, two_providers):
+        net, west, east, escape, _, _ = two_providers
+        escape.deploy(_cross_service())
+        assert escape.teardown("x")
+        for domain in (west, east):
+            for switch in domain.switches.values():
+                assert switch.attached_nfs() == []
+                assert switch.flow_count() == 0
+
+    def test_provider_failure_isolated(self, two_providers):
+        """A push failure in one provider rolls the whole service back
+        and leaves the other provider clean."""
+        net, west, east, escape, west_adapter, east_adapter = two_providers
+        west.supported_types = ["firewall"]
+        east.supported_types = ["nat"]
+
+        original_push = east_adapter._push
+
+        def failing_push(install):
+            if install.nfs:
+                raise RuntimeError("east control plane down")
+            original_push(install)
+
+        east_adapter._push = failing_push
+        report = escape.deploy(_cross_service())
+        assert not report.success
+        assert "east control plane down" in report.error
+        assert escape.deployed_services() == []
+        for switch in west.switches.values():
+            assert switch.attached_nfs() == []

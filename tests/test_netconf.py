@@ -1,0 +1,167 @@
+"""Tests for the NETCONF-like management protocol."""
+
+import pytest
+
+from repro.netconf import NetconfClient, NetconfError, NetconfServer
+from repro.netconf.messages import UNIFY_CAPABILITY
+from repro.openflow.channel import ControlChannel
+
+
+@pytest.fixture
+def session():
+    channel = ControlChannel("mgmt")
+    server = NetconfServer("device", capabilities=[UNIFY_CAPABILITY],
+                           initial_config={"a": 1})
+    server.bind(channel)
+    client = NetconfClient("manager", channel)
+    client.hello()
+    return client, server, channel
+
+
+class TestSession:
+    def test_hello_exchanges_capabilities(self, session):
+        client, server, _ = session
+        assert client.session_id == server.session_id
+        assert client.has_capability(UNIFY_CAPABILITY)
+        assert any("base:1.1" in cap for cap in client.server_capabilities)
+
+    def test_close_session(self, session):
+        client, _, _ = session
+        client.close()
+
+
+class TestDatastores:
+    def test_get_config_running(self, session):
+        client, _, _ = session
+        assert client.get_config() == {"a": 1}
+
+    def test_candidate_starts_as_running_copy(self, session):
+        client, _, _ = session
+        assert client.get_config("candidate") == {"a": 1}
+
+    def test_edit_candidate_leaves_running(self, session):
+        client, _, _ = session
+        client.edit_config({"b": 2})
+        assert client.get_config("candidate") == {"a": 1, "b": 2}
+        assert client.get_config("running") == {"a": 1}
+
+    def test_commit_promotes_candidate(self, session):
+        client, _, _ = session
+        client.edit_config({"b": 2})
+        client.commit()
+        assert client.get_config("running") == {"a": 1, "b": 2}
+
+    def test_merge_is_deep(self, session):
+        client, _, _ = session
+        client.edit_config({"tree": {"x": 1}})
+        client.edit_config({"tree": {"y": 2}})
+        assert client.get_config("candidate")["tree"] == {"x": 1, "y": 2}
+
+    def test_replace_operation(self, session):
+        client, _, _ = session
+        client.edit_config({"only": True}, operation="replace")
+        assert client.get_config("candidate") == {"only": True}
+
+    def test_delete_operation(self, session):
+        client, _, _ = session
+        client.edit_config(None, operation="delete")
+        assert client.get_config("candidate") is None
+
+    def test_discard_changes(self, session):
+        client, _, _ = session
+        client.edit_config({"b": 2})
+        client.discard_changes()
+        assert client.get_config("candidate") == {"a": 1}
+
+    def test_unknown_datastore_rejected(self, session):
+        client, _, _ = session
+        with pytest.raises(NetconfError):
+            client.get_config("startup")
+
+    def test_edit_running_applies_immediately(self, session):
+        client, server, _ = session
+        applied = []
+        server.on_apply(applied.append)
+        client.edit_config({"x": 9}, target="running")
+        assert applied == [{"a": 1, "x": 9}]
+
+
+class TestCommitSemantics:
+    def test_commit_fires_apply(self, session):
+        client, server, _ = session
+        applied = []
+        server.on_apply(applied.append)
+        client.edit_config({"b": 2})
+        client.commit()
+        assert applied == [{"a": 1, "b": 2}]
+
+    def test_commit_validates(self, session):
+        client, server, _ = session
+        server.validate_config = lambda cfg: (["bad config"]
+                                              if cfg and "bad" in cfg else [])
+        client.edit_config({"bad": True})
+        with pytest.raises(NetconfError):
+            client.commit()
+        # running unchanged after failed commit
+        assert client.get_config("running") == {"a": 1}
+
+    def test_validate_rpc(self, session):
+        client, server, _ = session
+        assert client.validate("candidate") == {"ok": True}
+        server.validate_config = lambda cfg: ["nope"]
+        with pytest.raises(NetconfError) as err:
+            client.validate("candidate")
+        assert err.value.tag == "invalid-value"
+
+
+class TestLocking:
+    def test_lock_unlock(self, session):
+        client, _, _ = session
+        client.lock()
+        with pytest.raises(NetconfError) as err:
+            client.lock()
+        assert err.value.tag == "lock-denied"
+        client.unlock()
+        client.lock()
+
+
+class TestErrorsAndExtensions:
+    def test_unknown_rpc(self, session):
+        client, _, _ = session
+        with pytest.raises(NetconfError) as err:
+            client.rpc("mystery-op")
+        assert err.value.tag == "operation-not-supported"
+
+    def test_custom_rpc(self, session):
+        client, server, _ = session
+        server.register_rpc("ping", lambda params: {"pong": params["n"]})
+        assert client.rpc("ping", n=5) == {"pong": 5}
+
+    def test_rpc_exception_becomes_error(self, session):
+        client, server, _ = session
+        server.register_rpc("boom", lambda params: 1 / 0)
+        with pytest.raises(NetconfError) as err:
+            client.rpc("boom")
+        assert "ZeroDivisionError" in str(err.value)
+
+    def test_get_includes_state(self, session):
+        client, server, _ = session
+        server.state_data = lambda: {"uptime": 3}
+        data = client.get()
+        assert data["state"] == {"uptime": 3}
+        assert data["config"] == {"a": 1}
+
+    def test_notifications(self, session):
+        client, server, _ = session
+        events = []
+        client.on_notification = events.append
+        server.notify("alarm", {"severity": "minor"})
+        assert client.notifications[0].event == "alarm"
+        assert events[0].data == {"severity": "minor"}
+
+    def test_channel_counts_bytes(self, session):
+        client, _, channel = session
+        before = channel.stats.bytes
+        client.get_config()
+        assert channel.stats.bytes > before
+        assert channel.stats.messages_to_b >= 2

@@ -1,0 +1,170 @@
+"""Tests for the packet-level network emulation."""
+
+import pytest
+
+from repro.netem import Network
+from repro.netem.packet import EtherType, IPProto, Packet, tcp_packet, udp_packet
+
+
+class TestPacket:
+    def test_copy_is_independent(self):
+        packet = tcp_packet("1.1.1.1", "2.2.2.2")
+        packet.trace.append("a")
+        clone = packet.copy()
+        clone.trace.append("b")
+        clone.metadata["k"] = 1
+        assert packet.trace == ["a"]
+        assert "k" not in packet.metadata
+        assert clone.uid == packet.uid
+
+    def test_five_tuple(self):
+        packet = tcp_packet("1.1.1.1", "2.2.2.2", tp_src=1234, tp_dst=80)
+        assert packet.five_tuple() == ("1.1.1.1", "2.2.2.2", IPProto.TCP,
+                                       1234, 80)
+
+    def test_flowclass_matching(self):
+        packet = tcp_packet("10.0.0.1", "10.0.0.2", tp_dst=80)
+        assert packet.matches_flowclass("")
+        assert packet.matches_flowclass("tp_dst=80")
+        assert packet.matches_flowclass("nw_src=10.0.0.1,tp_dst=80")
+        assert not packet.matches_flowclass("tp_dst=22")
+        assert not packet.matches_flowclass("nw_dst=9.9.9.9")
+
+    def test_flowclass_dl_type_hex(self):
+        packet = Packet()
+        assert packet.matches_flowclass("dl_type=0x0800")
+
+    def test_flowclass_vlan_unset(self):
+        packet = Packet()
+        assert not packet.matches_flowclass("dl_vlan=5")
+        packet.vlan = 5
+        assert packet.matches_flowclass("dl_vlan=5")
+
+    def test_udp_factory(self):
+        packet = udp_packet("1.1.1.1", "2.2.2.2")
+        assert packet.ip_proto == IPProto.UDP
+
+    def test_unique_uids(self):
+        assert tcp_packet("1.1.1.1", "2.2.2.2").uid != \
+            tcp_packet("1.1.1.1", "2.2.2.2").uid
+
+
+class TestLinkTiming:
+    def test_propagation_plus_serialization(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0", bandwidth_mbps=100, delay_ms=2)
+        h1.send(tcp_packet(h1.ip, h2.ip, size=1000))
+        net.run()
+        # 1000 B * 8 / (100 Mbit/s) = 0.08 ms serialization + 2 ms prop
+        assert h2.latencies[0] == pytest.approx(2.08, abs=1e-6)
+
+    def test_serialization_queueing(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0", bandwidth_mbps=8, delay_ms=0)
+        # each 1000B packet takes 1 ms to serialize at 8 Mbit/s
+        for _ in range(3):
+            h1.send(tcp_packet(h1.ip, h2.ip, size=1000))
+        net.run()
+        assert h2.latencies == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_queue_overflow_drops(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        link = net.connect("h1", "0", "h2", "0", bandwidth_mbps=1,
+                           delay_ms=0, queue_packets=2)
+        for _ in range(5):
+            h1.send(tcp_packet(h1.ip, h2.ip))
+        net.run()
+        assert len(h2.received) == 2
+        assert link.dropped == 3
+
+    def test_link_counters(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        link = net.connect("h1", "0", "h2", "0")
+        h1.send(tcp_packet(h1.ip, h2.ip, size=700))
+        net.run()
+        assert link.tx_packets == 1
+        assert link.tx_bytes == 700
+
+    def test_bidirectional(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0")
+        h1.send(tcp_packet(h1.ip, h2.ip))
+        h2.send(tcp_packet(h2.ip, h1.ip))
+        net.run()
+        assert len(h1.received) == 1 and len(h2.received) == 1
+
+
+class TestHostsAndNetwork:
+    def test_send_burst_spacing(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0", bandwidth_mbps=10_000, delay_ms=1)
+        packets = [tcp_packet(h1.ip, h2.ip) for _ in range(3)]
+        h1.send_burst(packets, interval=5.0)
+        net.run()
+        arrival_gaps = [b.created_at - a.created_at
+                        for a, b in zip(h2.received, h2.received[1:])]
+        assert arrival_gaps == pytest.approx([5.0, 5.0])
+
+    def test_on_receive_callback(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0")
+        got = []
+        h2.on_receive = got.append
+        h1.send(tcp_packet(h1.ip, h2.ip))
+        net.run()
+        assert len(got) == 1
+
+    def test_unwired_send_drops(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h1.send(tcp_packet(h1.ip, "2.2.2.2"))
+        net.run()
+        assert h1.drops == 1
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_host("h1")
+        with pytest.raises(ValueError):
+            net.add_host("h1")
+
+    def test_duplicate_port_rejected(self):
+        net = Network()
+        net.add_host("h1")
+        net.add_host("h2")
+        net.add_host("h3")
+        net.connect("h1", "0", "h2", "0")
+        with pytest.raises(ValueError):
+            net.connect("h1", "0", "h3", "0")
+
+    def test_total_delivered(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0")
+        h1.send(tcp_packet(h1.ip, h2.ip))
+        net.run()
+        assert net.total_delivered() == 1
+
+    def test_host_clear(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect("h1", "0", "h2", "0")
+        h1.send(tcp_packet(h1.ip, h2.ip))
+        net.run()
+        h2.clear()
+        assert h2.received == [] and h2.latencies == []

@@ -1,0 +1,92 @@
+"""Tests for the fluent builders and canned substrates."""
+
+import pytest
+
+from repro.nffg import NFFGBuilder, NFFGError
+from repro.nffg.builder import linear_substrate, mesh_substrate, single_bisbis_view
+from repro.nffg.model import DomainType, InfraType
+
+
+class TestNFFGBuilder:
+    def test_simple_chain(self):
+        sg = (NFFGBuilder("svc").sap("u").sap("s").nf("fw", "firewall")
+              .chain("u", "fw", "s", bandwidth=5.0).build())
+        assert len(sg.sg_hops) == 2
+        assert all(hop.bandwidth == 5.0 for hop in sg.sg_hops)
+
+    def test_chain_needs_two_nodes(self):
+        with pytest.raises(NFFGError):
+            NFFGBuilder("svc").sap("u").chain("u")
+
+    def test_requirement_traces_path(self):
+        sg = (NFFGBuilder("svc").sap("u").sap("s")
+              .nf("a", "firewall").nf("b", "nat")
+              .chain("u", "a", "b", "s")
+              .requirement("u", "s", max_delay=30.0).build())
+        req = sg.requirements[0]
+        assert len(req.sg_path) == 3
+        assert req.max_delay == 30.0
+
+    def test_requirement_without_path_fails(self):
+        builder = NFFGBuilder("svc").sap("u").sap("s")
+        with pytest.raises(NFFGError):
+            builder.requirement("u", "s", max_delay=10.0)
+
+    def test_hop_ports_default_in_out(self):
+        sg = (NFFGBuilder("svc").sap("u").sap("s").nf("fw", "firewall")
+              .chain("u", "fw", "s").build())
+        first, second = sg.sg_hops
+        assert first.dst_port == "1"   # NF ingress
+        assert second.src_port == "2"  # NF egress
+
+    def test_branching_with_flowclass(self):
+        sg = (NFFGBuilder("svc").sap("u").sap("s")
+              .nf("web", "webserver").nf("dns", "forwarder")
+              .hop("u", "web", flowclass="tp_dst=80")
+              .hop("u", "dns", flowclass="tp_dst=53")
+              .hop("web", "s").hop("dns", "s").build())
+        assert len(sg.sg_hops) == 4
+
+    def test_loop_detected_in_requirement_trace(self):
+        builder = (NFFGBuilder("svc").sap("u")
+                   .nf("a", "x").nf("b", "y"))
+        builder.hop("u", "a").hop("a", "b").hop("b", "a")
+        with pytest.raises(NFFGError):
+            builder.requirement("u", "s")
+
+
+class TestSubstrates:
+    def test_linear_substrate_shape(self):
+        sub = linear_substrate(4)
+        assert len(sub.infras) == 4
+        assert {s.id for s in sub.saps} == {"sap1", "sap2"}
+        # 3 inter-switch pairs + 2 sap links, all bidirectional
+        assert len(sub.links) == 3 * 2 + 2 * 2
+
+    def test_linear_substrate_sap_bindings(self):
+        sub = linear_substrate(3, id="x")
+        bindings = sub.sap_bindings()
+        assert bindings["sap1"][0] == "x-bb0"
+        assert bindings["sap2"][0] == "x-bb2"
+
+    def test_mesh_substrate_connected(self):
+        import networkx as nx
+        sub = mesh_substrate(12, degree=3, seed=5)
+        topo = sub.infra_topology()
+        assert nx.is_strongly_connected(topo)
+
+    def test_mesh_substrate_deterministic(self):
+        a = mesh_substrate(10, seed=3)
+        b = mesh_substrate(10, seed=3)
+        assert a.summary() == b.summary()
+        assert sorted(l.id for l in a.links) == sorted(l.id for l in b.links)
+
+    def test_single_bisbis_view(self):
+        view = single_bisbis_view(cpu=32, sap_tags=["sap1", "sap2"])
+        assert len(view.infras) == 1
+        infra = view.infras[0]
+        assert infra.infra_type == InfraType.BISBIS
+        assert infra.domain == DomainType.VIRTUAL
+        assert infra.resources.cpu == 32
+        assert infra.port("sap-sap1").sap_tag == "sap1"
+        assert len(view.saps) == 2

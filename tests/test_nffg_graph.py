@@ -1,0 +1,198 @@
+"""Tests for the NFFG container."""
+
+import pytest
+
+from repro.nffg import NFFG, NFFGError, InfraType, LinkType, ResourceVector
+
+
+@pytest.fixture
+def simple():
+    """Two BiS-BiS nodes, one SAP, a firewall NF ready to place."""
+    nffg = NFFG(id="t")
+    bb0 = nffg.add_infra("bb0", supported_types=["firewall"],
+                         resources=ResourceVector(cpu=4, mem=1024, storage=10))
+    bb1 = nffg.add_infra("bb1", resources=ResourceVector(cpu=4, mem=1024,
+                                                         storage=10))
+    port0 = bb0.add_port("to-bb1")
+    port1 = bb1.add_port("to-bb0")
+    nffg.add_link("bb0", port0.id, "bb1", port1.id, id="l01",
+                  bandwidth=100.0, delay=2.0)
+    sap = nffg.add_sap("sap1")
+    sap_port = bb0.add_port("sap-sap1", sap_tag="sap1")
+    nffg.add_link("sap1", list(sap.ports)[0], "bb0", sap_port.id, id="sl1",
+                  bandwidth=100.0)
+    nffg.add_nf("fw", "firewall", num_ports=2)
+    return nffg
+
+
+class TestNodeManagement:
+    def test_typed_accessors(self, simple):
+        assert {n.id for n in simple.infras} == {"bb0", "bb1"}
+        assert [s.id for s in simple.saps] == ["sap1"]
+        assert [n.id for n in simple.nfs] == ["fw"]
+
+    def test_duplicate_node_rejected(self, simple):
+        with pytest.raises(NFFGError):
+            simple.add_sap("sap1")
+
+    def test_unknown_node_raises(self, simple):
+        with pytest.raises(NFFGError):
+            simple.node("ghost")
+
+    def test_wrong_type_accessor_raises(self, simple):
+        with pytest.raises(NFFGError):
+            simple.infra("fw")
+        with pytest.raises(NFFGError):
+            simple.nf("bb0")
+        with pytest.raises(NFFGError):
+            simple.sap("bb0")
+
+    def test_contains(self, simple):
+        assert "bb0" in simple
+        assert "ghost" not in simple
+
+    def test_remove_node_removes_edges(self, simple):
+        simple.remove_node("bb1")
+        assert not simple.has_node("bb1")
+        assert not simple.has_edge("l01")
+        assert not simple.has_edge("l01-back")
+
+    def test_remove_unknown_node(self, simple):
+        with pytest.raises(NFFGError):
+            simple.remove_node("ghost")
+
+
+class TestEdgeManagement:
+    def test_bidirectional_link_creates_pair(self, simple):
+        assert simple.has_edge("l01") and simple.has_edge("l01-back")
+
+    def test_unidirectional_link(self):
+        nffg = NFFG()
+        a = nffg.add_infra("a", num_ports=1)
+        b = nffg.add_infra("b", num_ports=1)
+        nffg.add_link("a", "1", "b", "1", id="x", bidirectional=False)
+        assert nffg.has_edge("x") and not nffg.has_edge("x-back")
+
+    def test_edge_endpoint_port_validated(self, simple):
+        with pytest.raises(NFFGError):
+            simple.add_link("bb0", "nonexistent", "bb1", "to-bb0")
+
+    def test_sg_hop_and_requirement(self, simple):
+        hop1 = simple.add_sg_hop("sap1", "1", "fw", "1", bandwidth=5.0)
+        hop2 = simple.add_sg_hop("fw", "2", "sap1", "1")
+        req = simple.add_requirement("sap1", "1", "sap1", "1",
+                                     sg_path=[hop1.id, hop2.id],
+                                     max_delay=20.0)
+        assert len(simple.sg_hops) == 2
+        assert simple.requirements[0].id == req.id
+
+    def test_requirement_unknown_hop_rejected(self, simple):
+        with pytest.raises(NFFGError):
+            simple.add_requirement("sap1", "1", "sap1", "1",
+                                   sg_path=["ghost-hop"])
+
+    def test_duplicate_edge_id_rejected(self, simple):
+        with pytest.raises(NFFGError):
+            simple.add_link("bb0", "to-bb1", "bb1", "to-bb0", id="l01")
+
+    def test_remove_edge(self, simple):
+        simple.remove_edge("l01")
+        assert not simple.has_edge("l01")
+        assert simple.has_edge("l01-back")
+
+    def test_link_between(self, simple):
+        assert simple.link_between("bb0", "bb1").id == "l01"
+        assert simple.link_between("bb1", "bb0").id == "l01-back"
+        assert simple.link_between("bb0", "bb0") is None
+
+    def test_out_links(self, simple):
+        out_ids = {link.id for link in simple.out_links("bb0")}
+        assert "l01" in out_ids
+
+
+class TestPlacement:
+    def test_place_nf_creates_dynamic_links_and_ports(self, simple):
+        created = simple.place_nf("fw", "bb0")
+        assert len(created) == 2
+        assert simple.host_of("fw") == "bb0"
+        assert simple.infra("bb0").has_port("fw-1")
+        assert simple.infra("bb0").has_port("fw-2")
+        assert simple.nf("fw").status == "placed"
+
+    def test_place_nf_on_unsupporting_infra(self):
+        nffg = NFFG()
+        nffg.add_infra("bb", supported_types=["nat"])
+        nffg.add_nf("fw", "firewall", num_ports=1)
+        with pytest.raises(NFFGError):
+            nffg.place_nf("fw", "bb")
+
+    def test_nfs_on(self, simple):
+        simple.place_nf("fw", "bb0")
+        assert [nf.id for nf in simple.nfs_on("bb0")] == ["fw"]
+        assert simple.nfs_on("bb1") == []
+
+    def test_infra_port_of_nf(self, simple):
+        simple.place_nf("fw", "bb0")
+        assert simple.infra_port_of_nf("fw", "1") == ("bb0", "fw-1")
+        assert simple.infra_port_of_nf("fw", "99") is None
+
+    def test_host_of_unplaced(self, simple):
+        assert simple.host_of("fw") is None
+
+
+class TestWholeGraph:
+    def test_copy_is_deep(self, simple):
+        clone = simple.copy("clone")
+        clone.infra("bb0").add_port("extra")
+        assert not simple.infra("bb0").has_port("extra")
+        assert clone.id == "clone"
+
+    def test_validate_clean(self, simple):
+        assert simple.validate() == []
+        assert simple.is_valid()
+
+    def test_validate_overreserved_link(self, simple):
+        link = simple.edge("l01")
+        link.reserved = link.bandwidth + 1
+        assert any("exceeds capacity" in p for p in simple.validate())
+
+    def test_validate_sg_hop_on_infra(self, simple):
+        simple.add_sg_hop("sap1", "1", "fw", "1", id="ok")
+        hop = simple.edge("ok")
+        hop.dst_node = "bb0"
+        hop.dst_port = "to-bb1"
+        assert any("touches infra" in p for p in simple.validate())
+
+    def test_summary_counts(self, simple):
+        summary = simple.summary()
+        assert summary["infras"] == 2
+        assert summary["saps"] == 1
+        assert summary["nfs"] == 1
+        assert summary["static_links"] == 4
+
+    def test_infra_topology_excludes_saps(self, simple):
+        topo = simple.infra_topology()
+        assert set(topo.nodes) == {"bb0", "bb1"}
+
+    def test_sap_bindings(self, simple):
+        assert simple.sap_bindings() == {"sap1": ("bb0", "sap-sap1")}
+
+    def test_clear_flowrules(self, simple):
+        simple.infra("bb0").port("to-bb1").add_flowrule("in_port=to-bb1",
+                                                        "output=sap-sap1")
+        simple.clear_flowrules()
+        assert simple.summary()["flowrules"] == 0
+
+    def test_connected_infra(self, simple):
+        neighbours = simple.connected_infra("bb0")
+        assert [infra.id for _, infra in neighbours] == ["bb1"]
+
+    def test_filter_nodes(self, simple):
+        big = simple.filter_nodes(
+            lambda n: getattr(n, "resources", None) is not None
+            and getattr(n.resources, "cpu", 0) >= 4)
+        assert {n.id for n in big} == {"bb0", "bb1"}
+
+    def test_add_node_copy_rejects_duplicate(self, simple):
+        with pytest.raises(NFFGError):
+            simple.add_node_copy(simple.node("bb0"))

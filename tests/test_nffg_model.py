@@ -1,0 +1,201 @@
+"""Tests for NFFG element classes (resources, ports, flow rules, nodes)."""
+
+import pytest
+
+from repro.nffg.model import (
+    DomainType,
+    EdgeLink,
+    EdgeReq,
+    EdgeSGHop,
+    Flowrule,
+    InfraType,
+    LinkType,
+    NodeInfra,
+    NodeNF,
+    NodeSAP,
+    Port,
+    ResourceVector,
+)
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(cpu=1, mem=100, storage=10, bandwidth=5, delay=1)
+        b = ResourceVector(cpu=2, mem=200, storage=20, bandwidth=5, delay=2)
+        total = a + b
+        assert total.cpu == 3 and total.mem == 300 and total.delay == 3
+
+    def test_subtraction(self):
+        a = ResourceVector(cpu=4, mem=400)
+        b = ResourceVector(cpu=1, mem=100)
+        diff = a - b
+        assert diff.cpu == 3 and diff.mem == 300
+
+    def test_scaled(self):
+        assert ResourceVector(cpu=2).scaled(2.5).cpu == 5.0
+
+    def test_fits_within(self):
+        demand = ResourceVector(cpu=2, mem=128, storage=1, bandwidth=10)
+        capacity = ResourceVector(cpu=4, mem=256, storage=8, bandwidth=100)
+        assert demand.fits_within(capacity)
+        assert not capacity.fits_within(demand)
+
+    def test_fits_within_ignores_delay(self):
+        demand = ResourceVector(cpu=1, delay=100.0)
+        capacity = ResourceVector(cpu=2, delay=0.1)
+        assert demand.fits_within(capacity)
+
+    def test_fits_within_boundary(self):
+        demand = ResourceVector(cpu=4.0)
+        capacity = ResourceVector(cpu=4.0)
+        assert demand.fits_within(capacity)
+
+    def test_non_negative(self):
+        assert ResourceVector().non_negative()
+        assert not ResourceVector(cpu=-1).non_negative()
+
+    def test_dict_roundtrip(self):
+        vector = ResourceVector(cpu=1.5, mem=64, storage=2, bandwidth=10,
+                                delay=0.5)
+        assert ResourceVector.from_dict(vector.to_dict()) == vector
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ResourceVector().cpu = 5
+
+
+class TestPortAndFlowrule:
+    def test_add_flowrule(self):
+        port = Port(id="1", node_id="bb")
+        rule = port.add_flowrule("in_port=1", "output=2", bandwidth=5.0,
+                                 hop_id="h1")
+        assert port.flowrules == [rule]
+        assert rule.bandwidth == 5.0
+
+    def test_clear_flowrules(self):
+        port = Port(id="1")
+        port.add_flowrule("in_port=1", "output=2")
+        port.clear_flowrules()
+        assert port.flowrules == []
+
+    def test_match_field_parsing(self):
+        rule = Flowrule(match="in_port=1;flowclass=tp_dst=80;tag=h1",
+                        action="output=2;untag")
+        fields = rule.match_fields()
+        assert fields["in_port"] == "1"
+        assert fields["flowclass"] == "tp_dst=80"
+        assert fields["tag"] == "h1"
+        actions = rule.action_fields()
+        assert actions["output"] == "2"
+        assert "untag" in actions
+
+    def test_flowrule_dict_roundtrip(self):
+        rule = Flowrule(match="in_port=1", action="output=2",
+                        bandwidth=3.0, delay=1.0, hop_id="h9")
+        assert Flowrule.from_dict(rule.to_dict()) == rule
+
+    def test_port_dict_roundtrip_with_rules(self):
+        port = Port(id="p1", name="eth0", sap_tag="sap1")
+        port.add_flowrule("in_port=p1", "output=p2")
+        clone = Port.from_dict(port.to_dict(), node_id="bb")
+        assert clone.id == "p1" and clone.sap_tag == "sap1"
+        assert len(clone.flowrules) == 1
+
+
+class TestNodes:
+    def test_nf_defaults(self):
+        nf = NodeNF("fw1", "firewall")
+        assert nf.functional_type == "firewall"
+        assert nf.status == "initialized"
+        assert nf.resources.cpu == 1.0
+
+    def test_add_port_auto_ids(self):
+        nf = NodeNF("fw1", "firewall")
+        assert nf.add_port().id == "1"
+        assert nf.add_port().id == "2"
+
+    def test_duplicate_port_rejected(self):
+        nf = NodeNF("fw1", "firewall")
+        nf.add_port("p")
+        with pytest.raises(ValueError):
+            nf.add_port("p")
+
+    def test_infra_supports(self):
+        infra = NodeInfra("bb", supported_types=["firewall"])
+        assert infra.supports("firewall")
+        assert not infra.supports("nat")
+
+    def test_infra_empty_supported_means_any(self):
+        infra = NodeInfra("bb")
+        assert infra.supports("anything")
+
+    def test_sdn_switch_supports_nothing(self):
+        infra = NodeInfra("sw", infra_type=InfraType.SDN_SWITCH)
+        assert not infra.supports("firewall")
+
+    def test_nf_dict_roundtrip(self):
+        nf = NodeNF("fw1", "firewall", deployment_type="click",
+                    resources=ResourceVector(cpu=2, mem=256, storage=4))
+        nf.add_port()
+        nf.status = "deployed"
+        clone = NodeNF.from_dict(nf.to_dict())
+        assert clone.functional_type == "firewall"
+        assert clone.status == "deployed"
+        assert clone.resources.cpu == 2
+        assert "1" in clone.ports
+
+    def test_sap_dict_roundtrip(self):
+        sap = NodeSAP("sap1", binding="emu:bb0:sap-sap1")
+        sap.add_port()
+        clone = NodeSAP.from_dict(sap.to_dict())
+        assert clone.binding == "emu:bb0:sap-sap1"
+
+    def test_infra_dict_roundtrip(self):
+        infra = NodeInfra("bb", infra_type=InfraType.BISBIS,
+                          domain=DomainType.UN,
+                          resources=ResourceVector(cpu=16),
+                          supported_types=["nat"], cost_per_cpu=0.5)
+        infra.add_port("sap-x", sap_tag="x")
+        clone = NodeInfra.from_dict(infra.to_dict())
+        assert clone.domain == DomainType.UN
+        assert clone.cost_per_cpu == 0.5
+        assert clone.port("sap-x").sap_tag == "x"
+
+    def test_iter_flowrules(self):
+        infra = NodeInfra("bb")
+        port_a = infra.add_port("a")
+        port_b = infra.add_port("b")
+        port_a.add_flowrule("in_port=a", "output=b")
+        port_b.add_flowrule("in_port=b", "output=a")
+        assert len(list(infra.iter_flowrules())) == 2
+
+
+class TestEdges:
+    def test_link_available_bandwidth(self):
+        link = EdgeLink(id="l", src_node="a", src_port="1", dst_node="b",
+                        dst_port="1", bandwidth=100.0, reserved=30.0)
+        assert link.available_bandwidth == 70.0
+
+    def test_link_dict_roundtrip(self):
+        link = EdgeLink(id="l", src_node="a", src_port="1", dst_node="b",
+                        dst_port="2", link_type=LinkType.DYNAMIC,
+                        delay=2.0, bandwidth=10.0, reserved=1.0)
+        assert EdgeLink.from_dict(link.to_dict()) == link
+
+    def test_sg_hop_dict_roundtrip(self):
+        hop = EdgeSGHop(id="h", src_node="sap1", src_port="1",
+                        dst_node="fw", dst_port="1",
+                        flowclass="tp_dst=80", bandwidth=5.0, delay=10.0)
+        assert EdgeSGHop.from_dict(hop.to_dict()) == hop
+
+    def test_requirement_infinite_delay_roundtrip(self):
+        req = EdgeReq(id="r", src_node="a", src_port="1", dst_node="b",
+                      dst_port="1", sg_path=["h1", "h2"])
+        clone = EdgeReq.from_dict(req.to_dict())
+        assert clone.max_delay == float("inf")
+        assert clone.sg_path == ["h1", "h2"]
+
+    def test_requirement_finite_delay_roundtrip(self):
+        req = EdgeReq(id="r", src_node="a", src_port="1", dst_node="b",
+                      dst_port="1", sg_path=["h1"], max_delay=25.0)
+        assert EdgeReq.from_dict(req.to_dict()).max_delay == 25.0

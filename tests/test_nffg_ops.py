@@ -1,0 +1,148 @@
+"""Tests for whole-graph NFFG operations (merge/split/remaining/strip)."""
+
+import pytest
+
+from repro.nffg import (
+    NFFG,
+    NFFGError,
+    ResourceVector,
+    merge_nffgs,
+    remaining_nffg,
+    split_per_domain,
+    strip_deployment,
+)
+from repro.nffg.builder import linear_substrate
+from repro.nffg.model import DomainType
+from repro.nffg.ops import available_resources, consumed_resources
+
+
+def _domain_view(name: str, domain: DomainType, tag: str) -> NFFG:
+    view = NFFG(id=name)
+    infra = view.add_infra(f"{name}-bb", domain=domain,
+                           resources=ResourceVector(cpu=8, mem=1024,
+                                                    storage=16,
+                                                    bandwidth=1000))
+    infra.add_port(f"sap-{tag}", sap_tag=tag)
+    return view
+
+
+class TestMerge:
+    def test_merge_stitches_shared_tags(self):
+        a = _domain_view("a", DomainType.INTERNAL, "x")
+        b = _domain_view("b", DomainType.SDN, "x")
+        merged = merge_nffgs([a, b])
+        assert merged.has_edge("interdomain-x")
+        assert len(merged.infras) == 2
+
+    def test_merge_keeps_singleton_tags_unstitched(self):
+        a = _domain_view("a", DomainType.INTERNAL, "only")
+        merged = merge_nffgs([a])
+        assert not merged.has_edge("interdomain-only")
+
+    def test_merge_rejects_triple_tags(self):
+        views = [_domain_view(n, DomainType.INTERNAL, "x")
+                 for n in ("a", "b", "c")]
+        with pytest.raises(NFFGError):
+            merge_nffgs(views)
+
+    def test_merge_preserves_all_nodes_and_edges(self):
+        a = linear_substrate(3, id="s1")
+        b = _domain_view("b", DomainType.UN, "z")
+        merged = merge_nffgs([a, b])
+        assert len(merged.infras) == 4
+        assert len(merged.saps) == 2
+
+
+class TestSplit:
+    def test_split_by_domain(self):
+        a = _domain_view("a", DomainType.INTERNAL, "x")
+        b = _domain_view("b", DomainType.SDN, "x")
+        merged = merge_nffgs([a, b])
+        merged.add_nf("fw", "firewall", num_ports=1)
+        merged.place_nf("fw", "a-bb")
+        parts = split_per_domain(merged)
+        assert set(parts) == {DomainType.INTERNAL, DomainType.SDN}
+        internal = parts[DomainType.INTERNAL]
+        assert internal.has_node("fw")
+        assert internal.host_of("fw") == "a-bb"
+        assert not parts[DomainType.SDN].has_node("fw")
+
+    def test_split_drops_interdomain_links(self):
+        a = _domain_view("a", DomainType.INTERNAL, "x")
+        b = _domain_view("b", DomainType.SDN, "x")
+        merged = merge_nffgs([a, b])
+        parts = split_per_domain(merged)
+        for part in parts.values():
+            assert not part.has_edge("interdomain-x")
+
+    def test_split_keeps_intradomain_links(self):
+        sub = linear_substrate(3, id="s")
+        parts = split_per_domain(sub)
+        part = parts[DomainType.INTERNAL]
+        assert len(part.links) == len(sub.links)
+
+    def test_split_includes_saps_with_tagged_ports(self):
+        sub = linear_substrate(2, id="s")
+        parts = split_per_domain(sub)
+        assert {s.id for s in parts[DomainType.INTERNAL].saps} == \
+            {"sap1", "sap2"}
+
+
+class TestResources:
+    def test_consumed_and_available(self):
+        sub = linear_substrate(2, id="s", cpu=8)
+        sub.add_nf("fw", "firewall",
+                   resources=ResourceVector(cpu=3, mem=100, storage=1),
+                   num_ports=1)
+        sub.place_nf("fw", "s-bb0")
+        assert consumed_resources(sub, "s-bb0").cpu == 3
+        assert available_resources(sub, "s-bb0").cpu == 5
+        assert available_resources(sub, "s-bb1").cpu == 8
+
+    def test_remaining_nffg_reports_free(self):
+        sub = linear_substrate(2, id="s", cpu=8)
+        sub.add_nf("fw", "firewall", resources=ResourceVector(cpu=3),
+                   num_ports=1)
+        sub.place_nf("fw", "s-bb0")
+        link = sub.links[0]
+        link.reserved = 400.0
+        remaining = remaining_nffg(sub)
+        assert remaining.infra("s-bb0").resources.cpu == 5
+        remaining_link = remaining.edge(link.id)
+        assert remaining_link.bandwidth == link.bandwidth - 400.0
+        assert remaining_link.reserved == 0.0
+
+    def test_remaining_clamps_negative(self):
+        sub = linear_substrate(1, id="s", cpu=1)
+        sub.add_nf("big", "firewall", resources=ResourceVector(cpu=5),
+                   num_ports=1)
+        sub.infra("s-bb0").supported_types = set()
+        sub.place_nf("big", "s-bb0")
+        remaining = remaining_nffg(sub)
+        assert remaining.infra("s-bb0").resources.cpu == 0.0
+
+
+class TestStrip:
+    def test_strip_removes_deployment_state(self):
+        sub = linear_substrate(2, id="s")
+        sub.add_nf("fw", "firewall", num_ports=2)
+        sub.place_nf("fw", "s-bb0")
+        sub.add_sg_hop("sap1", "1", "fw", "1", id="h1", bandwidth=5)
+        sub.infra("s-bb0").port("sap-sap1").add_flowrule(
+            "in_port=sap-sap1", "output=fw-1", hop_id="h1")
+        sub.links[0].reserved = 10.0
+        bare = strip_deployment(sub)
+        summary = bare.summary()
+        assert summary["nfs"] == 0
+        assert summary["sg_hops"] == 0
+        assert summary["dynamic_links"] == 0
+        assert summary["flowrules"] == 0
+        assert all(link.reserved == 0 for link in bare.links)
+        assert not bare.infra("s-bb0").has_port("fw-1")
+
+    def test_strip_keeps_topology(self):
+        sub = linear_substrate(3, id="s")
+        bare = strip_deployment(sub)
+        assert len(bare.infras) == 3
+        assert len(bare.links) == len(sub.links)
+        assert {s.id for s in bare.saps} == {"sap1", "sap2"}

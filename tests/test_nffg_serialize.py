@@ -1,0 +1,96 @@
+"""Tests for NFFG (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.nffg import (
+    NFFG,
+    NFFGError,
+    ResourceVector,
+    nffg_from_dict,
+    nffg_from_json,
+    nffg_to_dict,
+    nffg_to_json,
+)
+from repro.nffg.builder import linear_substrate
+
+
+def _mapped_nffg() -> NFFG:
+    nffg = linear_substrate(3, id="m", supported_types=["firewall"])
+    nffg.add_nf("fw", "firewall",
+                resources=ResourceVector(cpu=2, mem=128, storage=2),
+                num_ports=2)
+    nffg.place_nf("fw", "m-bb1")
+    hop = nffg.add_sg_hop("sap1", "1", "fw", "1", id="h1", bandwidth=5.0)
+    nffg.add_requirement("sap1", "1", "fw", "1", sg_path=[hop.id],
+                         max_delay=20.0)
+    nffg.infra("m-bb1").port("fw-1").add_flowrule(
+        "in_port=fw-1", "output=to-m-bb2", bandwidth=5.0, hop_id="h1")
+    nffg.metadata["owner"] = "tester"
+    return nffg
+
+
+def test_dict_roundtrip_structure():
+    original = _mapped_nffg()
+    clone = nffg_from_dict(nffg_to_dict(original))
+    assert clone.summary() == original.summary()
+    assert clone.metadata == {"owner": "tester"}
+    assert clone.host_of("fw") == "m-bb1"
+
+
+def test_dict_roundtrip_preserves_flowrules():
+    clone = nffg_from_dict(nffg_to_dict(_mapped_nffg()))
+    rules = list(clone.infra("m-bb1").iter_flowrules())
+    assert len(rules) == 1
+    _, rule = rules[0]
+    assert rule.hop_id == "h1"
+    assert rule.bandwidth == 5.0
+
+
+def test_dict_roundtrip_preserves_requirements():
+    clone = nffg_from_dict(nffg_to_dict(_mapped_nffg()))
+    req = clone.requirements[0]
+    assert req.sg_path == ["h1"]
+    assert req.max_delay == 20.0
+
+
+def test_json_roundtrip():
+    original = _mapped_nffg()
+    payload = nffg_to_json(original)
+    json.loads(payload)  # valid JSON
+    clone = nffg_from_json(payload)
+    assert clone.summary() == original.summary()
+
+
+def test_json_stable_under_reserialization():
+    original = _mapped_nffg()
+    once = nffg_to_json(original)
+    twice = nffg_to_json(nffg_from_json(once))
+    assert once == twice
+
+
+def test_unknown_node_type_rejected():
+    with pytest.raises(NFFGError):
+        nffg_from_dict({"id": "x", "nodes": [{"id": "n", "type": "ALIEN"}]})
+
+
+def test_unknown_edge_type_rejected():
+    data = nffg_to_dict(linear_substrate(2))
+    data["edges"][0]["type"] = "WORMHOLE"
+    with pytest.raises(NFFGError):
+        nffg_from_dict(data)
+
+
+def test_empty_nffg_roundtrip():
+    empty = NFFG(id="empty")
+    clone = nffg_from_json(nffg_to_json(empty))
+    assert clone.id == "empty"
+    assert clone.summary()["infras"] == 0
+
+
+def test_sap_binding_survives():
+    nffg = NFFG(id="b")
+    nffg.add_sap("sap1", binding="dom:node:port")
+    clone = nffg_from_dict(nffg_to_dict(nffg))
+    assert clone.sap("sap1").binding == "dom:node:port"

@@ -1,0 +1,65 @@
+"""Tests for the seeded randomness helpers."""
+
+import pytest
+
+from repro.sim import SeededRandom
+
+
+def test_same_seed_same_stream():
+    a = SeededRandom(42)
+    b = SeededRandom(42)
+    assert [a.randint(0, 100) for _ in range(10)] == \
+        [b.randint(0, 100) for _ in range(10)]
+
+
+def test_different_seeds_diverge():
+    a = SeededRandom(1)
+    b = SeededRandom(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_deterministic():
+    parent_a = SeededRandom(7)
+    parent_b = SeededRandom(7)
+    assert parent_a.fork("x").randint(0, 10**6) == \
+        parent_b.fork("x").randint(0, 10**6)
+
+
+def test_fork_labels_independent():
+    parent = SeededRandom(7)
+    assert parent.fork("x").seed != parent.fork("y").seed
+
+
+def test_jitter_bounds():
+    rng = SeededRandom(3)
+    for _ in range(100):
+        value = rng.jitter(10.0, fraction=0.2)
+        assert 8.0 <= value <= 12.0
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = SeededRandom(5)
+    picks = {rng.weighted_choice([("a", 1.0), ("b", 0.0)])
+             for _ in range(50)}
+    assert picks == {"a"}
+
+
+def test_weighted_choice_rejects_nonpositive_total():
+    rng = SeededRandom(5)
+    with pytest.raises(ValueError):
+        rng.weighted_choice([("a", 0.0)])
+
+
+def test_sample_and_shuffle():
+    rng = SeededRandom(11)
+    population = list(range(20))
+    sample = rng.sample(population, 5)
+    assert len(set(sample)) == 5
+    shuffled = list(population)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == population
+
+
+def test_expovariate_positive():
+    rng = SeededRandom(13)
+    assert all(rng.expovariate(0.5) > 0 for _ in range(50))

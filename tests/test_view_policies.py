@@ -1,0 +1,92 @@
+"""Tests for the PerDomainBiSBiSView policy (and cross-policy laws)."""
+
+import pytest
+
+from repro.mapping import GreedyEmbedder, validate_mapping
+from repro.nffg import NFFGBuilder
+from repro.nffg.model import DomainType, InfraType
+from repro.topo import build_reference_multidomain
+from repro.virtualizer.views import (
+    FullTopologyView,
+    PerDomainBiSBiSView,
+    SingleBiSBiSView,
+)
+
+
+@pytest.fixture
+def dov():
+    return build_reference_multidomain().escape.cal.dov
+
+
+class TestPerDomainView:
+    def test_one_node_per_domain(self, dov):
+        view = PerDomainBiSBiSView().build_view(dov, "pd")
+        assert len(view.infras) == 4
+        domains = {infra.domain for infra in view.infras}
+        assert domains == {DomainType.INTERNAL, DomainType.SDN,
+                           DomainType.OPENSTACK, DomainType.UN}
+
+    def test_capacity_aggregated_per_domain(self, dov):
+        view = PerDomainBiSBiSView().build_view(dov, "pd")
+        emu_node = next(i for i in view.infras
+                        if i.domain == DomainType.INTERNAL)
+        real = sum(i.resources.cpu for i in dov.infras
+                   if i.domain == DomainType.INTERNAL)
+        assert emu_node.resources.cpu == real
+
+    def test_sdn_aggregate_is_forwarding_only(self, dov):
+        view = PerDomainBiSBiSView().build_view(dov, "pd")
+        sdn_node = next(i for i in view.infras
+                        if i.domain == DomainType.SDN)
+        assert sdn_node.infra_type == InfraType.SDN_SWITCH
+        assert not sdn_node.supports("firewall")
+
+    def test_saps_attach_to_their_domain(self, dov):
+        view = PerDomainBiSBiSView().build_view(dov, "pd")
+        bindings = view.sap_bindings()
+        assert bindings["sap1"][0].endswith("INTERNAL")
+        assert bindings["sap2"][0].endswith("UNIVERSAL-NODE")
+        assert bindings["sap3"][0].endswith("OPENSTACK")
+
+    def test_interdomain_connectivity_preserved(self, dov):
+        view = PerDomainBiSBiSView().build_view(dov, "pd")
+        import networkx as nx
+        topo = view.infra_topology()
+        assert nx.is_strongly_connected(topo)
+
+    def test_mappable(self, dov):
+        view = PerDomainBiSBiSView().build_view(dov, "pd")
+        service = (NFFGBuilder("s").sap("sap1").sap("sap2")
+                   .nf("s-fw", "firewall")
+                   .chain("sap1", "s-fw", "sap2", bandwidth=5.0).build())
+        result = GreedyEmbedder().map(service, view)
+        assert result.success, result.failure_reason
+        assert validate_mapping(service, view, result) == []
+
+
+class TestCrossPolicyLaws:
+    def test_total_capacity_identical_across_policies(self, dov):
+        single = SingleBiSBiSView().build_view(dov, "s")
+        per_domain = PerDomainBiSBiSView().build_view(dov, "p")
+        full = FullTopologyView().build_view(dov, "f")
+
+        def hosting_cpu(view):
+            return sum(i.resources.cpu for i in view.infras
+                       if i.infra_type != InfraType.SDN_SWITCH)
+
+        assert hosting_cpu(single) == hosting_cpu(per_domain) \
+            == hosting_cpu(full)
+
+    def test_node_count_ordering(self, dov):
+        single = SingleBiSBiSView().build_view(dov, "s")
+        per_domain = PerDomainBiSBiSView().build_view(dov, "p")
+        full = FullTopologyView().build_view(dov, "f")
+        assert len(single.infras) <= len(per_domain.infras) \
+            <= len(full.infras)
+
+    def test_all_policies_keep_saps(self, dov):
+        expected = {sap.id for sap in dov.saps}
+        for policy in (SingleBiSBiSView(), PerDomainBiSBiSView(),
+                       FullTopologyView()):
+            view = policy.build_view(dov, "v")
+            assert {sap.id for sap in view.saps} == expected

@@ -1,0 +1,95 @@
+"""Negative-path tests for the virtualizer model and converters."""
+
+import pytest
+
+from repro.nffg import NFFG
+from repro.virtualizer import (
+    Virtualizer,
+    nffg_to_virtualizer,
+    virtualizer_to_nffg,
+)
+from repro.yang import SchemaError, ValidationError
+
+
+class TestModelMisuse:
+    def test_duplicate_node_rejected(self):
+        virt = Virtualizer("v")
+        virt.add_node("bb")
+        with pytest.raises(ValidationError):
+            virt.add_node("bb")
+
+    def test_duplicate_port_rejected(self):
+        virt = Virtualizer("v")
+        node = virt.add_node("bb")
+        Virtualizer.add_port(node, "p1")
+        with pytest.raises(ValidationError):
+            Virtualizer.add_port(node, "p1")
+
+    def test_unknown_node_lookup(self):
+        virt = Virtualizer("v")
+        with pytest.raises(ValidationError):
+            virt.node("ghost")
+
+    def test_flowentry_on_unknown_node(self):
+        virt = Virtualizer("v")
+        with pytest.raises(ValidationError):
+            virt.add_flowentry("ghost", "fe1", port="p", out="q")
+
+    def test_enum_port_type_enforced(self):
+        virt = Virtualizer("v")
+        node = virt.add_node("bb")
+        port = Virtualizer.add_port(node, "p1")
+        with pytest.raises(SchemaError):
+            port.set_leaf("port_type", "port-wormhole")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValidationError):
+            Virtualizer.from_dict({"id": "v", "surprise": 1})
+
+    def test_from_dict_rejects_wrong_types(self):
+        with pytest.raises(SchemaError):
+            Virtualizer.from_dict({
+                "id": "v",
+                "nodes": {"node": {"bb": {"id": "bb", "resources":
+                                          {"cpu": "lots"}}}}})
+
+
+class TestConversionEdges:
+    def test_empty_nffg_roundtrip(self):
+        empty = NFFG(id="nothing")
+        virt = nffg_to_virtualizer(empty)
+        back = virtualizer_to_nffg(virt)
+        assert back.summary()["infras"] == 0
+
+    def test_nfs_without_placement_omitted(self):
+        nffg = NFFG(id="x")
+        nffg.add_infra("bb", num_ports=1)
+        nffg.add_nf("floating", "firewall", num_ports=1)  # unplaced
+        virt = nffg_to_virtualizer(nffg)
+        assert not list(virt.nf_instances("bb"))
+        back = virtualizer_to_nffg(virt)
+        assert not back.has_node("floating")
+
+    def test_sap_to_sap_links_not_encoded_as_fabric(self):
+        nffg = NFFG(id="x")
+        sap_a = nffg.add_sap("a")
+        sap_b = nffg.add_sap("b")
+        nffg.add_link("a", list(sap_a.ports)[0], "b", list(sap_b.ports)[0],
+                      id="weird")
+        virt = nffg_to_virtualizer(nffg)
+        assert not list(virt.links())
+
+    def test_flowentry_without_resources_decodes(self):
+        virt = Virtualizer("v")
+        node = virt.add_node("bb")
+        Virtualizer.add_port(node, "p1")
+        Virtualizer.add_port(node, "p2")
+        entry = node.container("flowtable").list_node("flowentry") \
+            .add_instance("fe1")
+        entry.set_leaf("port", "p1")
+        entry.set_leaf("out", "p2")
+        back = virtualizer_to_nffg(virt)
+        rules = list(back.infra("bb").iter_flowrules())
+        assert len(rules) == 1
+        _, rule = rules[0]
+        assert rule.bandwidth == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the workload generator."""
+
+import pytest
+
+from repro.workload import (
+    ChainTemplate,
+    DEFAULT_TEMPLATES,
+    WorkloadGenerator,
+)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = WorkloadGenerator(seed=3).batch(10)
+        b = WorkloadGenerator(seed=3).batch(10)
+        assert [r.template for r in a] == [r.template for r in b]
+        assert [r.service.summary() for r in a] == \
+            [r.service.summary() for r in b]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1).batch(20)
+        b = WorkloadGenerator(seed=2).batch(20)
+        assert [r.template for r in a] != [r.template for r in b]
+
+    def test_services_are_valid(self):
+        for request in WorkloadGenerator(seed=4).batch(20):
+            assert request.service.validate() == []
+            assert request.service.nfs
+            assert request.service.sg_hops
+
+    def test_unique_ids_across_stream(self):
+        requests = WorkloadGenerator(seed=5).batch(30)
+        ids = [r.service.id for r in requests]
+        assert len(set(ids)) == 30
+        nf_ids = [nf.id for r in requests for nf in r.service.nfs]
+        assert len(set(nf_ids)) == len(nf_ids)
+
+    def test_distinct_flowclasses(self):
+        requests = WorkloadGenerator(seed=6).batch(10)
+        classes = {hop.flowclass for r in requests
+                   for hop in r.service.sg_hops}
+        assert len(classes) == 10
+
+    def test_flowclasses_can_be_disabled(self):
+        generator = WorkloadGenerator(seed=6, distinct_flowclasses=False)
+        request = generator.next_request()
+        assert all(hop.flowclass == "" for hop in request.service.sg_hops)
+
+    def test_template_mix_follows_weights(self):
+        requests = WorkloadGenerator(seed=7).batch(200)
+        counts: dict[str, int] = {}
+        for request in requests:
+            counts[request.template] = counts.get(request.template, 0) + 1
+        # the weight-3 template should dominate the weight-1 ones
+        assert counts["access"] > counts["media"]
+        assert set(counts) <= {t.name for t in DEFAULT_TEMPLATES}
+
+    def test_custom_templates(self):
+        template = ChainTemplate("only", ("monitor",), (1.0, 1.0))
+        generator = WorkloadGenerator(seed=1, templates=[template])
+        request = generator.next_request()
+        assert request.template == "only"
+        assert request.service.nfs[0].functional_type == "monitor"
+
+    def test_needs_two_saps(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(sap_ids=("only-one",))
+
+    def test_delay_requirements_applied(self):
+        template = ChainTemplate("delayed", ("firewall",), (1.0, 1.0),
+                                 max_delay_range=(10.0, 20.0))
+        request = WorkloadGenerator(
+            seed=2, templates=[template]).next_request()
+        req = request.service.requirements[0]
+        assert 10.0 <= req.max_delay <= 20.0
+
+
+class TestArrivalProcess:
+    def test_poisson_arrivals_monotone(self):
+        requests = WorkloadGenerator(seed=8).poisson_arrivals(
+            20, rate_per_s=2.0)
+        arrivals = [r.arrival_ms for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_holding_times_positive(self):
+        requests = WorkloadGenerator(seed=8).poisson_arrivals(
+            10, mean_holding_s=5.0)
+        assert all(r.holding_ms > 0 for r in requests)
+
+    def test_rate_scales_density(self):
+        slow = WorkloadGenerator(seed=9).poisson_arrivals(
+            50, rate_per_s=0.5)
+        fast = WorkloadGenerator(seed=9).poisson_arrivals(
+            50, rate_per_s=5.0)
+        assert fast[-1].arrival_ms < slow[-1].arrival_ms
+
+    def test_stream_is_lazy(self):
+        stream = WorkloadGenerator(seed=1).stream()
+        first = next(stream)
+        second = next(stream)
+        assert first.service.id != second.service.id
