@@ -6,10 +6,8 @@ tracks acceptance ratio and resource utilization as offered load grows.
 Expected shape: acceptance degrades gracefully past the knee, resources
 are fully returned after every departure (no leakage)."""
 
-import pytest
 
 from benchmarks.conftest import emit
-from repro.mapping.decomposition import default_decomposition_library
 from repro.topo import build_reference_multidomain
 from repro.workload import WorkloadGenerator
 

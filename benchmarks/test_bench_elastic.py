@@ -7,7 +7,6 @@ scales back in — reporting reaction characteristics and the update
 costs the loop pays.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.elastic import ElasticityController, ScalingAction, ScalingRule

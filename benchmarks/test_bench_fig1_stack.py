@@ -8,7 +8,6 @@ chain end to end across all of it, and prints the per-domain
 architecture inventory the figure depicts.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.cli import ScenarioRunner

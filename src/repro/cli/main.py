@@ -6,6 +6,8 @@ Subcommands:
 - ``demo``       — deploy the reference chain over the Fig. 1 testbed,
                    drive probe traffic, print the full report;
 - ``topology``   — print the merged global view (ASCII or DOT);
+- ``lint``       — static-analyze NFFG JSON files (exit 0 clean,
+                   1 findings at/above the fail level, 2 parse error);
 - ``scale``      — run one elastic load/idle cycle;
 - ``catalog``    — list deployable NF types;
 - ``experiments``— list the experiment harnesses and how to run them.
@@ -102,6 +104,56 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro lint`` exit codes (conventional linter contract)
+LINT_CLEAN = 0
+LINT_FINDINGS = 1
+LINT_PARSE_ERROR = 2
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import (
+        Severity,
+        lint_nffg,
+        render_json,
+        render_rule_catalog,
+        render_text,
+    )
+    from repro.mapping.decomposition import default_decomposition_library
+    from repro.nffg.graph import NFFGError
+    from repro.nffg.serialize import nffg_from_dict
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return LINT_CLEAN
+
+    if not args.files:
+        print("repro lint: no input files (see --list-rules)",
+              file=sys.stderr)
+        return LINT_PARSE_ERROR
+
+    threshold = Severity.from_name(args.fail_level)
+    library = default_decomposition_library()
+    worst = LINT_CLEAN
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            nffg = nffg_from_dict(data)
+        except (OSError, ValueError, KeyError, NFFGError) as exc:
+            print(f"{path}: cannot load NFFG: {exc}", file=sys.stderr)
+            return LINT_PARSE_ERROR
+        diagnostics = lint_nffg(nffg, decomposition_library=library)
+        if args.format == "json":
+            print(render_json(diagnostics, source=path))
+        else:
+            print(render_text(diagnostics, source=path))
+        if diagnostics.at_least(threshold):
+            worst = LINT_FINDINGS
+    return worst
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     from repro.click.catalog import NF_CATALOG
 
@@ -155,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--emu-switches", type=int, default=2)
     topology.add_argument("--sdn-switches", type=int, default=2)
     topology.set_defaults(func=_cmd_topology)
+
+    lint = sub.add_parser(
+        "lint", help="static-analyze NFFG JSON files")
+    lint.add_argument("files", nargs="*", metavar="NFFG.json",
+                      help="NFFG files (nffg_to_dict JSON) to analyze")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--fail-level", choices=("info", "warning", "error"),
+                      default="warning",
+                      help="lowest severity that causes exit code 1")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     scale = sub.add_parser("scale", help="run an elastic scaling cycle")
     scale.add_argument("--packets", type=int, default=250)

@@ -1,0 +1,46 @@
+"""Rendering lint results for humans (text) and machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.lint.diagnostics import DiagnosticList
+from repro.lint.registry import RuleRegistry, default_registry
+
+
+def render_text(diagnostics: DiagnosticList, *,
+                source: Optional[str] = None) -> str:
+    """Multi-line report: one line per finding plus a summary."""
+    lines = []
+    header = f"lint: {source}" if source else "lint report"
+    lines.append(header)
+    for diag in diagnostics:
+        lines.append(f"  {diag}")
+    counts = diagnostics.counts()
+    lines.append(
+        f"  {counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: DiagnosticList, *,
+                source: Optional[str] = None) -> str:
+    """Machine-readable report (stable shape for CI tooling)."""
+    payload = {
+        "source": source,
+        "summary": diagnostics.counts(),
+        "diagnostics": [diag.to_dict() for diag in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog(registry: Optional[RuleRegistry] = None) -> str:
+    """The rule catalog, grouped by category."""
+    registry = registry or default_registry()
+    lines = []
+    for category in registry.categories():
+        lines.append(f"{category}:")
+        for rule in registry.select(categories=[category]):
+            lines.append(f"  {rule.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,497 @@
+"""The built-in rule catalog.
+
+Rule id prefixes follow the layer the rule inspects:
+
+- ``NF``  graph well-formedness (nodes, ports, edges),
+- ``RS``  resource soundness (capacities, bandwidth, delay budgets),
+- ``FR``  flow-rule analysis (port references, loops, ambiguity),
+- ``MD``  multi-domain consistency (sap tags, cross-view merges),
+- ``DC``  decomposition coverage (abstract NFs and their rules).
+
+The mapping validator (:mod:`repro.mapping.validate`) emits ``MP``
+diagnostics through the same :class:`~repro.lint.diagnostics.Diagnostic`
+type but runs post-mapping, against a concrete embedding, so its checks
+are not registered here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.lint.diagnostics import Finding, Severity
+from repro.lint.engine import LintContext
+from repro.lint.registry import default_registry
+from repro.nffg.model import (
+    EdgeLink,
+    EdgeSGHop,
+    Flowrule,
+    NodeInfra,
+    Port,
+    ResourceVector,
+)
+from repro.nffg.ops import consumed_resources
+
+_registry = default_registry()
+rule = _registry.rule
+
+_EPS = 1e-9
+
+
+# ----------------------------------------------------------------------
+# NF — graph well-formedness
+# ----------------------------------------------------------------------
+
+@rule("NF001", "edge endpoint references a missing node or port",
+      severity=Severity.ERROR, category="graph")
+def check_dangling_endpoints(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    for edge in nffg.edges:
+        for node_id, port_id, role in ((edge.src_node, edge.src_port, "src"),
+                                       (edge.dst_node, edge.dst_port, "dst")):
+            if not nffg.has_node(node_id):
+                yield Finding(
+                    f"edge {edge.id!r}: {role} node {node_id!r} missing",
+                    edge=edge.id, node=node_id)
+            elif not nffg.node(node_id).has_port(port_id):
+                yield Finding(
+                    f"edge {edge.id!r}: {role} port "
+                    f"{node_id}.{port_id} missing",
+                    edge=edge.id, node=node_id, port=port_id)
+
+
+@rule("NF002", "NF not connected to any SG hop or hosting infra",
+      severity=Severity.WARNING, category="graph")
+def check_orphan_nfs(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    connected = set()
+    for edge in nffg.edges:
+        connected.add(edge.src_node)
+        connected.add(edge.dst_node)
+    for nf in nffg.nfs:
+        if nf.id not in connected:
+            yield Finding(
+                f"NF {nf.id!r} is orphaned: no SG hop or dynamic link "
+                "touches it", node=nf.id)
+
+
+@rule("NF003", "SAP unreachable: no edge or sap-tagged port binds it",
+      severity=Severity.WARNING, category="graph")
+def check_unreachable_saps(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    connected = set()
+    for edge in nffg.edges:
+        connected.add(edge.src_node)
+        connected.add(edge.dst_node)
+    bound_tags = {port.sap_tag for infra in nffg.infras
+                  for port in infra.ports.values() if port.sap_tag}
+    for sap in nffg.saps:
+        if sap.id not in connected and sap.id not in bound_tags:
+            yield Finding(
+                f"SAP {sap.id!r} is unreachable: no edge and no "
+                "sap-tagged infra port binds it", node=sap.id)
+
+
+@rule("NF004", "SG hop endpoint is an infra node",
+      severity=Severity.ERROR, category="graph")
+def check_sg_hop_on_infra(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    for hop in nffg.sg_hops:
+        for endpoint in (hop.src_node, hop.dst_node):
+            if (nffg.has_node(endpoint)
+                    and isinstance(nffg.node(endpoint), NodeInfra)):
+                yield Finding(
+                    f"SG hop {hop.id!r} touches infra node {endpoint!r}; "
+                    "hops connect NFs and SAPs only",
+                    edge=hop.id, node=endpoint)
+
+
+@rule("NF005", "requirement path references a missing or non-hop edge",
+      severity=Severity.ERROR, category="graph")
+def check_requirement_paths(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    for req in nffg.requirements:
+        for hop_id in req.sg_path:
+            if not nffg.has_edge(hop_id):
+                yield Finding(
+                    f"requirement {req.id!r}: unknown hop {hop_id!r}",
+                    edge=req.id)
+            elif not isinstance(nffg.edge(hop_id), EdgeSGHop):
+                yield Finding(
+                    f"requirement {req.id!r}: path element {hop_id!r} "
+                    "is not an SG hop", edge=req.id)
+
+
+# ----------------------------------------------------------------------
+# RS — resource soundness
+# ----------------------------------------------------------------------
+
+def _negative_components(vector: ResourceVector) -> list[str]:
+    return [name for name in ("cpu", "mem", "storage", "bandwidth", "delay")
+            if getattr(vector, name) < -_EPS]
+
+
+@rule("RS001", "negative resource demand, capacity, bandwidth or delay",
+      severity=Severity.ERROR, category="resources")
+def check_negative_resources(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    for nf in nffg.nfs:
+        bad = _negative_components(nf.resources)
+        if bad:
+            yield Finding(
+                f"NF {nf.id!r} demands negative {', '.join(bad)}",
+                node=nf.id)
+    for infra in nffg.infras:
+        bad = _negative_components(infra.resources)
+        if bad:
+            yield Finding(
+                f"infra {infra.id!r} advertises negative "
+                f"{', '.join(bad)}", node=infra.id)
+    for edge in nffg.edges:
+        if isinstance(edge, EdgeLink):
+            if edge.bandwidth < -_EPS:
+                yield Finding(
+                    f"link {edge.id!r} has negative bandwidth "
+                    f"{edge.bandwidth}", edge=edge.id)
+            if edge.delay < -_EPS:
+                yield Finding(
+                    f"link {edge.id!r} has negative delay {edge.delay}",
+                    edge=edge.id)
+        elif isinstance(edge, EdgeSGHop):
+            if edge.bandwidth < -_EPS:
+                yield Finding(
+                    f"SG hop {edge.id!r} demands negative bandwidth "
+                    f"{edge.bandwidth}", edge=edge.id)
+            if edge.delay < -_EPS:
+                yield Finding(
+                    f"SG hop {edge.id!r} has negative delay budget "
+                    f"{edge.delay}", edge=edge.id)
+
+
+@rule("RS002", "infra capacity overcommitted by hosted NFs",
+      severity=Severity.ERROR, category="resources")
+def check_node_overcommit(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    for infra in nffg.infras:
+        demand = consumed_resources(nffg, infra.id)
+        if not demand.fits_within(infra.resources):
+            yield Finding(
+                f"infra {infra.id!r} overcommitted: hosted NFs demand "
+                f"cpu={demand.cpu:g}/mem={demand.mem:g}/"
+                f"storage={demand.storage:g} against capacity "
+                f"cpu={infra.resources.cpu:g}/mem={infra.resources.mem:g}/"
+                f"storage={infra.resources.storage:g}", node=infra.id)
+
+
+@rule("RS003", "link bandwidth oversubscribed by reservations",
+      severity=Severity.ERROR, category="resources")
+def check_link_oversubscription(ctx: LintContext) -> Iterator[Finding]:
+    for link in ctx.nffg.links:
+        if link.reserved - link.bandwidth > _EPS:
+            yield Finding(
+                f"link {link.id!r} oversubscribed: {link.reserved:g} "
+                f"Mbps reserved of {link.bandwidth:g} Mbps capacity",
+                edge=link.id)
+
+
+@rule("RS004", "end-to-end delay budget infeasible",
+      severity=Severity.WARNING, category="resources")
+def check_delay_budgets(ctx: LintContext) -> Iterator[Finding]:
+    nffg = ctx.nffg
+    for req in nffg.requirements:
+        if req.max_delay < 0:
+            yield Finding(
+                f"requirement {req.id!r} has negative delay budget "
+                f"{req.max_delay:g} ms", edge=req.id,
+                severity=Severity.ERROR)
+            continue
+        if req.max_delay == float("inf"):
+            continue
+        floor = 0.0
+        for hop_id in req.sg_path:
+            if nffg.has_edge(hop_id):
+                hop = nffg.edge(hop_id)
+                if isinstance(hop, EdgeSGHop):
+                    floor += hop.delay
+        if floor - req.max_delay > _EPS:
+            yield Finding(
+                f"requirement {req.id!r}: per-hop delays sum to "
+                f"{floor:g} ms, exceeding the {req.max_delay:g} ms "
+                "budget — no mapping can satisfy it", edge=req.id)
+
+
+@rule("RS005", "static link advertises zero bandwidth",
+      severity=Severity.INFO, category="resources")
+def check_zero_bandwidth_links(ctx: LintContext) -> Iterator[Finding]:
+    for link in ctx.nffg.links:
+        if abs(link.bandwidth) <= _EPS:
+            yield Finding(
+                f"link {link.id!r} advertises zero bandwidth; no SG hop "
+                "with a bandwidth demand can route across it",
+                edge=link.id)
+
+
+# ----------------------------------------------------------------------
+# FR — flow-rule analysis
+# ----------------------------------------------------------------------
+
+def _iter_infra_rules(infra: NodeInfra) -> Iterator[tuple[Port, int, Flowrule]]:
+    for port in infra.ports.values():
+        for index, flowrule in enumerate(port.flowrules):
+            yield port, index, flowrule
+
+
+@rule("FR001", "flow rule references a port the node does not have",
+      severity=Severity.ERROR, category="flowrules")
+def check_flowrule_ports(ctx: LintContext) -> Iterator[Finding]:
+    for infra in ctx.nffg.infras:
+        for port, index, flowrule in _iter_infra_rules(infra):
+            in_port = flowrule.match_fields().get("in_port")
+            if in_port is not None and not infra.has_port(in_port):
+                yield Finding(
+                    f"flow rule on {infra.id}.{port.id} matches "
+                    f"in_port={in_port!r}, which does not exist on "
+                    f"{infra.id!r}", node=infra.id, port=port.id,
+                    flowrule=index)
+            out_port = flowrule.action_fields().get("output")
+            if out_port and not infra.has_port(out_port):
+                yield Finding(
+                    f"flow rule on {infra.id}.{port.id} outputs to "
+                    f"port {out_port!r}, which does not exist on "
+                    f"{infra.id!r}", node=infra.id, port=port.id,
+                    flowrule=index)
+
+
+@rule("FR002", "flow rules form a forwarding loop inside a BiS-BiS",
+      severity=Severity.ERROR, category="flowrules")
+def check_flowrule_loops(ctx: LintContext) -> Iterator[Finding]:
+    """Detect port-level cycles among rules that preserve the packet's
+    steering context (same flowclass, same VLAN-tag state).
+
+    Rules that re-tag or untag hand the packet to a *different* match
+    context, so they cannot close a loop within this conservative
+    model; chains produced by the mapping layer (tag on ingress, untag
+    on egress) therefore never trigger it.
+    """
+    for infra in ctx.nffg.infras:
+        groups: dict[tuple, dict[str, set[str]]] = defaultdict(dict)
+        for port, _, flowrule in _iter_infra_rules(infra):
+            match = flowrule.match_fields()
+            action = flowrule.action_fields()
+            out_port = action.get("output")
+            if not out_port:
+                continue
+            match_tag = match.get("tag")
+            action_tag = action.get("tag")
+            if "untag" in action:
+                continue                      # tag state changes: exits group
+            if action_tag is not None and action_tag != match_tag:
+                continue                      # re-tag: exits group
+            key = (flowrule.hop_id, match.get("flowclass", ""), match_tag)
+            in_port = match.get("in_port", port.id)
+            groups[key].setdefault(in_port, set()).add(out_port)
+        for key, adjacency in groups.items():
+            cycle = _find_cycle(adjacency)
+            if cycle:
+                yield Finding(
+                    f"flow rules on infra {infra.id!r} form a forwarding "
+                    f"loop through ports {' -> '.join(cycle)}"
+                    + (f" (hop {key[0]!r})" if key[0] else ""),
+                    node=infra.id, port=cycle[0])
+
+
+def _find_cycle(adjacency: dict[str, set[str]]) -> list[str]:
+    """First directed cycle in a port adjacency, as a port sequence."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str]:
+        color[node] = GREY
+        stack.append(node)
+        for succ in sorted(adjacency.get(node, ())):
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                return stack[stack.index(succ):] + [succ]
+            if state == WHITE:
+                found = visit(succ)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return []
+
+    for node in sorted(adjacency):
+        if color[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return []
+
+
+@rule("FR003", "flow rules on one port with identical matches",
+      severity=Severity.WARNING, category="flowrules")
+def check_shadowed_flowrules(ctx: LintContext) -> Iterator[Finding]:
+    """Two rules with the same match on the same port get the same
+    priority from the FlowMod translation — which one wins is switch-
+    dependent.  Identical actions are merely redundant (INFO)."""
+    for infra in ctx.nffg.infras:
+        for port in infra.ports.values():
+            seen: dict[tuple, tuple[int, Flowrule]] = {}
+            for index, flowrule in enumerate(port.flowrules):
+                match_key = tuple(sorted(flowrule.match_fields().items()))
+                previous = seen.get(match_key)
+                if previous is None:
+                    seen[match_key] = (index, flowrule)
+                    continue
+                prev_index, prev_rule = previous
+                if (prev_rule.action_fields()
+                        == flowrule.action_fields()):
+                    yield Finding(
+                        f"flow rule #{index} on {infra.id}.{port.id} "
+                        f"duplicates rule #{prev_index} (same match, "
+                        "same action)", node=infra.id, port=port.id,
+                        flowrule=index, severity=Severity.INFO)
+                else:
+                    yield Finding(
+                        f"flow rule #{index} on {infra.id}.{port.id} "
+                        f"shadows rule #{prev_index}: identical match "
+                        f"{flowrule.match!r} but conflicting actions "
+                        f"({prev_rule.action!r} vs {flowrule.action!r})",
+                        node=infra.id, port=port.id, flowrule=index)
+
+
+# ----------------------------------------------------------------------
+# MD — multi-domain consistency
+# ----------------------------------------------------------------------
+
+def _tag_endpoints(nffg) -> dict[str, list[tuple[str, str]]]:
+    endpoints: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    for infra in nffg.infras:
+        for port in infra.ports.values():
+            if port.sap_tag is not None:
+                endpoints[port.sap_tag].append((infra.id, port.id))
+    return endpoints
+
+
+@rule("MD001", "sap_tag bound to more than two infra ports",
+      severity=Severity.ERROR, category="multidomain")
+def check_sap_tag_multiplicity(ctx: LintContext) -> Iterator[Finding]:
+    for tag, endpoints in sorted(_tag_endpoints(ctx.nffg).items()):
+        if len(endpoints) > 2:
+            where = ", ".join(f"{node}.{port}" for node, port in endpoints)
+            yield Finding(
+                f"sap_tag {tag!r} appears on {len(endpoints)} ports "
+                f"({where}); merge_nffgs stitches exactly two",
+                node=endpoints[0][0], port=endpoints[0][1])
+
+
+@rule("MD002", "sap-tagged hand-off port unpaired in this view",
+      severity=Severity.INFO, category="multidomain")
+def check_unpaired_sap_tags(ctx: LintContext) -> Iterator[Finding]:
+    """A lone sap-tagged port with no SAP node and no attached edge is
+    an inter-domain hand-off waiting for its peer — expected in a
+    single-domain view, suspicious in a merged one (hence INFO)."""
+    nffg = ctx.nffg
+    for tag, endpoints in sorted(_tag_endpoints(nffg).items()):
+        if len(endpoints) != 1 or nffg.has_node(tag):
+            continue
+        node_id, port_id = endpoints[0]
+        attached = any(
+            (edge.src_node == node_id and edge.src_port == port_id)
+            or (edge.dst_node == node_id and edge.dst_port == port_id)
+            for edge in nffg.edges)
+        if not attached:
+            yield Finding(
+                f"sap_tag {tag!r} on {node_id}.{port_id} has no peer "
+                "port, no SAP node and no attached link in this view",
+                node=node_id, port=port_id)
+
+
+@rule("MD003", "node id collides across domain views",
+      severity=Severity.ERROR, category="multidomain", scope="views")
+def check_cross_view_duplicates(ctx: LintContext) -> Iterator[Finding]:
+    owners: dict[str, str] = {}
+    for view in ctx.views:
+        for node in view.nodes:
+            owner = owners.get(node.id)
+            if owner is not None and owner != view.id:
+                yield Finding(
+                    f"node id {node.id!r} appears in views {owner!r} "
+                    f"and {view.id!r}; merge_nffgs requires globally "
+                    "unique node ids", node=node.id, graph=view.id)
+            else:
+                owners[node.id] = view.id
+
+
+@rule("MD004", "sap_tag pairing inconsistent across domain views",
+      severity=Severity.ERROR, category="multidomain", scope="views")
+def check_cross_view_sap_tags(ctx: LintContext) -> Iterator[Finding]:
+    endpoints: dict[str, list[tuple[str, str, str]]] = defaultdict(list)
+    for view in ctx.views:
+        for tag, pairs in _tag_endpoints(view).items():
+            for node_id, port_id in pairs:
+                endpoints[tag].append((view.id, node_id, port_id))
+    for tag, places in sorted(endpoints.items()):
+        if len(places) > 2:
+            where = ", ".join(f"{view}:{node}.{port}"
+                              for view, node, port in places)
+            yield Finding(
+                f"sap_tag {tag!r} appears on {len(places)} ports across "
+                f"the views ({where}); merge_nffgs would reject the "
+                "stitch", node=places[0][1], port=places[0][2],
+                graph=places[0][0])
+
+
+# ----------------------------------------------------------------------
+# DC — decomposition coverage
+# ----------------------------------------------------------------------
+
+@rule("DC001", "abstract NF type has no decomposition rule",
+      severity=Severity.ERROR, category="decomposition")
+def check_abstract_nfs_decomposable(ctx: LintContext) -> Iterator[Finding]:
+    library = ctx.decomposition_library
+    if library is None:
+        return
+    for nf in ctx.nffg.nfs:
+        if (library.is_abstract(nf.functional_type)
+                and not library.options_for(nf.functional_type)):
+            yield Finding(
+                f"NF {nf.id!r} has abstract type "
+                f"{nf.functional_type!r} but the decomposition library "
+                "offers no rule for it — it can never deploy",
+                node=nf.id)
+
+
+@rule("DC002", "decomposition cannot cover all parent NF ports",
+      severity=Severity.WARNING, category="decomposition")
+def check_decomposition_port_coverage(ctx: LintContext) -> Iterator[Finding]:
+    """Chain expansion exposes exactly port ``1`` of the first component
+    and port ``2`` of the last; an abstract NF wired through any other
+    port would lose those attachments when it is expanded."""
+    library = ctx.decomposition_library
+    if library is None:
+        return
+    covered = {"1", "2"}
+    for nf in ctx.nffg.nfs:
+        if not library.is_abstract(nf.functional_type):
+            continue
+        options = library.options_for(nf.functional_type)
+        if not any(getattr(option, "components", ()) for option in options):
+            continue                          # DC001 already covers this
+        # only ports used by edges matter — unused extras are inert
+        used_ports = {
+            edge.src_port for edge in ctx.nffg.edges
+            if edge.src_node == nf.id
+        } | {
+            edge.dst_port for edge in ctx.nffg.edges
+            if edge.dst_node == nf.id
+        }
+        uncovered = sorted(used_ports - covered)
+        if uncovered:
+            yield Finding(
+                f"abstract NF {nf.id!r} is wired through port(s) "
+                f"{', '.join(uncovered)}; decomposition exposes only "
+                "ports 1 (ingress) and 2 (egress), so these attachments "
+                "cannot survive expansion", node=nf.id,
+                port=uncovered[0])

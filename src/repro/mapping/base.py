@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.nffg.graph import NFFG, NFFGError
+from repro.nffg.graph import NFFG
 from repro.nffg.model import (
     EdgeLink,
     EdgeSGHop,

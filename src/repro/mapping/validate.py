@@ -3,21 +3,47 @@
 Used by tests, property-based checks and the orchestrator's "verify
 before deploy" step: re-derives every constraint from scratch instead of
 trusting the embedder's own bookkeeping.
+
+Violations are reported as structured
+:class:`~repro.lint.diagnostics.Diagnostic` objects (rule ids ``MP0xx``,
+category ``mapping``) so they compose with the static-analysis
+subsystem; :meth:`~repro.lint.diagnostics.DiagnosticList.as_strings`
+recovers the bare messages for callers that only want text.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.lint.diagnostics import Diagnostic, DiagnosticList, Severity
 from repro.mapping.base import MappingResult
 from repro.nffg.graph import NFFG
 from repro.nffg.model import EdgeLink, NodeInfra, ResourceVector
 
+#: rule ids of the post-mapping validator
+MP_FAILED = "MP001"          #: embedder itself reported failure
+MP_PLACEMENT = "MP010"       #: NF placement missing/invalid/constrained
+MP_CAPACITY = "MP020"        #: infra capacity overcommitted
+MP_ROUTE = "MP030"           #: hop route missing or disconnected
+MP_BANDWIDTH = "MP040"       #: link bandwidth oversubscribed
+MP_REQUIREMENT = "MP050"     #: end-to-end delay requirement violated
+MP_FLOWRULES = "MP060"       #: installed flow rules inconsistent
+
+
+def _diag(rule_id: str, message: str, *, node: Optional[str] = None,
+          edge: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(rule_id=rule_id, severity=Severity.ERROR,
+                      category="mapping", message=message,
+                      node=node, edge=edge)
+
 
 def validate_mapping(service: NFFG, resource: NFFG,
-                     result: MappingResult) -> list[str]:
-    """Return a list of violations (empty = mapping is sound)."""
+                     result: MappingResult) -> DiagnosticList:
+    """Return the violations of a mapping (empty = mapping is sound)."""
     if not result.success:
-        return [f"mapping failed: {result.failure_reason}"]
-    problems: list[str] = []
+        return DiagnosticList([_diag(
+            MP_FAILED, f"mapping failed: {result.failure_reason}")])
+    problems = DiagnosticList()
     problems += _check_placements(service, resource, result)
     problems += _check_capacities(service, resource, result)
     problems += _check_routes(service, resource, result)
@@ -28,43 +54,56 @@ def validate_mapping(service: NFFG, resource: NFFG,
 
 
 def _check_placements(service: NFFG, resource: NFFG,
-                      result: MappingResult) -> list[str]:
+                      result: MappingResult) -> list[Diagnostic]:
     problems = []
     for nf in service.nfs:
         host = result.nf_placement.get(nf.id)
         if host is None:
-            problems.append(f"NF {nf.id!r} unplaced")
+            problems.append(_diag(MP_PLACEMENT, f"NF {nf.id!r} unplaced",
+                                  node=nf.id))
             continue
         if not resource.has_node(host):
-            problems.append(f"NF {nf.id!r} placed on unknown infra {host!r}")
+            problems.append(_diag(
+                MP_PLACEMENT,
+                f"NF {nf.id!r} placed on unknown infra {host!r}",
+                node=nf.id))
             continue
         infra = resource.infra(host)
         if not infra.supports(nf.functional_type):
-            problems.append(
+            problems.append(_diag(
+                MP_PLACEMENT,
                 f"NF {nf.id!r} ({nf.functional_type}) on unsupporting "
-                f"infra {host!r}")
+                f"infra {host!r}", node=nf.id))
         wanted_domain = nf.metadata.get("constraint:domain")
         if wanted_domain is not None and infra.domain.value != wanted_domain:
-            problems.append(
+            problems.append(_diag(
+                MP_PLACEMENT,
                 f"NF {nf.id!r}: domain constraint {wanted_domain!r} "
-                f"violated by host {host!r} ({infra.domain.value})")
+                f"violated by host {host!r} ({infra.domain.value})",
+                node=nf.id))
         pinned = nf.metadata.get("constraint:infra")
         if pinned is not None and host != pinned:
-            problems.append(
-                f"NF {nf.id!r}: pinned to {pinned!r}, placed on {host!r}")
+            problems.append(_diag(
+                MP_PLACEMENT,
+                f"NF {nf.id!r}: pinned to {pinned!r}, placed on {host!r}",
+                node=nf.id))
         for rival in nf.metadata.get("constraint:anti_affinity", ()):
             if result.nf_placement.get(rival) == host:
-                problems.append(
+                problems.append(_diag(
+                    MP_PLACEMENT,
                     f"NF {nf.id!r}: anti-affinity with {rival!r} violated "
-                    f"on {host!r}")
+                    f"on {host!r}", node=nf.id))
     for nf_id in result.nf_placement:
         if not service.has_node(nf_id):
-            problems.append(f"placement contains non-service NF {nf_id!r}")
+            problems.append(_diag(
+                MP_PLACEMENT,
+                f"placement contains non-service NF {nf_id!r}",
+                node=nf_id))
     return problems
 
 
 def _check_capacities(service: NFFG, resource: NFFG,
-                      result: MappingResult) -> list[str]:
+                      result: MappingResult) -> list[Diagnostic]:
     problems = []
     demand: dict[str, ResourceVector] = {}
     for nf_id, host in result.nf_placement.items():
@@ -76,46 +115,55 @@ def _check_capacities(service: NFFG, resource: NFFG,
     for host, total in demand.items():
         free = available_resources(resource, host)
         if not total.fits_within(free):
-            problems.append(
-                f"infra {host!r} over-committed: demand {total}, free {free}")
+            problems.append(_diag(
+                MP_CAPACITY,
+                f"infra {host!r} over-committed: demand {total}, free {free}",
+                node=host))
     return problems
 
 
 def _check_routes(service: NFFG, resource: NFFG,
-                  result: MappingResult) -> list[str]:
+                  result: MappingResult) -> list[Diagnostic]:
     problems = []
     for hop in service.sg_hops:
         route = result.hop_routes.get(hop.id)
         if route is None:
-            problems.append(f"hop {hop.id!r} unrouted")
+            problems.append(_diag(MP_ROUTE, f"hop {hop.id!r} unrouted",
+                                  edge=hop.id))
             continue
         expected_src = _endpoint_infra(service, resource, result, hop.src_node)
         expected_dst = _endpoint_infra(service, resource, result, hop.dst_node)
         if expected_src is not None and route.infra_path[0] != expected_src:
-            problems.append(
+            problems.append(_diag(
+                MP_ROUTE,
                 f"hop {hop.id!r}: path starts at {route.infra_path[0]!r}, "
-                f"endpoint on {expected_src!r}")
+                f"endpoint on {expected_src!r}", edge=hop.id))
         if expected_dst is not None and route.infra_path[-1] != expected_dst:
-            problems.append(
+            problems.append(_diag(
+                MP_ROUTE,
                 f"hop {hop.id!r}: path ends at {route.infra_path[-1]!r}, "
-                f"endpoint on {expected_dst!r}")
+                f"endpoint on {expected_dst!r}", edge=hop.id))
         # link ids must form a connected chain along infra_path
         for index, link_id in enumerate(route.link_ids):
             if not resource.has_edge(link_id):
-                problems.append(f"hop {hop.id!r}: unknown link {link_id!r}")
+                problems.append(_diag(
+                    MP_ROUTE, f"hop {hop.id!r}: unknown link {link_id!r}",
+                    edge=hop.id))
                 continue
             link = resource.edge(link_id)
             assert isinstance(link, EdgeLink)
             if (link.src_node != route.infra_path[index]
                     or link.dst_node != route.infra_path[index + 1]):
-                problems.append(
+                problems.append(_diag(
+                    MP_ROUTE,
                     f"hop {hop.id!r}: link {link_id!r} does not connect "
-                    f"{route.infra_path[index]!r}->{route.infra_path[index + 1]!r}")
+                    f"{route.infra_path[index]!r}->"
+                    f"{route.infra_path[index + 1]!r}", edge=hop.id))
     return problems
 
 
 def _check_bandwidth(service: NFFG, resource: NFFG,
-                     result: MappingResult) -> list[str]:
+                     result: MappingResult) -> list[Diagnostic]:
     problems = []
     load: dict[str, float] = {}
     for route in result.hop_routes.values():
@@ -127,13 +175,15 @@ def _check_bandwidth(service: NFFG, resource: NFFG,
         link = resource.edge(link_id)
         assert isinstance(link, EdgeLink)
         if used - link.available_bandwidth > 1e-9:
-            problems.append(
+            problems.append(_diag(
+                MP_BANDWIDTH,
                 f"link {link_id!r} over-subscribed: {used} of "
-                f"{link.available_bandwidth} Mbps free")
+                f"{link.available_bandwidth} Mbps free", edge=link_id))
     return problems
 
 
-def _check_requirements(service: NFFG, result: MappingResult) -> list[str]:
+def _check_requirements(service: NFFG,
+                        result: MappingResult) -> list[Diagnostic]:
     problems = []
     for req in service.requirements:
         total = 0.0
@@ -145,22 +195,26 @@ def _check_requirements(service: NFFG, result: MappingResult) -> list[str]:
                 break
             total += route.delay
         if complete and total > req.max_delay + 1e-9:
-            problems.append(
-                f"requirement {req.id!r}: delay {total:.3f} > {req.max_delay:.3f}")
+            problems.append(_diag(
+                MP_REQUIREMENT,
+                f"requirement {req.id!r}: delay {total:.3f} > "
+                f"{req.max_delay:.3f}", edge=req.id))
     return problems
 
 
-def _check_flowrules(service: NFFG, result: MappingResult) -> list[str]:
+def _check_flowrules(service: NFFG,
+                     result: MappingResult) -> list[Diagnostic]:
     """Every routed hop must have one flow rule per traversed BiS-BiS."""
     problems = []
     mapped = result.mapped
     if mapped is None:
-        return ["mapped NFFG missing"]
+        return [_diag(MP_FLOWRULES, "mapped NFFG missing")]
     rules_per_hop: dict[str, int] = {}
     for infra in mapped.infras:
-        for _, rule in infra.iter_flowrules():
-            if rule.hop_id:
-                rules_per_hop[rule.hop_id] = rules_per_hop.get(rule.hop_id, 0) + 1
+        for _, flowrule in infra.iter_flowrules():
+            if flowrule.hop_id:
+                rules_per_hop[flowrule.hop_id] = \
+                    rules_per_hop.get(flowrule.hop_id, 0) + 1
     for hop in service.sg_hops:
         route = result.hop_routes.get(hop.id)
         if route is None:
@@ -168,9 +222,10 @@ def _check_flowrules(service: NFFG, result: MappingResult) -> list[str]:
         expected = len(route.infra_path)
         actual = rules_per_hop.get(hop.id, 0)
         if actual != expected:
-            problems.append(
+            problems.append(_diag(
+                MP_FLOWRULES,
                 f"hop {hop.id!r}: {actual} flow rules installed, "
-                f"expected {expected}")
+                f"expected {expected}", edge=hop.id))
     return problems
 
 

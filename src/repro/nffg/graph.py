@@ -23,8 +23,6 @@ from repro.nffg.model import (
     NodeInfra,
     NodeNF,
     NodeSAP,
-    NodeType,
-    Port,
     ResourceVector,
 )
 

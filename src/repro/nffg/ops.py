@@ -20,8 +20,6 @@ from repro.nffg.model import (
     DomainType,
     EdgeLink,
     LinkType,
-    NodeInfra,
-    NodeNF,
     ResourceVector,
 )
 
@@ -30,15 +28,24 @@ def merge_nffgs(views: Iterable[NFFG], merged_id: str = "global-view") -> NFFG:
     """Merge domain views into a single global resource view.
 
     Node ids must be globally unique across domains (domain managers
-    prefix their node ids).  Infra ports tagged with the same
+    prefix their node ids); a collision raises :class:`NFFGError`
+    naming both offending views.  Infra ports tagged with the same
     ``sap_tag`` on *different* nodes are connected with an inter-domain
     link of zero cost; the tag is treated as the physical hand-off
     between providers.
     """
     merged = NFFG(id=merged_id, name="merged global view")
     tag_endpoints: dict[str, list[tuple[str, str]]] = {}
+    node_owner: dict[str, str] = {}
     for view in views:
         for node in view.nodes:
+            if node.id in node_owner:
+                raise NFFGError(
+                    f"cannot merge domain views: node id {node.id!r} "
+                    f"appears in both {node_owner[node.id]!r} and "
+                    f"{view.id!r}; domain managers must prefix their "
+                    "node ids to keep them globally unique")
+            node_owner[node.id] = view.id
             merged.add_node_copy(node)
         for edge in view.edges:
             merged.add_edge_copy(edge)

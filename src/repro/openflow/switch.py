@@ -10,7 +10,6 @@ from repro.netem.packet import Packet
 from repro.openflow.channel import ControlChannel
 from repro.openflow.flowtable import FlowTable
 from repro.openflow.messages import (
-    ActionOutput,
     BarrierReply,
     BarrierRequest,
     EchoReply,

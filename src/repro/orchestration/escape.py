@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.lint import DiagnosticList, Severity, lint_nffg
 from repro.mapping.base import Embedder
 from repro.mapping.decomposition import DecompositionLibrary
 from repro.nffg.graph import NFFG
@@ -29,12 +30,16 @@ class EscapeOrchestrator:
     def __init__(self, name: str = "escape", *,
                  embedder: Optional[Embedder] = None,
                  decomposition_library: Optional[DecompositionLibrary] = None,
-                 simulator: Optional[Simulator] = None):
+                 simulator: Optional[Simulator] = None,
+                 lint_gate: Optional[Severity] = Severity.ERROR):
         self.name = name
         self.ro = ResourceOrchestrator(
             embedder=embedder, decomposition_library=decomposition_library)
         self.cal = ControllerAdaptationLayer()
         self.simulator = simulator
+        #: severity at/above which the pre-deploy static-analysis gate
+        #: refuses a service graph; None disables the gate entirely
+        self.lint_gate = lint_gate
         self.reports: dict[str, DeployReport] = {}
 
     # -- domain management ---------------------------------------------------
@@ -62,6 +67,15 @@ class EscapeOrchestrator:
         report = DeployReport(service_id=service.id, success=False)
         if service.id in self.cal.deployed_services():
             report.error = f"service {service.id!r} already deployed"
+            report.total_time_s = time.perf_counter() - started
+            self.reports[service.id] = report
+            return report
+
+        blocking = self._verify_service(service, report)
+        if blocking:
+            report.error = ("lint gate rejected service graph: "
+                           + "; ".join(f"{d.rule_id}: {d.message}"
+                                       for d in blocking))
             report.total_time_s = time.perf_counter() - started
             self.reports[service.id] = report
             return report
@@ -119,6 +133,22 @@ class EscapeOrchestrator:
         self.reports[service.id] = report
         return report
 
+    def _verify_service(self, service: NFFG,
+                        report: DeployReport) -> DiagnosticList:
+        """Run the static-analysis gate over an incoming service graph.
+
+        All findings are recorded on the report; the returned list holds
+        only those at/above the configured gate severity — a non-empty
+        result means the deployment must be refused.
+        """
+        if self.lint_gate is None:
+            return DiagnosticList()
+        diagnostics = lint_nffg(
+            service,
+            decomposition_library=self.ro.decomposition_library)
+        report.lint = diagnostics
+        return diagnostics.at_least(self.lint_gate)
+
     def _wait_activation(self, max_ms: float) -> float:
         if self.simulator is None:
             return 0.0
@@ -160,6 +190,15 @@ class EscapeOrchestrator:
         """
         if service.id not in self.cal.deployed_services():
             return self.deploy(service)
+        report = DeployReport(service_id=service.id, success=False)
+        blocking = self._verify_service(service, report)
+        if blocking:
+            report.error = ("update rejected by lint gate, previous "
+                            "version kept: "
+                            + "; ".join(f"{d.rule_id}: {d.message}"
+                                        for d in blocking))
+            self.reports[service.id] = report
+            return report
         snapshot = self.cal.snapshot_service(service.id)
         self.cal.remove_service(service.id)
         view = self.cal.resource_view()

@@ -34,6 +34,9 @@ class DeployReport:
     error: str = ""
     mapping: Optional[MappingResult] = None
     adapters: list[AdapterReport] = field(default_factory=list)
+    #: static-analysis findings from the pre-deploy verification gate
+    #: (repro.lint Diagnostic objects; populated even on success)
+    lint: list = field(default_factory=list)
     #: wall-clock phase timings (seconds)
     view_time_s: float = 0.0
     mapping_time_s: float = 0.0

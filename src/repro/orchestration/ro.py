@@ -59,7 +59,7 @@ class ResourceOrchestrator:
             if problems:
                 result.success = False
                 result.failure_reason = ("mapping verification failed: "
-                                         + "; ".join(problems))
+                                         + "; ".join(problems.as_strings()))
         if result.success:
             self.mappings_succeeded += 1
         return result

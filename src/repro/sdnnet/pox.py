@@ -22,7 +22,6 @@ from repro.openflow.controller import ControllerEndpoint
 from repro.openflow.messages import (
     ActionOutput,
     ActionPopVlan,
-    ActionPushVlan,
     Match,
     OFPP_FLOOD,
     PacketIn,

@@ -14,7 +14,6 @@ from repro.nffg.graph import NFFG
 from repro.nffg.model import (
     DomainType,
     InfraType,
-    LinkType,
     ResourceVector,
 )
 from repro.virtualizer.model import Virtualizer

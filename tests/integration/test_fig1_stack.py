@@ -7,7 +7,6 @@ These tests drive the complete reproduction end to end: service layer
 import pytest
 
 from repro.cli import ScenarioRunner
-from repro.netem.packet import tcp_packet
 from repro.nffg.model import DomainType
 from repro.service import ServiceRequestBuilder
 from repro.topo import build_reference_multidomain

@@ -1,14 +1,12 @@
 """Tests for the domain adapter layer (install accounting, teardown,
 failure isolation)."""
 
-import pytest
 
 from repro.emu import EmulatedDomain
 from repro.netem import Network
-from repro.nffg import NFFG, NFFGBuilder
+from repro.nffg import NFFG
 from repro.nffg.builder import linear_substrate
 from repro.nffg.model import DomainType
-from repro.mapping import GreedyEmbedder
 from repro.orchestration import (
     DirectDomainAdapter,
     EmuDomainAdapter,

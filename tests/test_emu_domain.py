@@ -177,7 +177,6 @@ class TestOrchestrator:
                            operation="replace")
         client.commit()
         assert orchestrator.deployed_nf_count() == 1
-        from repro.nffg import NFFG
         empty = dom.domain_view()
         client.edit_config({"nffg": nffg_to_dict(empty)},
                            operation="replace")

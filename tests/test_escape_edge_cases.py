@@ -1,6 +1,5 @@
 """Edge-case tests for the orchestrator facade and domain views."""
 
-import pytest
 
 from repro.emu import EmulatedDomain
 from repro.netem import Network

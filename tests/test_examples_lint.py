@@ -1,0 +1,143 @@
+"""Every ``examples/`` scenario must be lint-clean.
+
+Reconstructs the exact service graphs the example scripts build (plus
+the testbed resource views they deploy onto), serializes each through
+the JSON wire format and runs the real ``repro lint`` CLI over it —
+the demos must never ship a graph the pre-deploy gate would reject.
+"""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.nffg import NFFGBuilder
+from repro.nffg.serialize import nffg_to_dict
+from repro.service import ServiceRequestBuilder
+from repro.topo import build_emulated_testbed, build_reference_multidomain
+
+
+def quickstart_sg():
+    return (ServiceRequestBuilder("quickstart")
+            .sap("sap1").sap("sap2")
+            .nf("q-fw", "firewall").nf("q-nat", "nat")
+            .chain("sap1", "q-fw", "q-nat", "sap2", bandwidth=10.0)
+            .delay_requirement("sap1", "sap2", max_delay=80.0)
+            .build().sg)
+
+
+def multidomain_tenant_a_sg():
+    return (ServiceRequestBuilder("tenant-a")
+            .sap("sap1").sap("sap3")
+            .nf("a-dpi", "dpi", cpu=6.0, mem=2048.0)
+            .chain("sap1", "a-dpi", "sap3", bandwidth=20.0,
+                   flowclass="tp_dst=80")
+            .build().sg)
+
+
+def multidomain_tenant_b_sg():
+    return (ServiceRequestBuilder("tenant-b")
+            .sap("sap1").sap("sap2")
+            .nf("b-fw", "firewall", cpu=1.0)
+            .chain("sap1", "b-fw", "sap2", bandwidth=5.0,
+                   flowclass="tp_dst=5353")
+            .build().sg)
+
+
+def elastic_web_sg(level):
+    builder = (ServiceRequestBuilder("web")
+               .sap("sap1").sap("sap2")
+               .nf("web-lb", "loadbalancer"))
+    previous = "web-lb"
+    builder.hop("sap1", previous, bandwidth=10.0, flowclass="tp_dst=80")
+    for index in range(level):
+        worker = f"web-w{index}"
+        builder.nf(worker, "webserver", cpu=2.0, mem=1024.0)
+        builder.hop(previous, worker, bandwidth=10.0)
+        previous = worker
+    builder.hop(previous, "sap2", bandwidth=10.0)
+    return builder.build().sg
+
+
+def recursive_vcpe_sg():
+    return (ServiceRequestBuilder("vcpe-recursive")
+            .sap("sap1").sap("sap2")
+            .nf("cpe", "vCPE", cpu=2.0, mem=256.0, storage=2.0)
+            .chain("sap1", "cpe", "sap2", bandwidth=5.0)
+            .build().sg)
+
+
+def resilient_sg():
+    return (NFFGBuilder("resilient").sap("sap1").sap("sap2")
+            .nf("r-fw", "firewall")
+            .chain("sap1", "r-fw", "sap2", bandwidth=5.0).build())
+
+
+def full_demo_showcase_sg():
+    return (ServiceRequestBuilder("showcase")
+            .sap("sap1").sap("sap2")
+            .nf("sc-fw", "firewall")
+            .nf("sc-dpi", "dpi", domain="OPENSTACK")
+            .nf("sc-nat", "nat")
+            .chain("sap1", "sc-fw", "sc-dpi", "sc-nat", "sap2",
+                   bandwidth=10.0)
+            .delay_requirement("sap1", "sap2", max_delay=120.0)
+            .build().sg)
+
+
+def full_demo_vcpe_sg():
+    return (ServiceRequestBuilder("vcpe")
+            .sap("sap1").sap("sap2")
+            .nf("vcpe-cpe", "vCPE", cpu=1.5, mem=192.0, storage=2.0)
+            .chain("sap1", "vcpe-cpe", "sap2", bandwidth=5.0)
+            .build().sg)
+
+
+def full_demo_epi_sg():
+    return (ServiceRequestBuilder("epi")
+            .sap("sap1").sap("sap2")
+            .nf("epi-fw", "firewall")
+            .chain("sap1", "epi-fw", "sap2", bandwidth=5.0).build().sg)
+
+
+SCENARIO_GRAPHS = {
+    "quickstart": quickstart_sg,
+    "multidomain-tenant-a": multidomain_tenant_a_sg,
+    "multidomain-tenant-b": multidomain_tenant_b_sg,
+    "elastic-web-v1": lambda: elastic_web_sg(1),
+    "elastic-web-v3": lambda: elastic_web_sg(3),
+    "recursive-vcpe": recursive_vcpe_sg,
+    "resilient": resilient_sg,
+    "full-demo-showcase": full_demo_showcase_sg,
+    "full-demo-vcpe": full_demo_vcpe_sg,
+    "full-demo-epi": full_demo_epi_sg,
+}
+
+
+def lint_via_cli(tmp_path, nffg, name):
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(nffg_to_dict(nffg)))
+    return main(["lint", str(path)])
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_GRAPHS))
+def test_example_service_graph_is_lint_clean(tmp_path, capsys, name):
+    exit_code = lint_via_cli(tmp_path, SCENARIO_GRAPHS[name](), name)
+    assert exit_code == 0, capsys.readouterr().out
+
+
+def test_reference_testbed_view_is_lint_clean(tmp_path, capsys):
+    view = build_reference_multidomain().escape.resource_view()
+    assert lint_via_cli(tmp_path, view, "fig1-view") == 0, \
+        capsys.readouterr().out
+
+
+def test_mapped_global_view_is_lint_clean(tmp_path, capsys):
+    # after a real deployment the DoV carries placed NFs, dynamic
+    # links and installed flow rules — all of it must stay clean
+    testbed = build_emulated_testbed(switches=3)
+    report = testbed.escape.deploy(quickstart_sg())
+    assert report.success
+    view = testbed.escape.global_view()
+    assert lint_via_cli(tmp_path, view, "dov") == 0, \
+        capsys.readouterr().out

@@ -11,7 +11,7 @@ import pytest
 from repro.click.catalog import NFImplementation, NF_CATALOG, register_nf
 from repro.click.elements import Element
 from repro.click.process import register_element
-from repro.mapping import Embedder, MappingError
+from repro.mapping import MappingError
 from repro.mapping.base import MappingContext
 from repro.mapping.decomposition import (
     ComponentSpec,

@@ -1,6 +1,5 @@
 """Tests for shared infra pieces: chain tags, flow-rule translation."""
 
-import pytest
 
 from repro.infra.flowprog import (
     flowrule_to_flowmod,

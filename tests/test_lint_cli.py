@@ -1,0 +1,140 @@
+"""End-to-end tests of the ``repro lint`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.nffg import NFFGBuilder
+from repro.nffg.builder import linear_substrate
+from repro.nffg.model import ResourceVector
+from repro.nffg.serialize import nffg_to_dict
+
+
+def write_nffg(tmp_path, nffg, name="graph.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(nffg_to_dict(nffg)))
+    return str(path)
+
+
+def clean_graph():
+    return (NFFGBuilder("clean").sap("sap1").sap("sap2")
+            .nf("fw", "firewall")
+            .chain("sap1", "fw", "sap2", bandwidth=5.0)
+            .requirement("sap1", "sap2", max_delay=50.0).build())
+
+
+def broken_graph():
+    """A substrate violating several independent rules at once."""
+    view = linear_substrate(3, id="bad", supported_types=["firewall"])
+    # RS001: NF demanding negative cpu
+    view.add_nf("evil", "firewall",
+                resources=ResourceVector(cpu=-2.0, mem=64.0), num_ports=1)
+    view.place_nf("evil", "bad-bb0")
+    # RS003: link reserved beyond capacity
+    view.links[0].reserved = view.links[0].bandwidth + 5.0
+    # MD001: sap_tag on three ports
+    for infra in view.infras:
+        infra.add_port(f"x-{infra.id}", sap_tag="x")
+    # FR001: flow rule outputs to a port the node does not have
+    view.infras[0].port("sap-sap1").add_flowrule(
+        match="in_port=sap-sap1", action="output=ghost")
+    # NF005: requirement path referencing an unknown hop (the builder
+    # API refuses this, so mutate after creation — JSON loading keeps it)
+    req = view.add_requirement("sap1", "1", "sap2", "1",
+                               sg_path=[], max_delay=10.0)
+    req.sg_path.append("ghost-hop")
+    return view
+
+
+def warning_only_graph():
+    service = clean_graph()
+    service.add_sap("sap9")      # NF003: unreachable SAP (warning)
+    return service
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = write_nffg(tmp_path, clean_graph())
+    assert main(["lint", path]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s), 0 info(s)" in out
+
+
+def test_broken_file_flags_at_least_four_rules(tmp_path, capsys):
+    path = write_nffg(tmp_path, broken_graph())
+    assert main(["lint", path]) == 1
+    out = capsys.readouterr().out
+    fired = {rule for rule in ("RS001", "RS003", "MD001", "FR001", "NF005")
+             if rule in out}
+    assert len(fired) >= 4, f"only {fired} flagged:\n{out}"
+
+
+def test_broken_fixture_survives_json_roundtrip(tmp_path):
+    # the fixture's violations must be expressible in serialized form,
+    # otherwise the CLI path would silently test a weaker graph
+    from repro.lint import lint_nffg
+    from repro.nffg.serialize import nffg_from_dict
+
+    reloaded = nffg_from_dict(json.loads(
+        json.dumps(nffg_to_dict(broken_graph()))))
+    assert {"RS001", "RS003", "MD001", "FR001", "NF005"} <= \
+        lint_nffg(reloaded).rule_ids()
+
+
+def test_fail_level_gates_warnings(tmp_path):
+    path = write_nffg(tmp_path, warning_only_graph())
+    assert main(["lint", path]) == 1                       # default: warning
+    assert main(["lint", "--fail-level", "error", path]) == 0
+    assert main(["lint", "--fail-level", "info", path]) == 1
+
+
+def test_unparseable_file_exits_two(tmp_path, capsys):
+    path = tmp_path / "garbage.json"
+    path.write_text("{not json")
+    assert main(["lint", str(path)]) == 2
+    assert "cannot load NFFG" in capsys.readouterr().err
+
+
+def test_missing_file_exits_two(tmp_path):
+    assert main(["lint", str(tmp_path / "absent.json")]) == 2
+
+
+def test_invalid_nffg_payload_exits_two(tmp_path):
+    path = tmp_path / "bad-type.json"
+    path.write_text(json.dumps({"id": "x", "nodes": [{"type": "ALIEN"}]}))
+    assert main(["lint", str(path)]) == 2
+
+
+def test_no_files_exits_two(capsys):
+    assert main(["lint"]) == 2
+    assert "no input files" in capsys.readouterr().err
+
+
+def test_multiple_files_worst_exit_wins(tmp_path, capsys):
+    clean = write_nffg(tmp_path, clean_graph(), "clean.json")
+    broken = write_nffg(tmp_path, broken_graph(), "broken.json")
+    assert main(["lint", clean, broken]) == 1
+    out = capsys.readouterr().out
+    assert "clean.json" in out and "broken.json" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    path = write_nffg(tmp_path, broken_graph())
+    assert main(["lint", "--format", "json", path]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["source"] == path
+    assert payload["summary"]["error"] >= 4
+    assert {d["rule"] for d in payload["diagnostics"]} >= {"RS001", "FR001"}
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("NF001", "RS001", "FR001", "MD001", "DC001"):
+        assert rule_id in out
+
+
+@pytest.mark.parametrize("fail_level", ["info", "warning", "error"])
+def test_clean_file_clean_at_every_level(tmp_path, fail_level):
+    path = write_nffg(tmp_path, clean_graph())
+    assert main(["lint", "--fail-level", fail_level, path]) == 0

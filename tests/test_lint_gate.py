@@ -1,0 +1,72 @@
+"""The ESCAPE orchestrator's pre-deploy static-analysis gate."""
+
+from repro.lint import Severity
+from repro.nffg import NFFGBuilder
+from repro.topo import build_emulated_testbed
+
+
+def service(id="svc", *, cpu=1.0):
+    return (NFFGBuilder(id).sap("sap1").sap("sap2")
+            .nf(f"{id}-fw", "firewall", cpu=cpu)
+            .chain("sap1", f"{id}-fw", "sap2", bandwidth=1.0)
+            .requirement("sap1", "sap2", max_delay=100.0).build())
+
+
+def test_clean_service_passes_gate_and_deploys():
+    testbed = build_emulated_testbed(switches=2)
+    report = testbed.escape.deploy(service("ok"))
+    assert report.success
+    assert report.lint == []
+    assert "ok" in testbed.escape.deployed_services()
+
+
+def test_error_finding_blocks_deployment():
+    testbed = build_emulated_testbed(switches=2)
+    report = testbed.escape.deploy(service("bad", cpu=-3.0))
+    assert not report.success
+    assert "lint gate rejected service graph" in report.error
+    assert "RS001" in report.error
+    assert report.lint.errors
+    assert "bad" not in testbed.escape.deployed_services()
+    # nothing was mapped or pushed
+    assert report.mapping is None
+    assert report.adapters == []
+
+
+def test_gate_records_warnings_without_blocking():
+    testbed = build_emulated_testbed(switches=2)
+    sg = service("warned")
+    sg.add_sap("sap9")                 # NF003: unreachable SAP (warning)
+    report = testbed.escape.deploy(sg)
+    assert report.success
+    assert "NF003" in report.lint.rule_ids()
+    assert report.lint.worst() is Severity.WARNING
+
+
+def test_warning_threshold_blocks_warned_service():
+    testbed = build_emulated_testbed(switches=2)
+    testbed.escape.lint_gate = Severity.WARNING
+    sg = service("strict")
+    sg.add_sap("sap9")
+    report = testbed.escape.deploy(sg)
+    assert not report.success
+    assert "NF003" in report.error
+
+
+def test_disabled_gate_skips_verification():
+    testbed = build_emulated_testbed(switches=2)
+    testbed.escape.lint_gate = None
+    report = testbed.escape.deploy(service("ungated", cpu=-3.0))
+    assert "lint gate" not in (report.error or "")
+    assert report.lint == []
+
+
+def test_update_gate_keeps_previous_version():
+    testbed = build_emulated_testbed(switches=2)
+    assert testbed.escape.deploy(service("app")).success
+    broken = service("app", cpu=-3.0)
+    report = testbed.escape.update(broken)
+    assert not report.success
+    assert "update rejected by lint gate" in report.error
+    assert "previous version kept" in report.error
+    assert "app" in testbed.escape.deployed_services()

@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.lint import Severity
 from repro.mapping import GreedyEmbedder, validate_mapping
-from repro.mapping.base import HopRoute, MappingResult
+from repro.mapping.base import MappingResult
 from repro.nffg import NFFGBuilder
 from repro.nffg.builder import linear_substrate
 
@@ -31,28 +32,30 @@ def test_failed_mapping_reports_reason():
     result = MappingResult(success=False, failure_reason="nope")
     problems = validate_mapping(NFFGBuilder("x").sap("sap1").build(),
                                 substrate, result)
-    assert problems == ["mapping failed: nope"]
+    assert problems.as_strings() == ["mapping failed: nope"]
+    assert problems[0].rule_id == "MP001"
+    assert problems[0].severity is Severity.ERROR
 
 
 def test_detects_unplaced_nf(scenario):
     substrate, service, result = scenario
     del result.nf_placement["fw"]
     assert any("unplaced" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_unknown_host(scenario):
     substrate, service, result = scenario
     result.nf_placement["fw"] = "ghost"
     assert any("unknown infra" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_unsupporting_host(scenario):
     substrate, service, result = scenario
     substrate.infra(result.nf_placement["fw"]).supported_types = {"nat"}
     assert any("unsupporting" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_overcommit(scenario):
@@ -61,7 +64,7 @@ def test_detects_overcommit(scenario):
     substrate.infra(host).resources = \
         substrate.infra(host).resources.scaled(0.0)
     assert any("over-committed" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_unrouted_hop(scenario):
@@ -69,7 +72,7 @@ def test_detects_unrouted_hop(scenario):
     first_hop = service.sg_hops[0].id
     del result.hop_routes[first_hop]
     assert any("unrouted" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_wrong_endpoint(scenario):
@@ -78,7 +81,9 @@ def test_detects_wrong_endpoint(scenario):
     route = result.hop_routes[hop.id]
     route.infra_path[0] = "s-bb2"
     problems = validate_mapping(service, substrate, result)
-    assert any("starts at" in p or "does not connect" in p for p in problems)
+    strings = problems.as_strings()
+    assert any("starts at" in p or "does not connect" in p for p in strings)
+    assert all(d.rule_id == "MP030" for d in problems)
 
 
 def test_detects_disconnected_link_chain(scenario):
@@ -92,7 +97,7 @@ def test_detects_disconnected_link_chain(scenario):
     multi[0].link_ids[0] = wrong_link
     problems = validate_mapping(service, substrate, result)
     assert any("does not connect" in p or "unknown link" in p
-               for p in problems)
+               for p in problems.as_strings())
 
 
 def test_detects_bandwidth_oversubscription(scenario):
@@ -100,7 +105,7 @@ def test_detects_bandwidth_oversubscription(scenario):
     for route in result.hop_routes.values():
         route.bandwidth = 10_000.0
     assert any("over-subscribed" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_delay_violation(scenario):
@@ -108,18 +113,18 @@ def test_detects_delay_violation(scenario):
     for route in result.hop_routes.values():
         route.delay = 100.0
     assert any("delay" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_missing_flowrules(scenario):
     substrate, service, result = scenario
     result.mapped.clear_flowrules()
     assert any("flow rules installed" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())
 
 
 def test_detects_foreign_nf_in_placement(scenario):
     substrate, service, result = scenario
     result.nf_placement["alien"] = "s-bb0"
     assert any("non-service NF" in p for p in
-               validate_mapping(service, substrate, result))
+               validate_mapping(service, substrate, result).as_strings())

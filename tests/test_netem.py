@@ -3,7 +3,7 @@
 import pytest
 
 from repro.netem import Network
-from repro.netem.packet import EtherType, IPProto, Packet, tcp_packet, udp_packet
+from repro.netem.packet import IPProto, Packet, tcp_packet, udp_packet
 
 
 class TestPacket:

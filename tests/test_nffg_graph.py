@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nffg import NFFG, NFFGError, InfraType, LinkType, ResourceVector
+from repro.nffg import NFFG, NFFGError, ResourceVector
 
 
 @pytest.fixture

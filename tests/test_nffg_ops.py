@@ -45,6 +45,33 @@ class TestMerge:
         with pytest.raises(NFFGError):
             merge_nffgs(views)
 
+    def test_merge_rejects_duplicate_node_ids(self):
+        a = _domain_view("a", DomainType.INTERNAL, "x")
+        b = NFFG(id="b")
+        b.add_infra("a-bb", domain=DomainType.SDN)   # collides with a's infra
+        with pytest.raises(NFFGError) as excinfo:
+            merge_nffgs([a, b])
+        message = str(excinfo.value)
+        assert "a-bb" in message
+        assert "'a'" in message and "'b'" in message
+
+    def test_merge_rejects_duplicate_sap_ids(self):
+        a = linear_substrate(2, id="s1")
+        b = linear_substrate(2, id="s2")    # both carry sap1/sap2 SAP nodes
+        with pytest.raises(NFFGError, match="globally unique"):
+            merge_nffgs([a, b])
+
+    def test_lint_flags_what_merge_rejects(self):
+        from repro.lint import lint_views
+
+        a = _domain_view("a", DomainType.INTERNAL, "x")
+        b = NFFG(id="b")
+        b.add_infra("a-bb", domain=DomainType.SDN)
+        diagnostics = lint_views([a, b])
+        assert "MD003" in diagnostics.rule_ids()
+        with pytest.raises(NFFGError):
+            merge_nffgs([a, b])
+
     def test_merge_preserves_all_nodes_and_edges(self):
         a = linear_substrate(3, id="s1")
         b = _domain_view("b", DomainType.UN, "z")

@@ -10,7 +10,6 @@ from repro.nffg.model import DomainType
 from repro.orchestration import (
     ControllerAdaptationLayer,
     DirectDomainAdapter,
-    EscapeOrchestrator,
     ResourceOrchestrator,
 )
 from repro.topo import build_emulated_testbed

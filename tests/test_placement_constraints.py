@@ -9,7 +9,6 @@ from repro.mapping import (
     GreedyEmbedder,
     validate_mapping,
 )
-from repro.mapping.base import MappingResult
 from repro.nffg.builder import linear_substrate
 from repro.service import ServiceRequestBuilder
 from repro.topo import build_reference_multidomain
@@ -105,7 +104,7 @@ class TestValidatorChecksConstraints:
         result = GreedyEmbedder().map(request.sg, substrate)
         result.nf_placement["v-fw"] = "s-bb0"  # violate post-hoc
         problems = validate_mapping(request.sg, substrate, result)
-        assert any("pinned" in p for p in problems)
+        assert any("pinned" in p for p in problems.as_strings())
 
     def test_validator_flags_violated_anti_affinity(self):
         substrate = _substrate()
@@ -119,4 +118,4 @@ class TestValidatorChecksConstraints:
         assert result.success
         result.nf_placement["v2-nat"] = result.nf_placement["v2-fw"]
         problems = validate_mapping(request.sg, substrate, result)
-        assert any("anti-affinity" in p for p in problems)
+        assert any("anti-affinity" in p for p in problems.as_strings())

@@ -9,8 +9,6 @@ from repro.sdnnet import SDNDomain
 from repro.sdnnet.pox import (
     Event,
     EventBus,
-    L2LearningComponent,
-    POXController,
 )
 from repro.infra.tags import vlan_for_hop
 

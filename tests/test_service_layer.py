@@ -3,7 +3,6 @@
 import pytest
 
 from repro.service import (
-    ServiceLayer,
     ServiceRequestBuilder,
     ServiceState,
 )

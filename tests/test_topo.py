@@ -1,6 +1,5 @@
 """Tests for the reference testbeds."""
 
-import pytest
 
 from repro.mapping import DelayAwareEmbedder
 from repro.nffg.model import DomainType

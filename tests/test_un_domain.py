@@ -11,7 +11,6 @@ from repro.nffg.serialize import nffg_to_dict
 from repro.openflow.channel import ControlChannel
 from repro.sim import Simulator
 from repro.un import (
-    Container,
     ContainerRuntime,
     ContainerState,
     UNLocalOrchestrator,

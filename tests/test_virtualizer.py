@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nffg import NFFG, NFFGBuilder, ResourceVector
+from repro.nffg import NFFG, ResourceVector
 from repro.nffg.builder import linear_substrate
 from repro.nffg.model import DomainType, InfraType
 from repro.virtualizer import (
