@@ -1,16 +1,36 @@
 """Shared helpers for the experiment harnesses.
 
 Every benchmark prints the table rows it reproduces (run with ``-s`` to
-see them inline; they are also summarized in EXPERIMENTS.md).
+see them inline; they are also summarized in EXPERIMENTS.md).  When a
+``group`` is given, the rows are also appended to
+``benchmarks/BENCH_<group>.json`` so runs can be diffed across commits.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink problem sizes (CI smoke job).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
+#: CI smoke mode: small sizes, same code paths
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
-def emit(title: str, rows: list[dict]) -> None:
-    """Print an experiment's result table."""
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def bench_sizes(full: list[int], smoke: list[int]) -> list[int]:
+    """Problem sizes for this run: ``smoke`` under REPRO_BENCH_SMOKE."""
+    return smoke if SMOKE else full
+
+
+def emit(title: str, rows: list[dict], group: str | None = None) -> None:
+    """Print an experiment's result table; with ``group``, also append
+    it to ``benchmarks/BENCH_<group>.json``."""
     if not rows:
         return
     columns = list(rows[0])
@@ -22,6 +42,25 @@ def emit(title: str, rows: list[dict]) -> None:
     for row in rows:
         print("  " + " | ".join(_fmt(row[c]).ljust(widths[c])
                                 for c in columns))
+    if group is not None:
+        _append_json(group, title, rows)
+
+
+def _append_json(group: str, title: str, rows: list[dict]) -> None:
+    path = _BENCH_DIR / f"BENCH_{group}.json"
+    entries: list[dict] = []
+    if path.exists():
+        try:
+            entries = json.loads(path.read_text())
+        except (ValueError, OSError):
+            entries = []
+    entries.append({
+        "title": title,
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": SMOKE,
+        "rows": rows,
+    })
+    path.write_text(json.dumps(entries, indent=2) + "\n")
 
 
 def _fmt(value) -> str:

@@ -5,12 +5,17 @@ counts and bytes per deployment, and the payoff of the Unify diff-based
 config exchange versus shipping full virtualizer trees.
 """
 
+import time
+
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import SMOKE, emit
+from repro import perf
 from repro.nffg import NFFGBuilder
 from repro.nffg.builder import mesh_substrate
 from repro.mapping import GreedyEmbedder
+from repro.orchestration.adapters import DirectDomainAdapter
+from repro.orchestration.escape import EscapeOrchestrator
 from repro.service import ServiceRequestBuilder
 from repro.topo import build_reference_multidomain
 from repro.virtualizer import nffg_to_virtualizer
@@ -38,10 +43,67 @@ def test_bench_per_domain_control_cost(benchmark):
         "nfs": adapter_report.nfs_requested,
         "flowrules": adapter_report.flowrules_requested,
     } for adapter_report in report.adapters]
-    emit("EXT-2: control-plane cost per domain (one 2-NF deploy)", rows)
+    emit("EXT-2: control-plane cost per domain (one 2-NF deploy)", rows,
+         group="control_plane")
     assert sum(row["messages"] for row in rows) == report.control_messages
     benchmark(lambda: build_reference_multidomain()
               .service_layer.submit(_request("timed")))
+
+
+def _mesh_chain(index: int, length: int = 3):
+    builder = (ServiceRequestBuilder(f"svc{index}")
+               .sap("sap1").sap("sap2"))
+    names = [f"s{index}nf{j}" for j in range(length)]
+    for name in names:
+        builder.nf(name, "firewall", cpu=0.5, mem=64.0)
+    builder.chain("sap1", *names, "sap2", bandwidth=2.0)
+    return builder.build()
+
+
+def test_bench_repeated_deploys(benchmark):
+    """The control-plane hot loop: N service deploys against one
+    unchanged substrate.
+
+    With incremental DoV maintenance and the shared path cache the DoV
+    is never re-merged between deploys (``dov.rebuild`` stays at its
+    initial value) and most hop routes replay from the memo.
+    """
+    size = 20 if SMOKE else 60
+    deploys = 5 if SMOKE else 20
+    mesh = mesh_substrate(size, degree=4, seed=7,
+                          supported_types=["firewall"])
+    escape = EscapeOrchestrator(embedder=GreedyEmbedder())
+    escape.add_domain(DirectDomainAdapter("dom", view=mesh))
+    warmup = escape.deploy(_mesh_chain(0).sg, wait_activation=False)
+    assert warmup.success, warmup.error
+
+    perf.reset()
+    started = time.perf_counter()
+    for index in range(1, deploys + 1):
+        report = escape.deploy(_mesh_chain(index).sg, wait_activation=False)
+        assert report.success, report.error
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    snapshot = perf.snapshot()
+
+    emit("CP-1: repeated deploys on an unchanged substrate", [{
+        "substrate_nodes": size,
+        "deploys": deploys,
+        "ms_per_deploy": elapsed_ms / deploys,
+        "dov_rebuilds": snapshot.get("dov.rebuild", 0),
+        "dov_inplace": snapshot.get("dov.apply_inplace", 0),
+        "path_hits": snapshot.get("pathcache.hit", 0),
+        "path_misses": snapshot.get("pathcache.miss", 0),
+    }], group="control_plane")
+    # incremental maintenance: every deploy applied in place, no rebuild
+    assert snapshot.get("dov.rebuild", 0) == 0
+    assert snapshot.get("dov.apply_inplace", 0) == deploys
+
+    def _deploy_teardown():
+        report = escape.deploy(_mesh_chain(999).sg, wait_activation=False)
+        assert report.success, report.error
+        escape.teardown("svc999")
+
+    benchmark(_deploy_teardown)
 
 
 @pytest.mark.parametrize("size", [10, 40, 160])

@@ -7,21 +7,23 @@ size, near-linear in chain length, greedy < delay-aware < backtracking
 in cost-of-search.
 """
 
+import statistics
 import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import SMOKE, bench_sizes, emit
 from repro.mapping import (
     BacktrackingEmbedder,
     DelayAwareEmbedder,
     GreedyEmbedder,
 )
+from repro.mapping.pathcache import PathCache
 from repro.nffg import NFFGBuilder
 from repro.nffg.builder import mesh_substrate
 
 NF_TYPES = ["firewall", "nat", "dpi", "monitor"]
-SIZES = [10, 50, 150]
+SIZES = bench_sizes([10, 50, 150], smoke=[10, 30])
 EMBEDDERS = {
     "greedy": GreedyEmbedder,
     "backtrack": BacktrackingEmbedder,
@@ -80,7 +82,7 @@ def test_bench_scalability_table(benchmark):
                 "cost": result.cost,
                 "nodes_examined": result.nodes_examined,
             })
-    emit("EXT-1: mapping time vs substrate size", rows)
+    emit("EXT-1: mapping time vs substrate size", rows, group="mapping")
     # polynomial growth: biggest substrate is slower than smallest for
     # every embedder, but still sub-second
     for name in EMBEDDERS:
@@ -89,3 +91,46 @@ def test_bench_scalability_table(benchmark):
     benchmark(GreedyEmbedder().map, _chain(4),
               mesh_substrate(SIZES[0], degree=3, seed=2,
                              supported_types=NF_TYPES))
+
+
+def test_bench_path_cache_repeat(benchmark):
+    """Shared path cache across repeated requests on one substrate.
+
+    The second and later requests should route mostly from the memo —
+    the table shows uncached vs cached mean mapping time and the
+    cache's hit counters.
+    """
+    size = SIZES[-1]
+    substrate = mesh_substrate(size, degree=3, seed=2,
+                               supported_types=NF_TYPES)
+    service = _chain(4)
+    repeats = 3 if SMOKE else 10
+    embedder = GreedyEmbedder()
+
+    def _median_ms(cache):
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            if cache is None:
+                result = embedder.map(service, substrate)
+            else:
+                result = embedder.map(service, substrate, path_cache=cache)
+            times.append((time.perf_counter() - started) * 1e3)
+            assert result.success, result.failure_reason
+        return statistics.median(times)
+
+    uncached_ms = _median_ms(None)
+    cache = PathCache()
+    cached_ms = _median_ms(cache)
+
+    emit("EXT-1: shared path cache on repeated requests", [{
+        "substrate_nodes": size,
+        "repeats": repeats,
+        "uncached_ms": uncached_ms,
+        "cached_ms": cached_ms,
+        "speedup_x": uncached_ms / cached_ms if cached_ms else float("inf"),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }], group="mapping")
+    assert cache.hits > 0
+    benchmark(embedder.map, service, substrate, path_cache=cache)

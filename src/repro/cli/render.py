@@ -113,6 +113,11 @@ def render_dot(nffg: NFFG, *, title: str = "") -> str:
 
 def render_deploy_report(report: DeployReport) -> str:
     lines = [report.summary_line()]
+    stages = report.stage_timings()
+    if any(value > 0.0 for value in stages.values()):
+        lines.append("  stages: " + "  ".join(
+            f"{stage} {seconds * 1e3:.1f} ms"
+            for stage, seconds in stages.items()))
     for adapter_report in report.adapters:
         status = "ok" if adapter_report.success else f"FAILED: {adapter_report.error}"
         lines.append(

@@ -12,7 +12,6 @@ from __future__ import annotations
 from repro.mapping.base import (Embedder, MappingContext, MappingError,
                                 placement_allowed)
 from repro.mapping.greedy import hop_delay_budget, service_order
-from repro.mapping.paths import route_or_none
 from repro.nffg.model import NodeNF
 
 
@@ -102,10 +101,9 @@ class BacktrackingEmbedder(Embedder):
             if src is None or dst is None:
                 continue
             budget = hop_delay_budget(ctx.service, ctx, hop.id)
-            route = route_or_none(ctx.resource, ctx.ledger, hop.id, src, dst,
-                                  bandwidth=hop.bandwidth, max_delay=budget,
-                                  adjacency=ctx.adjacency(),
-                                  node_delay=ctx.node_delays())
+            route = ctx.route_or_none(hop.id, src, dst,
+                                      bandwidth=hop.bandwidth,
+                                      max_delay=budget)
             if route is None:
                 for done in routed_now:
                     ctx.drop_route(done)
@@ -123,10 +121,9 @@ class BacktrackingEmbedder(Embedder):
             if src is None or dst is None:
                 raise MappingError(f"hop {hop.id!r} endpoints unresolved")
             budget = hop_delay_budget(ctx.service, ctx, hop.id)
-            route = route_or_none(ctx.resource, ctx.ledger, hop.id, src, dst,
-                                  bandwidth=hop.bandwidth, max_delay=budget,
-                                  adjacency=ctx.adjacency(),
-                                  node_delay=ctx.node_delays())
+            route = ctx.route_or_none(hop.id, src, dst,
+                                      bandwidth=hop.bandwidth,
+                                      max_delay=budget)
             if route is None:
                 raise MappingError(f"cannot route residual hop {hop.id!r}")
             ctx.record_route(route)

@@ -11,7 +11,10 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mapping.pathcache import PathCache
 
 from repro.nffg.graph import NFFG
 from repro.nffg.model import (
@@ -97,17 +100,33 @@ def placement_allowed(ctx: "MappingContext", nf: NodeNF,
 
 
 class ResourceLedger:
-    """Tentative compute + bandwidth accounting over a resource view."""
+    """Tentative compute + bandwidth accounting over a resource view.
+
+    ``generation`` counts bandwidth-affecting mutations (link alloc /
+    release); together with a per-instance sequence number it forms
+    ``token``, the staleness tag of path-cache entries computed against
+    this ledger state.
+    """
+
+    _seq = 0
 
     def __init__(self, resource: NFFG):
         self.resource = resource
         self._free: dict[str, ResourceVector] = {}
         self._link_free: dict[str, float] = {}
+        ResourceLedger._seq += 1
+        self._instance = ResourceLedger._seq
+        self.generation = 0
         from repro.nffg.ops import available_resources
         for infra in resource.infras:
             self._free[infra.id] = available_resources(resource, infra.id)
         for link in resource.links:
             self._link_free[link.id] = link.available_bandwidth
+
+    @property
+    def token(self) -> tuple[int, int]:
+        """Globally unique tag of this exact allocation state."""
+        return (self._instance, self.generation)
 
     # -- compute ---------------------------------------------------------
 
@@ -138,16 +157,96 @@ class ResourceLedger:
     def can_route(self, link: EdgeLink, bandwidth: float) -> bool:
         return self._link_free[link.id] + 1e-9 >= bandwidth
 
+    def can_route_ids(self, link_ids: list[str], bandwidth: float) -> bool:
+        """Like :meth:`can_route` but over link *ids* (path-cache entries
+        store ids, which stay valid across NFFG copies)."""
+        for link_id in link_ids:
+            free = self._link_free.get(link_id)
+            if free is None or free + 1e-9 < bandwidth:
+                return False
+        return True
+
     def alloc_links(self, link_ids: list[str], bandwidth: float) -> None:
         for link_id in link_ids:
             if self._link_free[link_id] + 1e-9 < bandwidth:
                 raise MappingError(f"link {link_id!r} lacks bandwidth")
         for link_id in link_ids:
             self._link_free[link_id] -= bandwidth
+        if link_ids:
+            self.generation += 1
 
     def release_links(self, link_ids: list[str], bandwidth: float) -> None:
         for link_id in link_ids:
             self._link_free[link_id] += bandwidth
+        if link_ids:
+            self.generation += 1
+
+
+def build_sap_attachments(resource: NFFG) -> dict[str, tuple[str, str]]:
+    """SAP id -> (infra_id, infra_port_id) attachment map of a view.
+
+    Primary source is sap-tagged infra ports (``sap_bindings``); SAP
+    nodes directly linked to an infra are accepted as a fallback.
+    Shared by :class:`MappingContext` and the CAL's in-place DoV apply.
+    """
+    attach: dict[str, tuple[str, str]] = dict(resource.sap_bindings())
+    for sap in resource.saps:
+        if sap.id in attach:
+            continue
+        for edge in resource.edges_of(sap.id):
+            if not isinstance(edge, EdgeLink):
+                continue
+            other = (edge.dst_node if edge.src_node == sap.id else edge.src_node)
+            other_port = (edge.dst_port if edge.src_node == sap.id
+                          else edge.src_port)
+            node = resource.node(other)
+            if isinstance(node, NodeInfra):
+                attach[sap.id] = (other, other_port)
+                break
+    return attach
+
+
+def install_hop_flowrules(mapped: NFFG, hop: EdgeSGHop, route: HopRoute,
+                          in_port: str,
+                          out_port_final: str) -> list[tuple[str, str]]:
+    """Install one flow rule per traversed BiS-BiS for one SG hop.
+
+    ``in_port`` is the infra-side ingress port on the first infra of the
+    route, ``out_port_final`` the egress port on the last.  Returns the
+    ``(infra_id, port_id)`` pairs that received a rule so callers can
+    later remove exactly those (incremental DoV teardown).  Shared by
+    :meth:`MappingContext.commit` and the CAL's in-place DoV apply.
+    """
+    touched: list[tuple[str, str]] = []
+    path = route.infra_path
+    needs_tag = len(path) > 1
+    for index, infra_id in enumerate(path):
+        infra = mapped.infra(infra_id)
+        if index < len(path) - 1:
+            link = mapped.edge(route.link_ids[index])
+            assert isinstance(link, EdgeLink)
+            out_port = link.src_port
+        else:
+            out_port = out_port_final
+        match = f"in_port={in_port}"
+        if hop.flowclass:
+            match += f";flowclass={hop.flowclass}"
+        if needs_tag and index > 0:
+            match += f";tag={hop.id}"
+        action = f"output={out_port}"
+        if needs_tag and index == 0:
+            action += f";tag={hop.id}"
+        if needs_tag and index == len(path) - 1:
+            action += ";untag"
+        infra.port(in_port).add_flowrule(
+            match=match, action=action, bandwidth=route.bandwidth,
+            delay=hop.delay, hop_id=hop.id)
+        touched.append((infra_id, in_port))
+        if index < len(path) - 1:
+            link = mapped.edge(route.link_ids[index])
+            assert isinstance(link, EdgeLink)
+            in_port = link.dst_port
+    return touched
 
 
 class MappingContext:
@@ -158,10 +257,12 @@ class MappingContext:
     mapped NFFG on :meth:`commit`.
     """
 
-    def __init__(self, service: NFFG, resource: NFFG):
+    def __init__(self, service: NFFG, resource: NFFG,
+                 path_cache: Optional["PathCache"] = None):
         self.service = service
         self.resource = resource
         self.ledger = ResourceLedger(resource)
+        self.path_cache = path_cache
         self.placement: dict[str, str] = {}
         self.routes: dict[str, HopRoute] = {}
         self.decompositions: dict[str, str] = {}
@@ -178,20 +279,40 @@ class MappingContext:
         """Static infra-infra adjacency of the resource view (cached —
         topology does not change during one mapping run)."""
         if self._adjacency is None:
-            adjacency: dict[str, list[EdgeLink]] = {}
-            for link in self.resource.links:
-                src = self.resource.node(link.src_node)
-                dst = self.resource.node(link.dst_node)
-                if isinstance(src, NodeInfra) and isinstance(dst, NodeInfra):
-                    adjacency.setdefault(link.src_node, []).append(link)
-            self._adjacency = adjacency
+            from repro.mapping.paths import build_infra_adjacency
+            self._adjacency = build_infra_adjacency(self.resource)
         return self._adjacency
 
     def node_delays(self) -> dict[str, float]:
         if self._node_delays is None:
-            self._node_delays = {infra.id: infra.resources.delay
-                                 for infra in self.resource.infras}
+            from repro.mapping.paths import build_node_delays
+            self._node_delays = build_node_delays(self.resource)
         return self._node_delays
+
+    # -- routing (path-cache-aware front door for embedders) -------------
+
+    def find_route(self, hop_id: str, src_infra: str, dst_infra: str,
+                   bandwidth: float,
+                   max_delay: float = float("inf")) -> HopRoute:
+        """Route one hop, through the shared path cache when one is
+        attached; raises :class:`MappingError` when infeasible."""
+        if self.path_cache is not None:
+            return self.path_cache.find_route(
+                self, hop_id, src_infra, dst_infra, bandwidth, max_delay)
+        from repro.mapping.paths import find_route
+        return find_route(self.resource, self.ledger, hop_id, src_infra,
+                          dst_infra, bandwidth, max_delay,
+                          adjacency=self.adjacency(),
+                          node_delay=self.node_delays())
+
+    def route_or_none(self, hop_id: str, src_infra: str, dst_infra: str,
+                      bandwidth: float,
+                      max_delay: float = float("inf")) -> Optional[HopRoute]:
+        try:
+            return self.find_route(hop_id, src_infra, dst_infra,
+                                   bandwidth, max_delay)
+        except MappingError:
+            return None
 
     def delay_estimate(self, src_infra: str, dst_infra: str) -> float:
         """Unconstrained shortest-path delay between two infras, with
@@ -227,21 +348,7 @@ class MappingContext:
 
     def _build_sap_attachments(self) -> dict[str, tuple[str, str]]:
         """SAP id -> (infra_id, infra_port_id) in the resource view."""
-        attach: dict[str, tuple[str, str]] = dict(self.resource.sap_bindings())
-        # also accept SAP nodes directly linked to an infra
-        for sap in self.resource.saps:
-            if sap.id in attach:
-                continue
-            for edge in self.resource.edges_of(sap.id):
-                if not isinstance(edge, EdgeLink):
-                    continue
-                other = (edge.dst_node if edge.src_node == sap.id else edge.src_node)
-                other_port = (edge.dst_port if edge.src_node == sap.id else edge.src_port)
-                node = self.resource.node(other)
-                if isinstance(node, NodeInfra):
-                    attach[sap.id] = (other, other_port)
-                    break
-        return attach
+        return build_sap_attachments(self.resource)
 
     def sap_attachment(self, sap_id: str) -> tuple[str, str]:
         try:
@@ -368,32 +475,7 @@ class MappingContext:
         in_port = self._endpoint_ports(mapped, hop.src_node, hop.src_port, path[0])
         out_port_final = self._endpoint_ports(mapped, hop.dst_node, hop.dst_port,
                                               path[-1])
-        needs_tag = len(path) > 1
-        for index, infra_id in enumerate(path):
-            infra = mapped.infra(infra_id)
-            if index < len(path) - 1:
-                link = mapped.edge(route.link_ids[index])
-                assert isinstance(link, EdgeLink)
-                out_port = link.src_port
-            else:
-                out_port = out_port_final
-            match = f"in_port={in_port}"
-            if hop.flowclass:
-                match += f";flowclass={hop.flowclass}"
-            if needs_tag and index > 0:
-                match += f";tag={hop.id}"
-            action = f"output={out_port}"
-            if needs_tag and index == 0:
-                action += f";tag={hop.id}"
-            if needs_tag and index == len(path) - 1:
-                action += ";untag"
-            infra.port(in_port).add_flowrule(
-                match=match, action=action, bandwidth=route.bandwidth,
-                delay=hop.delay, hop_id=hop.id)
-            if index < len(path) - 1:
-                link = mapped.edge(route.link_ids[index])
-                assert isinstance(link, EdgeLink)
-                in_port = link.dst_port
+        install_hop_flowrules(mapped, hop, route, in_port, out_port_final)
 
     def to_result(self, success: bool, runtime_s: float,
                   failure_reason: str = "",
@@ -422,11 +504,14 @@ class Embedder(abc.ABC):
         """Fill ``ctx.placement`` and ``ctx.routes`` or raise MappingError."""
 
     def map(self, service: NFFG, resource: NFFG,
-            mapped_id: Optional[str] = None) -> MappingResult:
+            mapped_id: Optional[str] = None,
+            path_cache: Optional["PathCache"] = None) -> MappingResult:
         """Embed ``service`` into ``resource``; never raises on mapping
-        failure — inspect :attr:`MappingResult.success`."""
+        failure — inspect :attr:`MappingResult.success`.  ``path_cache``
+        (shared across requests by the orchestrator) memoizes substrate
+        path searches."""
         started = time.perf_counter()
-        ctx = MappingContext(service, resource)
+        ctx = MappingContext(service, resource, path_cache=path_cache)
         try:
             self._run(ctx)
             violations = ctx.requirement_violations()

@@ -179,19 +179,22 @@ def iter_decompositions(service: NFFG,
 
 def map_with_decomposition(embedder: Embedder, service: NFFG, resource: NFFG,
                            library: DecompositionLibrary,
-                           max_options: int = 16) -> MappingResult:
+                           max_options: int = 16,
+                           path_cache=None) -> MappingResult:
     """Try decomposition options cheapest-first until one embeds.
 
     Returns the first successful :class:`MappingResult` with
     ``decompositions`` describing the winning choice, or the last
-    failure when no option embeds.
+    failure when no option embeds.  ``path_cache`` is forwarded to every
+    embedding attempt (option candidates share the substrate, so memoized
+    paths carry across attempts).
     """
     last: Optional[MappingResult] = None
     for index, decomposition in enumerate(iter_decompositions(service, library)):
         if index >= max_options:
             break
         candidate = expand_service(service, decomposition)
-        result = embedder.map(candidate, resource)
+        result = embedder.map(candidate, resource, path_cache=path_cache)
         if result.success:
             result.decompositions = decomposition.describe()
             return result

@@ -17,7 +17,6 @@ from __future__ import annotations
 from repro.mapping.base import (Embedder, MappingContext, MappingError,
                                 placement_allowed)
 from repro.mapping.greedy import hop_delay_budget, service_order
-from repro.mapping.paths import route_or_none
 from repro.nffg.model import NodeNF
 
 
@@ -109,10 +108,9 @@ class DelayAwareEmbedder(Embedder):
             if src is None or dst is None:
                 continue
             budget = hop_delay_budget(ctx.service, ctx, hop.id)
-            route = route_or_none(ctx.resource, ctx.ledger, hop.id, src, dst,
-                                  bandwidth=hop.bandwidth, max_delay=budget,
-                                  adjacency=ctx.adjacency(),
-                                  node_delay=ctx.node_delays())
+            route = ctx.route_or_none(hop.id, src, dst,
+                                      bandwidth=hop.bandwidth,
+                                      max_delay=budget)
             if route is None:
                 raise MappingError(
                     f"delay-aware: cannot route hop {hop.id!r} "

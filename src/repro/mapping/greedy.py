@@ -13,7 +13,6 @@ from typing import Iterable
 
 from repro.mapping.base import (Embedder, MappingContext, MappingError,
                                 placement_allowed)
-from repro.mapping.paths import find_route
 from repro.nffg.graph import NFFG
 from repro.nffg.model import NodeNF
 
@@ -139,9 +138,7 @@ class GreedyEmbedder(Embedder):
     def _route_ready_hops(self, ctx: MappingContext, routed: set[str]) -> None:
         for hop, src, dst in list(hops_ready(ctx.service, ctx, routed)):
             budget = hop_delay_budget(ctx.service, ctx, hop.id)
-            route = find_route(ctx.resource, ctx.ledger, hop.id, src, dst,
-                               bandwidth=hop.bandwidth, max_delay=budget,
-                               adjacency=ctx.adjacency(),
-                               node_delay=ctx.node_delays())
+            route = ctx.find_route(hop.id, src, dst,
+                                   bandwidth=hop.bandwidth, max_delay=budget)
             ctx.record_route(route)
             routed.add(hop.id)

@@ -1,0 +1,164 @@
+"""Shared substrate path cache.
+
+Every embedder hop used to run Dijkstra from scratch, even though the
+substrate topology is identical across the hops of one request *and*
+across consecutive requests hitting the same DoV.  :class:`PathCache`
+memoizes two kinds of results:
+
+- **min-delay paths** per ``(src, dst)`` pair, computed ignoring
+  bandwidth.  On a route query the cached path is validated against the
+  live ledger: if every link still has enough free bandwidth and the
+  delay fits the hop's budget, the path is *provably optimal* (any
+  bandwidth-feasible path is also delay-feasible in the unconstrained
+  relaxation, so the unconstrained minimum wins) and is returned
+  without any graph search;
+- **constrained results** per ``(src, dst, bandwidth-class)``, tagged
+  with the owning ledger's generation token.  These only replay while
+  the ledger has seen no allocation/release since — any bandwidth
+  change invalidates them, preserving exact min-delay semantics.
+
+The cache is owned *outside* the mapping run (the orchestrator), shared
+across hops and requests, and invalidated wholesale when the substrate
+topology changes (``sync(topology_generation)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.mapping.base import HopRoute, MappingError, MappingContext
+from repro.mapping.paths import dijkstra_route
+from repro.perf import counters
+
+_UNSEEN = object()
+
+
+def bandwidth_class(bandwidth: float) -> int:
+    """Bucket a bandwidth demand by power of two (class 0 = no demand)."""
+    if bandwidth <= 0.0:
+        return 0
+    return max(1, math.frexp(bandwidth)[1])
+
+
+class PathCache:
+    """Memoized substrate paths shared across hops and requests."""
+
+    def __init__(self) -> None:
+        #: (src, dst) -> (infra_path, link_ids, delay) | None (unreachable)
+        self._min_delay: dict[tuple[str, str],
+                              Optional[tuple[list[str], list[str], float]]] = {}
+        #: (src, dst, bw_class) -> (ledger_token, result | None)
+        self._constrained: dict[tuple[str, str, int], tuple] = {}
+        self._epoch: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sync(self, topology_epoch: int) -> "PathCache":
+        """Drop everything when the substrate topology generation moved."""
+        if topology_epoch != self._epoch:
+            if self._epoch is not None:
+                self.invalidate()
+            self._epoch = topology_epoch
+        return self
+
+    def invalidate(self) -> None:
+        self._min_delay.clear()
+        self._constrained.clear()
+        counters.incr("pathcache.invalidate")
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._min_delay) + len(self._constrained)}
+
+    def _count(self, computed: bool) -> None:
+        if computed:
+            counters.incr("pathcache.miss")
+            self.misses += 1
+        else:
+            counters.incr("pathcache.hit")
+            self.hits += 1
+
+    # -- route lookup ------------------------------------------------------
+
+    def find_route(self, ctx: MappingContext, hop_id: str,
+                   src_infra: str, dst_infra: str, bandwidth: float,
+                   max_delay: float = float("inf")) -> HopRoute:
+        """Drop-in replacement for :func:`repro.mapping.paths.find_route`
+        backed by the memo; raises :class:`MappingError` when no feasible
+        path exists."""
+        node_delay = ctx.node_delays()
+        if src_infra == dst_infra:
+            delay = node_delay.get(src_infra, 0.0)
+            if delay > max_delay + 1e-9:
+                raise MappingError(
+                    f"hop {hop_id!r}: internal delay {delay} "
+                    f"exceeds {max_delay}")
+            return HopRoute(hop_id=hop_id, infra_path=[src_infra],
+                            link_ids=[], delay=delay, bandwidth=bandwidth)
+
+        # 1. the unconstrained minimum, validated against the live ledger
+        # ("miss" means this call ran a fresh Dijkstra; replaying a
+        # memoized verdict — even a negative one — is a hit)
+        key = (src_infra, dst_infra)
+        entry = self._min_delay.get(key, _UNSEEN)
+        computed = entry is _UNSEEN
+        if computed:
+            entry = dijkstra_route(ctx.adjacency(), node_delay,
+                                   src_infra, dst_infra)
+            self._min_delay[key] = entry
+        if entry is None:
+            self._count(computed)
+            raise MappingError(
+                f"hop {hop_id!r}: no path {src_infra!r}->{dst_infra!r} "
+                "in the substrate topology")
+        infra_path, link_ids, delay = entry
+        if (delay <= max_delay + 1e-9
+                and ctx.ledger.can_route_ids(link_ids, bandwidth)):
+            self._count(computed)
+            return HopRoute(hop_id=hop_id, infra_path=list(infra_path),
+                            link_ids=list(link_ids), delay=delay,
+                            bandwidth=bandwidth)
+
+        if delay > max_delay + 1e-9:
+            # the unconstrained minimum already blows the budget, so no
+            # bandwidth-feasible path (a superset constraint) can fit it
+            self._count(computed)
+            raise MappingError(
+                f"hop {hop_id!r}: minimum substrate delay {delay} between "
+                f"{src_infra!r} and {dst_infra!r} exceeds {max_delay}")
+
+        # 2. constrained memo, valid only while the ledger is unchanged
+        token = ctx.ledger.token
+        ckey = (src_infra, dst_infra, bandwidth_class(bandwidth))
+        stored = self._constrained.get(ckey)
+        if stored is not None and stored[0] == token:
+            result = stored[1]
+            if result is not None and result[2] <= max_delay + 1e-9:
+                self._count(computed=False)
+                return HopRoute(hop_id=hop_id, infra_path=list(result[0]),
+                                link_ids=list(result[1]), delay=result[2],
+                                bandwidth=bandwidth)
+            # replayed failure, or the feasible minimum blows the budget
+            self._count(computed=False)
+            raise MappingError(
+                f"hop {hop_id!r}: no path {src_infra!r}->{dst_infra!r} "
+                f"with {bandwidth} Mbps free (max delay {max_delay})")
+
+        self._count(computed=True)
+        ledger = ctx.ledger
+        found = dijkstra_route(
+            ctx.adjacency(), node_delay, src_infra, dst_infra,
+            link_usable=lambda link: ledger.can_route(link, bandwidth))
+        # store the *unclipped* minimum so a later query with a larger
+        # budget can still replay it; apply this hop's budget afterwards
+        self._constrained[ckey] = (token, found)
+        if found is None or found[2] > max_delay + 1e-9:
+            raise MappingError(
+                f"hop {hop_id!r}: no path {src_infra!r}->{dst_infra!r} "
+                f"with {bandwidth} Mbps free (max delay {max_delay})")
+        return HopRoute(hop_id=hop_id, infra_path=list(found[0]),
+                        link_ids=list(found[1]), delay=found[2],
+                        bandwidth=bandwidth)

@@ -5,16 +5,96 @@ objective is minimum delay (link propagation + per-node internal
 forwarding delay of each traversed BiS-BiS).  A small label-setting
 Dijkstra over the infra topology, parameterized by the ledger so
 tentative allocations are respected.
+
+:func:`build_infra_adjacency` is the single adjacency builder shared by
+:class:`~repro.mapping.base.MappingContext` and the standalone
+:func:`find_route` fallback, so both always see the same topology.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.mapping.base import HopRoute, MappingError, ResourceLedger
 from repro.nffg.graph import NFFG
-from repro.nffg.model import EdgeLink, NodeInfra
+from repro.nffg.model import EdgeLink
+
+
+def build_infra_adjacency(resource: NFFG) -> dict[str, list[EdgeLink]]:
+    """Outgoing static infra-infra links, keyed by source infra id.
+
+    Directedness: NFFG static links are *directed* edges; symmetric
+    substrates carry one link per direction (``NFFG.add_link`` creates
+    the reverse twin by default).  A link therefore appears only under
+    its ``src_node`` and path finding never traverses it backwards — a
+    one-way link models a genuinely asymmetric substrate.
+
+    The infra id set is collected once up front so the per-link check is
+    two set lookups instead of two ``resource.node()`` round-trips.
+    """
+    infra_ids = {infra.id for infra in resource.infras}
+    adjacency: dict[str, list[EdgeLink]] = {}
+    for link in resource.links:
+        if link.src_node in infra_ids and link.dst_node in infra_ids:
+            adjacency.setdefault(link.src_node, []).append(link)
+    return adjacency
+
+
+def build_node_delays(resource: NFFG) -> dict[str, float]:
+    """Internal forwarding delay per infra node."""
+    return {infra.id: infra.resources.delay for infra in resource.infras}
+
+
+def dijkstra_route(adjacency: dict[str, list[EdgeLink]],
+                   node_delay: dict[str, float],
+                   src_infra: str, dst_infra: str,
+                   max_delay: float = float("inf"),
+                   link_usable: Optional[Callable[[EdgeLink], bool]] = None,
+                   ) -> Optional[tuple[list[str], list[str], float]]:
+    """Minimum-delay route core shared by the constrained and
+    unconstrained (cache-warming) searches.
+
+    Returns ``(infra_path, link_ids, delay)`` or ``None`` when the
+    destination is unreachable under the constraints.  ``link_usable``
+    filters candidate links (e.g. by free bandwidth); ``None`` admits
+    every link.
+    """
+    best: dict[str, float] = {src_infra: node_delay.get(src_infra, 0.0)}
+    heap: list[tuple[float, str]] = [(best[src_infra], src_infra)]
+    parent: dict[str, tuple[str, EdgeLink]] = {}
+    visited: set[str] = set()
+    while heap:
+        delay, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == dst_infra:
+            break
+        for link in adjacency.get(node, ()):
+            if link_usable is not None and not link_usable(link):
+                continue
+            neighbour = link.dst_node
+            candidate = delay + link.delay + node_delay.get(neighbour, 0.0)
+            if candidate > max_delay + 1e-9:
+                continue
+            if candidate < best.get(neighbour, float("inf")) - 1e-12:
+                best[neighbour] = candidate
+                parent[neighbour] = (node, link)
+                heapq.heappush(heap, (candidate, neighbour))
+    if dst_infra not in visited:
+        return None
+    infra_path = [dst_infra]
+    link_ids: list[str] = []
+    node = dst_infra
+    while node != src_infra:
+        prev, link = parent[node]
+        link_ids.append(link.id)
+        infra_path.append(prev)
+        node = prev
+    infra_path.reverse()
+    link_ids.reverse()
+    return infra_path, link_ids, best[dst_infra]
 
 
 def find_route(resource: NFFG, ledger: ResourceLedger, hop_id: str,
@@ -28,11 +108,11 @@ def find_route(resource: NFFG, ledger: ResourceLedger, hop_id: str,
     feasible path exists.  A same-node "path" is valid and costs only
     the node's internal delay.  ``adjacency``/``node_delay`` may be
     supplied by the caller (e.g. a MappingContext cache) to avoid
-    rebuilding them per call.
+    rebuilding them per call; the fallback uses the same
+    :func:`build_infra_adjacency` code path as the context cache.
     """
     if node_delay is None:
-        node_delay = {infra.id: infra.resources.delay
-                      for infra in resource.infras}
+        node_delay = build_node_delays(resource)
     if src_infra == dst_infra:
         delay = node_delay.get(src_infra, 0.0)
         if delay > max_delay + 1e-9:
@@ -42,51 +122,18 @@ def find_route(resource: NFFG, ledger: ResourceLedger, hop_id: str,
                         delay=delay, bandwidth=bandwidth)
 
     if adjacency is None:
-        adjacency = {}
-        for link in resource.links:
-            src_node = resource.node(link.src_node)
-            dst_node = resource.node(link.dst_node)
-            if isinstance(src_node, NodeInfra) and isinstance(dst_node, NodeInfra):
-                adjacency.setdefault(link.src_node, []).append(link)
+        adjacency = build_infra_adjacency(resource)
 
-    best: dict[str, float] = {src_infra: node_delay.get(src_infra, 0.0)}
-    heap: list[tuple[float, str]] = [(best[src_infra], src_infra)]
-    parent: dict[str, tuple[str, EdgeLink]] = {}
-    visited: set[str] = set()
-    while heap:
-        delay, node = heapq.heappop(heap)
-        if node in visited:
-            continue
-        visited.add(node)
-        if node == dst_infra:
-            break
-        for link in adjacency.get(node, ()):
-            if not ledger.can_route(link, bandwidth):
-                continue
-            neighbour = link.dst_node
-            candidate = delay + link.delay + node_delay.get(neighbour, 0.0)
-            if candidate > max_delay + 1e-9:
-                continue
-            if candidate < best.get(neighbour, float("inf")) - 1e-12:
-                best[neighbour] = candidate
-                parent[neighbour] = (node, link)
-                heapq.heappush(heap, (candidate, neighbour))
-    if dst_infra not in visited:
+    found = dijkstra_route(
+        adjacency, node_delay, src_infra, dst_infra, max_delay,
+        link_usable=lambda link: ledger.can_route(link, bandwidth))
+    if found is None:
         raise MappingError(
             f"hop {hop_id!r}: no path {src_infra!r}->{dst_infra!r} with "
             f"{bandwidth} Mbps free (max delay {max_delay})")
-    infra_path = [dst_infra]
-    link_ids: list[str] = []
-    node = dst_infra
-    while node != src_infra:
-        prev, link = parent[node]
-        link_ids.append(link.id)
-        infra_path.append(prev)
-        node = prev
-    infra_path.reverse()
-    link_ids.reverse()
+    infra_path, link_ids, delay = found
     return HopRoute(hop_id=hop_id, infra_path=infra_path, link_ids=link_ids,
-                    delay=best[dst_infra], bandwidth=bandwidth)
+                    delay=delay, bandwidth=bandwidth)
 
 
 def route_or_none(resource: NFFG, ledger: ResourceLedger, hop_id: str,

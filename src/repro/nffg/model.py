@@ -4,13 +4,27 @@ The model follows the UNIFY NFFG used by ESCAPEv2: three node types
 (NF, SAP, Infra/BiS-BiS), four edge types (static link, dynamic link,
 SG hop, requirement), ports on every node and flow rules attached to
 infra ports.
+
+Every element exposes ``clone()``: a structured deep copy that walks
+the known fields directly instead of going through ``copy.deepcopy``'s
+generic memo machinery — the basis of the :meth:`NFFG.copy` fast path.
 """
 
 from __future__ import annotations
 
+import copy as _copy
 import enum
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
+
+
+def _clone_payload(data: dict) -> dict:
+    """Copy a metadata/capabilities dict.
+
+    Values are almost always scalars or small lists; ``deepcopy`` is
+    only paid when the dict is non-empty.
+    """
+    return _copy.deepcopy(data) if data else {}
 
 
 class NodeType(str, enum.Enum):
@@ -142,6 +156,14 @@ class Port:
     def clear_flowrules(self) -> None:
         self.flowrules.clear()
 
+    def clone(self) -> "Port":
+        port = Port(id=self.id, node_id=self.node_id, name=self.name,
+                    sap_tag=self.sap_tag,
+                    capabilities=_clone_payload(self.capabilities))
+        if self.flowrules:
+            port.flowrules = [rule.clone() for rule in self.flowrules]
+        return port
+
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"id": self.id}
         if self.name:
@@ -180,6 +202,11 @@ class Flowrule:
     bandwidth: float = 0.0
     delay: float = 0.0
     hop_id: Optional[str] = None
+
+    def clone(self) -> "Flowrule":
+        return Flowrule(match=self.match, action=self.action,
+                        bandwidth=self.bandwidth, delay=self.delay,
+                        hop_id=self.hop_id)
 
     def match_fields(self) -> dict[str, str]:
         return _parse_kv(self.match)
@@ -268,6 +295,11 @@ class _NodeBase:
             self.ports[port.id] = port
         self.metadata.update(data.get("metadata", {}))
 
+    def _clone_base_into(self, clone: "_NodeBase") -> None:
+        clone.ports = {port_id: port.clone()
+                       for port_id, port in self.ports.items()}
+        clone.metadata = _clone_payload(self.metadata)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.id}>"
 
@@ -290,6 +322,14 @@ class NodeNF(_NodeBase):
         self.resources = resources or ResourceVector(cpu=1.0, mem=128.0, storage=1.0)
         #: status managed by the orchestration layers
         self.status: str = "initialized"
+
+    def clone(self) -> "NodeNF":
+        node = NodeNF(id=self.id, functional_type=self.functional_type,
+                      name=self.name, deployment_type=self.deployment_type,
+                      resources=self.resources)
+        node.status = self.status
+        self._clone_base_into(node)
+        return node
 
     def to_dict(self) -> dict[str, Any]:
         data = self._base_dict()
@@ -320,6 +360,11 @@ class NodeSAP(_NodeBase):
         super().__init__(id, name)
         #: optional binding to a physical port ("domain:node:port")
         self.binding = binding
+
+    def clone(self) -> "NodeSAP":
+        node = NodeSAP(id=self.id, name=self.name, binding=self.binding)
+        self._clone_base_into(node)
+        return node
 
     def to_dict(self) -> dict[str, Any]:
         data = self._base_dict()
@@ -358,6 +403,15 @@ class NodeInfra(_NodeBase):
         self.supported_types: set[str] = set(supported_types)
         #: relative monetary/energy cost used by cost-aware embedders
         self.cost_per_cpu = cost_per_cpu
+
+    def clone(self) -> "NodeInfra":
+        node = NodeInfra(id=self.id, name=self.name,
+                         infra_type=self.infra_type, domain=self.domain,
+                         resources=self.resources,
+                         supported_types=self.supported_types,
+                         cost_per_cpu=self.cost_per_cpu)
+        self._clone_base_into(node)
+        return node
 
     @property
     def is_bisbis(self) -> bool:
@@ -410,6 +464,13 @@ class EdgeLink:
     def available_bandwidth(self) -> float:
         return self.bandwidth - self.reserved
 
+    def clone(self) -> "EdgeLink":
+        return EdgeLink(id=self.id, src_node=self.src_node,
+                        src_port=self.src_port, dst_node=self.dst_node,
+                        dst_port=self.dst_port, link_type=self.link_type,
+                        delay=self.delay, bandwidth=self.bandwidth,
+                        reserved=self.reserved)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "id": self.id, "type": self.link_type.value,
@@ -448,6 +509,12 @@ class EdgeSGHop:
     bandwidth: float = 0.0
     delay: float = 0.0
 
+    def clone(self) -> "EdgeSGHop":
+        return EdgeSGHop(id=self.id, src_node=self.src_node,
+                         src_port=self.src_port, dst_node=self.dst_node,
+                         dst_port=self.dst_port, flowclass=self.flowclass,
+                         bandwidth=self.bandwidth, delay=self.delay)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "id": self.id, "type": LinkType.SG.value,
@@ -484,6 +551,12 @@ class EdgeReq:
     sg_path: list[str] = field(default_factory=list)
     bandwidth: float = 0.0
     max_delay: float = float("inf")
+
+    def clone(self) -> "EdgeReq":
+        return EdgeReq(id=self.id, src_node=self.src_node,
+                       src_port=self.src_port, dst_node=self.dst_node,
+                       dst_port=self.dst_port, sg_path=list(self.sg_path),
+                       bandwidth=self.bandwidth, max_delay=self.max_delay)
 
     def to_dict(self) -> dict[str, Any]:
         return {

@@ -5,28 +5,72 @@ global view (DoV)** by merging the per-domain views (inter-domain
 sap-tagged ports become stitched links), keeps the DoV up to date as
 services are deployed/torn down, and fans mapped configurations out to
 the adapters.
+
+DoV maintenance is **incremental**: the merged view is kept alive and
+per-service mapping deltas are applied/removed in place instead of
+re-merging every domain view on each change.  Each apply records a
+:class:`_ServiceDelta` — the exact set of nodes, ports, edges, flow
+rules and bandwidth reservations it introduced — so teardown is the
+exact inverse.  ``generation`` counts DoV content versions;
+``topology_generation`` counts substrate topology versions (adapter
+registration, :meth:`mark_stale` after link failures) and drives
+path-cache invalidation upstream.  :meth:`rebuild` is the explicit
+escape hatch back to a from-scratch merge.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.mapping.base import MappingContext, MappingResult
+from repro.mapping.base import (
+    MappingResult,
+    build_sap_attachments,
+    install_hop_flowrules,
+)
 from repro.nffg.graph import NFFG
-from repro.nffg.model import DomainType
-from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
+from repro.nffg.model import DomainType, NodeNF
 from repro.orchestration.adapters import DomainAdapter
+from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
 from repro.orchestration.report import AdapterReport
+from repro.perf import counters
+
+
+@dataclass
+class _ServiceDelta:
+    """Everything one service's apply added to the DoV (for exact undo)."""
+
+    #: NF node ids added (removal also drops their dynamic links)
+    nf_ids: list[str] = field(default_factory=list)
+    #: infra-side ports created by ``place_nf``: (infra_id, port_id)
+    nf_ports: list[tuple[str, str]] = field(default_factory=list)
+    #: SAP nodes this apply introduced (shared SAPs are only removed
+    #: once no other service's edges still touch them)
+    sap_ids: list[str] = field(default_factory=list)
+    #: SG hop + requirement edge ids added
+    edge_ids: list[str] = field(default_factory=list)
+    #: bandwidth reservations: (link_ids, bandwidth)
+    reservations: list[tuple[tuple[str, ...], float]] = field(default_factory=list)
+    #: ports that received flow rules: (infra_id, port_id)
+    flow_ports: list[tuple[str, str]] = field(default_factory=list)
+    #: hop ids whose flow rules must go on removal
+    hop_ids: set[str] = field(default_factory=set)
 
 
 class ControllerAdaptationLayer:
-    """Adapter registry + DoV maintenance + install fan-out."""
+    """Adapter registry + incremental DoV maintenance + install fan-out."""
 
     def __init__(self) -> None:
         self.adapters: dict[str, DomainAdapter] = {}
         self._dov: Optional[NFFG] = None
         #: deployed services: service id -> (service graph, mapping result)
         self._deployed: dict[str, tuple[NFFG, MappingResult]] = {}
+        #: per-service inverse records, valid for the *live* ``_dov`` only
+        self._deltas: dict[str, _ServiceDelta] = {}
+        #: DoV content version: bumped on every apply/remove/rebuild
+        self.generation = 0
+        #: substrate topology version: bumped when domain views change
+        self.topology_generation = 0
 
     # -- adapter registry ---------------------------------------------------
 
@@ -34,7 +78,7 @@ class ControllerAdaptationLayer:
         if adapter.name in self.adapters:
             raise ValueError(f"duplicate adapter {adapter.name!r}")
         self.adapters[adapter.name] = adapter
-        self._dov = None  # topology changed, rebuild lazily
+        self.mark_stale()  # topology changed, rebuild lazily
         return adapter
 
     def adapters_for(self, domain_type: DomainType) -> list[DomainAdapter]:
@@ -57,10 +101,28 @@ class ControllerAdaptationLayer:
             self._dov = self._rebuild_dov()
         return self._dov
 
+    def mark_stale(self) -> None:
+        """Declare the substrate topology changed (adapter added, link
+        failure observed): drop the live DoV and its deltas so the next
+        access re-merges fresh domain views."""
+        self._dov = None
+        self._deltas.clear()
+        self.generation += 1
+        self.topology_generation += 1
+
+    def rebuild(self) -> NFFG:
+        """Explicit escape hatch: force a from-scratch re-merge now."""
+        self._dov = None
+        self._deltas.clear()
+        self.generation += 1
+        return self.dov
+
     def _rebuild_dov(self) -> NFFG:
+        counters.incr("dov.rebuild")
         dov = self.pristine_view()
-        for service, result in self._deployed.values():
-            dov = _apply_mapping(dov, service, result)
+        self._deltas = {}
+        for service_id, (service, result) in self._deployed.items():
+            self._deltas[service_id] = _apply_inplace(dov, service, result)
         return dov
 
     def resource_view(self) -> NFFG:
@@ -71,15 +133,28 @@ class ControllerAdaptationLayer:
 
     def commit_mapping(self, service_id: str, service: NFFG,
                        result: MappingResult) -> None:
-        """Record a successful mapping into the DoV."""
-        self._dov = _apply_mapping(self.dov, service, result)
+        """Record a successful mapping into the DoV (in place)."""
+        dov = self.dov
+        self._deltas[service_id] = _apply_inplace(dov, service, result)
         self._deployed[service_id] = (service, result)
+        self.generation += 1
+        counters.incr("dov.apply_inplace")
 
     def remove_service(self, service_id: str) -> bool:
         if service_id not in self._deployed:
             return False
         del self._deployed[service_id]
-        self._dov = None
+        delta = self._deltas.pop(service_id, None)
+        if self._dov is not None and delta is not None:
+            _remove_inplace(self._dov, delta)
+            counters.incr("dov.remove_inplace")
+        else:
+            # no live view (or no delta for it): fall back to a lazy
+            # from-scratch rebuild on next access
+            self._dov = None
+            self._deltas.clear()
+            counters.incr("dov.fallback")
+        self.generation += 1
         return True
 
     def snapshot_service(self, service_id: str) -> tuple[NFFG, MappingResult]:
@@ -90,7 +165,12 @@ class ControllerAdaptationLayer:
                         snapshot: tuple[NFFG, MappingResult]) -> None:
         """Put a previously snapshotted service back (rollback path)."""
         self._deployed[service_id] = snapshot
-        self._dov = None
+        if self._dov is not None:
+            service, result = snapshot
+            self._deltas[service_id] = _apply_inplace(
+                self._dov, service, result)
+            counters.incr("dov.apply_inplace")
+        self.generation += 1
 
     def deployed_services(self) -> list[str]:
         return list(self._deployed)
@@ -140,11 +220,96 @@ class ControllerAdaptationLayer:
         return messages, octets
 
 
-def _apply_mapping(dov: NFFG, service: NFFG, result: MappingResult) -> NFFG:
-    """Replay a mapping's placements/routes/flowrules onto the DoV."""
-    ctx = MappingContext(service, dov)
+def _endpoint_port(dov: NFFG, service: NFFG,
+                   attach: dict[str, tuple[str, str]],
+                   node_id: str, port_id: str) -> str:
+    """The infra-side port where a service endpoint attaches in the DoV."""
+    node = service.node(node_id)
+    if isinstance(node, NodeNF):
+        bound = dov.infra_port_of_nf(node_id, port_id)
+        if bound is None:
+            raise KeyError(f"NF {node_id!r} not bound in the DoV")
+        return bound[1]
+    try:
+        return attach[node_id][1]
+    except KeyError:
+        raise KeyError(f"service SAP {node_id!r} has no attachment point "
+                       f"in the DoV") from None
+
+
+def _apply_inplace(dov: NFFG, service: NFFG,
+                   result: MappingResult) -> _ServiceDelta:
+    """Apply a mapping's placements/routes/flowrules to the DoV in place.
+
+    Mirrors :meth:`MappingContext.commit` minus the full-view copy and
+    returns the delta needed to undo it exactly.
+    """
+    delta = _ServiceDelta()
     for nf_id, infra_id in result.nf_placement.items():
-        ctx.place(nf_id, infra_id)
+        if not dov.has_node(nf_id):
+            dov.add_node_copy(service.nf(nf_id))
+            delta.nf_ids.append(nf_id)
+        created = dov.place_nf(nf_id, infra_id)
+        for link in created:
+            delta.nf_ports.append((link.dst_node, link.dst_port))
+        dov.nf(nf_id).status = "deployed"
     for route in result.hop_routes.values():
-        ctx.record_route(route)
-    return ctx.commit(mapped_id=dov.id)
+        if route.bandwidth > 1e-9 and route.link_ids:
+            for link_id in route.link_ids:
+                dov.edge(link_id).reserved += route.bandwidth
+            delta.reservations.append(
+                (tuple(route.link_ids), route.bandwidth))
+    attach = build_sap_attachments(dov)
+    for hop in service.sg_hops:
+        route = result.hop_routes.get(hop.id)
+        if route is None:
+            continue
+        in_port = _endpoint_port(dov, service, attach,
+                                 hop.src_node, hop.src_port)
+        out_port = _endpoint_port(dov, service, attach,
+                                  hop.dst_node, hop.dst_port)
+        delta.flow_ports.extend(
+            install_hop_flowrules(dov, hop, route, in_port, out_port))
+        delta.hop_ids.add(hop.id)
+    # carry the SG hops and requirements for later teardown/audit
+    for sap in service.saps:
+        if not dov.has_node(sap.id):
+            dov.add_node_copy(sap)
+            delta.sap_ids.append(sap.id)
+    for hop in service.sg_hops:
+        if not dov.has_edge(hop.id):
+            dov.add_edge_copy(hop)
+            delta.edge_ids.append(hop.id)
+    for req in service.requirements:
+        if not dov.has_edge(req.id):
+            dov.add_edge_copy(req)
+            delta.edge_ids.append(req.id)
+    return delta
+
+
+def _remove_inplace(dov: NFFG, delta: _ServiceDelta) -> None:
+    """Undo exactly what :func:`_apply_inplace` recorded in ``delta``."""
+    for infra_id, port_id in set(delta.flow_ports):
+        if not dov.has_node(infra_id):
+            continue
+        port = dov.infra(infra_id).ports.get(port_id)
+        if port is not None:
+            port.flowrules = [rule for rule in port.flowrules
+                              if rule.hop_id not in delta.hop_ids]
+    for link_ids, bandwidth in delta.reservations:
+        for link_id in link_ids:
+            if dov.has_edge(link_id):
+                link = dov.edge(link_id)
+                link.reserved = max(0.0, link.reserved - bandwidth)
+    for edge_id in delta.edge_ids:
+        if dov.has_edge(edge_id):
+            dov.remove_edge(edge_id)
+    for nf_id in delta.nf_ids:
+        if dov.has_node(nf_id):
+            dov.remove_node(nf_id)  # also drops its dynamic links
+    for infra_id, port_id in delta.nf_ports:
+        if dov.has_node(infra_id):
+            dov.infra(infra_id).ports.pop(port_id, None)
+    for sap_id in delta.sap_ids:
+        if dov.has_node(sap_id) and not dov.edges_of(sap_id):
+            dov.remove_node(sap_id)

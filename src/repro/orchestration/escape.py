@@ -16,6 +16,7 @@ from typing import Optional
 from repro.lint import DiagnosticList, Severity, lint_nffg
 from repro.mapping.base import Embedder
 from repro.mapping.decomposition import DecompositionLibrary
+from repro.mapping.pathcache import PathCache
 from repro.nffg.graph import NFFG
 from repro.orchestration.cal import ControllerAdaptationLayer
 from repro.orchestration.adapters import DomainAdapter
@@ -36,6 +37,9 @@ class EscapeOrchestrator:
         self.ro = ResourceOrchestrator(
             embedder=embedder, decomposition_library=decomposition_library)
         self.cal = ControllerAdaptationLayer()
+        #: substrate path memo shared across all mapping requests;
+        #: invalidated whenever the CAL's topology generation moves
+        self.path_cache = PathCache()
         self.simulator = simulator
         #: severity at/above which the pre-deploy static-analysis gate
         #: refuses a service graph; None disables the gate entirely
@@ -52,6 +56,12 @@ class EscapeOrchestrator:
 
     def resource_view(self) -> NFFG:
         return self.cal.resource_view()
+
+    def _orchestrate(self, service: NFFG, view: NFFG):
+        """Run the RO with the shared path cache, synced to the CAL's
+        current substrate topology generation."""
+        cache = self.path_cache.sync(self.cal.topology_generation)
+        return self.ro.orchestrate(service, view, path_cache=cache)
 
     # -- service lifecycle -----------------------------------------------------
 
@@ -71,7 +81,9 @@ class EscapeOrchestrator:
             self.reports[service.id] = report
             return report
 
+        lint_started = time.perf_counter()
         blocking = self._verify_service(service, report)
+        report.lint_time_s = time.perf_counter() - lint_started
         if blocking:
             report.error = ("lint gate rejected service graph: "
                            + "; ".join(f"{d.rule_id}: {d.message}"
@@ -96,7 +108,7 @@ class EscapeOrchestrator:
         view = self.cal.resource_view()
         report.view_time_s = time.perf_counter() - view_started
 
-        result = self.ro.orchestrate(service, view)
+        result = self._orchestrate(service, view)
         report.mapping = result
         report.mapping_time_s = result.runtime_s
         if not result.success:
@@ -126,8 +138,11 @@ class EscapeOrchestrator:
             return report
 
         if wait_activation:
+            activation_started = time.perf_counter()
             report.activation_virtual_ms = self._wait_activation(
                 max_activation_ms)
+            report.activation_time_s = (time.perf_counter()
+                                        - activation_started)
         report.success = True
         report.total_time_s = time.perf_counter() - started
         self.reports[service.id] = report
@@ -200,9 +215,12 @@ class EscapeOrchestrator:
             self.reports[service.id] = report
             return report
         snapshot = self.cal.snapshot_service(service.id)
+        # an update is a reconciliation point: re-fetch the domain views
+        # (capacity may have drifted) instead of trusting the live DoV
+        self.cal.mark_stale()
         self.cal.remove_service(service.id)
         view = self.cal.resource_view()
-        result = self.ro.orchestrate(service, view)
+        result = self._orchestrate(service, view)
         if not result.success:
             self.cal.restore_service(service.id, snapshot)
             report = DeployReport(
@@ -244,12 +262,16 @@ class EscapeOrchestrator:
             return reports
         snapshots = {service_id: self.cal.snapshot_service(service_id)
                      for service_id in broken}
+        # the substrate topology changed under us: invalidate the live
+        # DoV (and, via topology generation, the path cache) *before*
+        # removing services, so the rebuild uses fresh adapter views
+        self.cal.mark_stale()
         for service_id in broken:
             self.cal.remove_service(service_id)
         for service_id in broken:
             original_service, _ = snapshots[service_id]
             view = self.cal.resource_view()
-            result = self.ro.orchestrate(original_service, view)
+            result = self._orchestrate(original_service, view)
             if result.success:
                 effective = (result.service if result.service is not None
                              else original_service)

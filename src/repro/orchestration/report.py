@@ -38,13 +38,25 @@ class DeployReport:
     #: (repro.lint Diagnostic objects; populated even on success)
     lint: list = field(default_factory=list)
     #: wall-clock phase timings (seconds)
+    lint_time_s: float = 0.0
     view_time_s: float = 0.0
     mapping_time_s: float = 0.0
     push_time_s: float = 0.0
+    activation_time_s: float = 0.0
     total_time_s: float = 0.0
     #: virtual milliseconds until all NFs were up (boot latency)
     activation_virtual_ms: float = 0.0
     domains_touched: int = 0
+
+    def stage_timings(self) -> dict[str, float]:
+        """Per-stage wall-clock seconds, in pipeline order."""
+        return {
+            "lint": self.lint_time_s,
+            "view": self.view_time_s,
+            "map": self.mapping_time_s,
+            "push": self.push_time_s,
+            "activate": self.activation_time_s,
+        }
 
     @property
     def control_messages(self) -> int:

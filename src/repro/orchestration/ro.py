@@ -35,22 +35,29 @@ class ResourceOrchestrator:
         self.mappings_attempted = 0
         self.mappings_succeeded = 0
 
-    def orchestrate(self, service: NFFG, resource_view: NFFG) -> MappingResult:
+    def orchestrate(self, service: NFFG, resource_view: NFFG,
+                    path_cache=None) -> MappingResult:
         """Map a service graph onto a resource view.
 
         When a decomposition library is configured, abstract NFs are
         expanded and alternatives tried cheapest-first.  The winning
         mapping is re-validated from scratch (defense against embedder
-        bugs) before being returned as successful.
+        bugs) before being returned as successful.  ``path_cache`` — a
+        :class:`repro.mapping.pathcache.PathCache` owned by the caller —
+        is shared across requests hitting the same substrate.
         """
         self.mappings_attempted += 1
         if self.decomposition_library is not None:
             result = map_with_decomposition(
                 self.embedder, service, resource_view,
                 self.decomposition_library,
-                max_options=self.max_decomposition_options)
+                max_options=self.max_decomposition_options,
+                path_cache=path_cache)
         else:
-            result = self.embedder.map(service, resource_view)
+            # only forward the kwarg when set — embedder subclasses
+            # predating the path cache keep working uncached
+            kwargs = {"path_cache": path_cache} if path_cache is not None else {}
+            result = self.embedder.map(service, resource_view, **kwargs)
         if result.success and self.verify:
             effective_service = result.service if result.service is not None \
                 else service

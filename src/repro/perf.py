@@ -1,0 +1,68 @@
+"""Lightweight control-plane instrumentation.
+
+A process-global :class:`Counters` registry that the hot paths report
+into: DoV rebuild/incremental-apply counts, NFFG clone sizes, path-cache
+hits and misses.  Reading it costs nothing when nobody looks; updating
+it is a dict increment — cheap enough to leave enabled everywhere.
+
+Counter names are dotted strings, grouped by subsystem::
+
+    dov.rebuild              full merge_nffgs rebuilds of the global view
+    dov.apply_inplace        incremental per-service applies
+    dov.remove_inplace       incremental per-service removals
+    dov.fallback             in-place maintenance bailed out to a rebuild
+    nffg.copy.calls          NFFG.copy() fast-path invocations
+    nffg.copy.nodes          total nodes cloned by NFFG.copy()
+    nffg.copy.edges          total edges cloned by NFFG.copy()
+    pathcache.hit            routes served from the shared path cache
+    pathcache.miss           routes that needed a fresh Dijkstra
+    pathcache.invalidate     whole-cache invalidations (topology change)
+
+Use :func:`snapshot` to read everything at once (e.g. in benchmark
+tables) and :func:`reset` between measurement windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counters:
+    """A named-counter registry with per-name totals."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def snapshot(self, prefix: str = "") -> dict[str, float]:
+        """Copy of the current counters, optionally filtered by prefix."""
+        return {name: value for name, value in sorted(self._counts.items())
+                if name.startswith(prefix)}
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero all counters (or only those under ``prefix``)."""
+        if not prefix:
+            self._counts.clear()
+            return
+        for name in [n for n in self._counts if n.startswith(prefix)]:
+            del self._counts[name]
+
+    def __repr__(self) -> str:
+        return f"<Counters {len(self._counts)} names>"
+
+
+#: the process-global registry the library reports into
+counters = Counters()
+
+
+def snapshot(prefix: str = "") -> dict[str, float]:
+    return counters.snapshot(prefix)
+
+
+def reset(prefix: str = "") -> None:
+    counters.reset(prefix)
