@@ -97,6 +97,9 @@ def test_bench_repeated_deploys(benchmark):
     # incremental maintenance: every deploy applied in place, no rebuild
     assert snapshot.get("dov.rebuild", 0) == 0
     assert snapshot.get("dov.apply_inplace", 0) == deploys
+    # the resilience layer is pay-per-fault: a fault-free run schedules
+    # no retries, trips no breakers, queues nothing for reconciliation
+    assert perf.snapshot("resilience.") == {}
 
     def _deploy_teardown():
         report = escape.deploy(_mesh_chain(999).sg, wait_activation=False)

@@ -119,11 +119,25 @@ def render_deploy_report(report: DeployReport) -> str:
             f"{stage} {seconds * 1e3:.1f} ms"
             for stage, seconds in stages.items()))
     for adapter_report in report.adapters:
-        status = "ok" if adapter_report.success else f"FAILED: {adapter_report.error}"
-        lines.append(
-            f"  {adapter_report.domain}: {status} "
+        lines.append("  " + _adapter_line(adapter_report))
+    if report.rollback:
+        lines.append("  rollback:")
+        for adapter_report in report.rollback:
+            lines.append("    " + _adapter_line(adapter_report))
+    return "\n".join(lines)
+
+
+def _adapter_line(adapter_report) -> str:
+    if adapter_report.skipped:
+        return (f"{adapter_report.domain}: SKIPPED (circuit open) — "
+                f"{adapter_report.error}")
+    status = ("ok" if adapter_report.success
+              else f"FAILED: {adapter_report.error}")
+    retries = (f", {adapter_report.attempts} attempts "
+               f"(+{adapter_report.backoff_s * 1e3:.0f} ms backoff)"
+               if adapter_report.attempts > 1 else "")
+    return (f"{adapter_report.domain}: {status} "
             f"({adapter_report.nfs_requested} NFs, "
             f"{adapter_report.flowrules_requested} rules, "
             f"{adapter_report.control_messages} msgs / "
-            f"{adapter_report.control_bytes} B)")
-    return "\n".join(lines)
+            f"{adapter_report.control_bytes} B{retries})")

@@ -32,6 +32,10 @@ class NetconfClient:
         self.session_id: Optional[int] = None
         self.notifications: list[Notification] = []
         self.on_notification: Optional[Callable[[Notification], None]] = None
+        #: fault-injection hook (see repro.resilience.faults): called
+        #: with the operation name before each RPC; may raise to
+        #: simulate a lost/failed exchange
+        self.fault_hook: Optional[Callable[[str], None]] = None
         self._replies: dict[int, RpcReply] = {}
 
     # -- session ------------------------------------------------------------
@@ -62,6 +66,8 @@ class NetconfClient:
                 self.on_notification(message)
 
     def rpc(self, op: str, **params: Any) -> Any:
+        if self.fault_hook is not None:
+            self.fault_hook(op)
         request = RpcRequest(op=op, params=params)
         self.channel.send_to_b(request)
         reply = self._replies.pop(request.message_id, None)

@@ -23,6 +23,7 @@ from repro.orchestration.adapters import (
     CloudDomainAdapter,
     DirectDomainAdapter,
     DomainAdapter,
+    DomainUnreachable,
     EmuDomainAdapter,
     SdnDomainAdapter,
     UNDomainAdapter,
@@ -40,6 +41,7 @@ __all__ = [
     "AdapterReport",
     "DeployReport",
     "DomainAdapter",
+    "DomainUnreachable",
     "DirectDomainAdapter",
     "EmuDomainAdapter",
     "SdnDomainAdapter",

@@ -33,12 +33,32 @@ from repro.nffg.model import DomainType
 from repro.nffg.serialize import nffg_to_dict
 from repro.openflow.channel import ControlChannel
 from repro.orchestration.report import AdapterReport
+from repro.resilience.retry import RetryPolicy
 from repro.sdnnet.domain import SDNDomain
 from repro.un.domain import UniversalNodeDomain, UNLocalOrchestrator
+
+#: library-default retry budget applied when an adapter has no policy
+#: of its own: 3 attempts, exponential seeded-jitter backoff, transient
+#: failures only (``is_transient``) — a deterministic semantic error is
+#: still reported after a single attempt
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class DomainUnreachable(RuntimeError):
+    """A domain's view could not be fetched, even after retries."""
+
+    def __init__(self, domain: str, cause: BaseException):
+        super().__init__(f"{domain}: view fetch failed after retries "
+                         f"({type(cause).__name__}: {cause})")
+        self.domain = domain
+        self.cause = cause
 
 
 class DomainAdapter(abc.ABC):
     """One managed technology domain, as seen by the adaptation layer."""
+
+    #: retry budget for pushes/view fetches; None = DEFAULT_RETRY_POLICY
+    retry_policy: Optional[RetryPolicy] = None
 
     def __init__(self, name: str, domain_type: DomainType):
         self.name = name
@@ -53,6 +73,10 @@ class DomainAdapter(abc.ABC):
     def _push(self, install: NFFG) -> None:
         """Push a (cumulative) install graph; raise on failure."""
 
+    def _effective_policy(self) -> RetryPolicy:
+        return self.retry_policy if self.retry_policy is not None \
+            else DEFAULT_RETRY_POLICY
+
     def install(self, install: NFFG) -> AdapterReport:
         started = time.perf_counter()
         baseline_msgs, baseline_bytes = self.control_stats()
@@ -60,10 +84,14 @@ class DomainAdapter(abc.ABC):
             domain=self.name, success=True,
             nfs_requested=len(install.nfs),
             flowrules_requested=install.summary()["flowrules"])
-        try:
-            self._push(install)
+        outcome = self._effective_policy().run(
+            lambda: self._push(install))
+        report.attempts = outcome.attempts
+        report.backoff_s = outcome.backoff_s
+        if outcome.success:
             self.installs += 1
-        except Exception as exc:  # noqa: BLE001 - adapter fault isolation
+        else:
+            exc = outcome.error
             report.success = False
             report.error = f"{type(exc).__name__}: {exc}"
         report.push_time_s = time.perf_counter() - started
@@ -71,6 +99,14 @@ class DomainAdapter(abc.ABC):
         report.control_messages = msgs - baseline_msgs
         report.control_bytes = octets - baseline_bytes
         return report
+
+    def fetch_view(self) -> NFFG:
+        """:meth:`get_view` under the retry policy; raises
+        :class:`DomainUnreachable` once the budget is exhausted."""
+        outcome = self._effective_policy().run(self.get_view)
+        if outcome.success:
+            return outcome.value
+        raise DomainUnreachable(self.name, outcome.error)
 
     def teardown(self) -> None:
         """Remove everything this adapter deployed (default: push empty)."""

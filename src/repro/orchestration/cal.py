@@ -20,8 +20,9 @@ escape hatch back to a from-scratch merge.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.mapping.base import (
     MappingResult,
@@ -34,6 +35,7 @@ from repro.orchestration.adapters import DomainAdapter
 from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters
+from repro.resilience.breaker import BreakerState, CircuitBreaker
 
 
 @dataclass
@@ -60,7 +62,9 @@ class _ServiceDelta:
 class ControllerAdaptationLayer:
     """Adapter registry + incremental DoV maintenance + install fan-out."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, breaker_failure_threshold: int = 3,
+                 breaker_recovery_s: float = 30.0,
+                 breaker_clock: Callable[[], float] = time.monotonic) -> None:
         self.adapters: dict[str, DomainAdapter] = {}
         self._dov: Optional[NFFG] = None
         #: deployed services: service id -> (service graph, mapping result)
@@ -71,6 +75,23 @@ class ControllerAdaptationLayer:
         self.generation = 0
         #: substrate topology version: bumped when domain views change
         self.topology_generation = 0
+        #: per-adapter circuit breakers (created on register)
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_recovery_s = breaker_recovery_s
+        self.breaker_clock = breaker_clock
+        #: domains whose cumulative config is stale (push skipped or
+        #: failed) and must be replayed once they accept pushes again
+        self._pending_reconcile: set[str] = set()
+        #: domains whose view could not enter the latest pristine merge
+        #: (breaker open, or fetch failed after retries)
+        self.last_view_failures: set[str] = set()
+        #: the live DoV was rebuilt while some domain view was missing;
+        #: push_all/reconcile re-merge before fanning out so a returned
+        #: domain's substrate (and stranded services) re-enter the view
+        self._degraded_view = False
+        #: infra id -> owning adapter name, from the latest merge
+        self._infra_owner: dict[str, str] = {}
 
     # -- adapter registry ---------------------------------------------------
 
@@ -78,6 +99,11 @@ class ControllerAdaptationLayer:
         if adapter.name in self.adapters:
             raise ValueError(f"duplicate adapter {adapter.name!r}")
         self.adapters[adapter.name] = adapter
+        self.breakers[adapter.name] = CircuitBreaker(
+            adapter.name,
+            failure_threshold=self.breaker_failure_threshold,
+            recovery_time_s=self.breaker_recovery_s,
+            clock=self.breaker_clock)
         self.mark_stale()  # topology changed, rebuild lazily
         return adapter
 
@@ -88,8 +114,39 @@ class ControllerAdaptationLayer:
     # -- global view --------------------------------------------------------------
 
     def pristine_view(self) -> NFFG:
-        """Merge of all current adapter views (no deployment state)."""
-        views = [adapter.get_view() for adapter in self.adapters.values()]
+        """Merge of all current adapter views (no deployment state).
+
+        Degrades gracefully: a domain whose breaker is open is not even
+        asked (it is quarantined), and a domain whose view fetch fails
+        after retries is excluded from the merge.  Both are recorded in
+        :attr:`last_view_failures` so ``heal()`` can evacuate their
+        services.
+        """
+        views: list[NFFG] = []
+        owners: dict[str, str] = {}
+        self.last_view_failures = set()
+        for adapter in self.adapters.values():
+            breaker = self.breakers.get(adapter.name)
+            if breaker is not None and breaker.state is BreakerState.OPEN:
+                self.last_view_failures.add(adapter.name)
+                counters.incr("resilience.view.quarantined")
+                continue
+            try:
+                view = adapter.fetch_view()
+            except Exception:  # noqa: BLE001 - degrade, don't abort
+                self.last_view_failures.add(adapter.name)
+                counters.incr("resilience.view.unreachable")
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None and \
+                    breaker.state is BreakerState.HALF_OPEN:
+                # the fetch was the probe: the domain answered
+                breaker.record_success()
+            for infra in view.infras:
+                owners[infra.id] = adapter.name
+            views.append(view)
+        self._infra_owner = owners
         if not views:
             return NFFG(id="dov-empty")
         return merge_nffgs(views, merged_id="dov")
@@ -120,10 +177,27 @@ class ControllerAdaptationLayer:
     def _rebuild_dov(self) -> NFFG:
         counters.incr("dov.rebuild")
         dov = self.pristine_view()
+        self._degraded_view = bool(self.last_view_failures)
         self._deltas = {}
         for service_id, (service, result) in self._deployed.items():
+            if not _replayable(dov, result):
+                # its substrate vanished from the merge (domain
+                # quarantined or unreachable): keep the booking but
+                # leave the service out of the degraded view — heal()
+                # evacuates it, or a later refresh re-applies it
+                self._deltas[service_id] = None
+                counters.incr("dov.replay_skipped")
+                continue
             self._deltas[service_id] = _apply_inplace(dov, service, result)
         return dov
+
+    def _needs_refresh(self) -> bool:
+        """The live DoV is known to under-represent reality (degraded
+        merge, or bookings whose replay was skipped) and a re-merge
+        could improve it."""
+        return self._dov is not None and (
+            self._degraded_view
+            or any(delta is None for delta in self._deltas.values()))
 
     def resource_view(self) -> NFFG:
         """What the RO should map against: remaining resources."""
@@ -144,8 +218,11 @@ class ControllerAdaptationLayer:
         if service_id not in self._deployed:
             return False
         del self._deployed[service_id]
+        had_delta = service_id in self._deltas
         delta = self._deltas.pop(service_id, None)
-        if self._dov is not None and delta is not None:
+        if had_delta and delta is None:
+            pass  # replay was skipped: never entered the live view
+        elif self._dov is not None and delta is not None:
             _remove_inplace(self._dov, delta)
             counters.incr("dov.remove_inplace")
         else:
@@ -167,9 +244,15 @@ class ControllerAdaptationLayer:
         self._deployed[service_id] = snapshot
         if self._dov is not None:
             service, result = snapshot
-            self._deltas[service_id] = _apply_inplace(
-                self._dov, service, result)
-            counters.incr("dov.apply_inplace")
+            if _replayable(self._dov, result):
+                self._deltas[service_id] = _apply_inplace(
+                    self._dov, service, result)
+                counters.incr("dov.apply_inplace")
+            else:
+                # restoring onto a degraded view whose substrate is
+                # gone: book it, defer the replay to the next refresh
+                self._deltas[service_id] = None
+                counters.incr("dov.replay_skipped")
         self.generation += 1
 
     def deployed_services(self) -> list[str]:
@@ -181,14 +264,107 @@ class ControllerAdaptationLayer:
         Domain orchestrators reconcile against the full config, so the
         push is idempotent and also serves teardown (a domain that no
         longer appears gets an empty graph).
+
+        A domain whose circuit breaker is open is skipped — its report
+        carries ``skipped=True`` and its configuration joins the
+        reconciliation queue, replayed by :meth:`reconcile` (or by the
+        next :meth:`push_all` once the breaker half-opens).
         """
+        if self._needs_refresh():
+            self.rebuild()
         per_domain = split_per_domain(self.dov)
         reports: list[AdapterReport] = []
         for adapter in self.adapters.values():
-            install = per_domain.get(adapter.domain_type)
-            install = self._slice_for(adapter, install)
-            reports.append(adapter.install(install))
+            reports.append(self._push_one(adapter, per_domain))
         return reports
+
+    def _push_one(self, adapter: DomainAdapter,
+                  per_domain: dict[DomainType, NFFG]) -> AdapterReport:
+        breaker = self.breakers.get(adapter.name)
+        if breaker is not None and not breaker.allow():
+            counters.incr("resilience.breaker.skip")
+            self._pending_reconcile.add(adapter.name)
+            return AdapterReport(
+                domain=adapter.name, success=False, skipped=True,
+                error=(f"circuit open after "
+                       f"{breaker.consecutive_failures} consecutive "
+                       "failures; push queued for reconciliation"))
+        was_pending = adapter.name in self._pending_reconcile
+        install = per_domain.get(adapter.domain_type)
+        try:
+            install = self._slice_for(adapter, install)
+        except Exception as exc:  # noqa: BLE001 - slicing needs the view
+            report = AdapterReport(
+                domain=adapter.name, success=False,
+                error=f"{type(exc).__name__}: {exc}")
+        else:
+            report = adapter.install(install)
+        if breaker is not None:
+            breaker.record(report.success)
+        if report.success:
+            self._pending_reconcile.discard(adapter.name)
+            if was_pending:
+                counters.incr("resilience.breaker.reconcile")
+        else:
+            self._pending_reconcile.add(adapter.name)
+        return report
+
+    def reconcile(self, *, force_probe: bool = False) -> list[AdapterReport]:
+        """Replay the cumulative configuration to every domain whose
+        last push was skipped or failed.
+
+        With ``force_probe`` an open breaker is advanced to half-open
+        first (operator signal: "the domain is back, try it"); without
+        it only domains whose breaker already admits a push are tried.
+
+        Reconciliation is also the convergence point for a degraded
+        DoV: if the live view was last merged while some domain was
+        unreachable, it is re-merged first — so a returned domain's
+        substrate and any deferred service replays are back in the
+        view before its cumulative configuration is re-pushed.
+        """
+        if force_probe:
+            # a breaker can be open purely from view-fetch failures
+            # (nothing pending), so probe every open breaker, not just
+            # the queued domains — the refresh below is the probe
+            for breaker in self.breakers.values():
+                breaker.force_half_open()
+        if self._needs_refresh():
+            self.rebuild()
+        if not self._pending_reconcile:
+            return []
+        per_domain = split_per_domain(self.dov)
+        reports: list[AdapterReport] = []
+        for name in sorted(self._pending_reconcile):
+            adapter = self.adapters.get(name)
+            if adapter is None:
+                self._pending_reconcile.discard(name)
+                continue
+            breaker = self.breakers.get(name)
+            if breaker is not None and not breaker.allow():
+                continue
+            reports.append(self._push_one(adapter, per_domain))
+        return reports
+
+    def pending_reconciliation(self) -> set[str]:
+        """Domains holding stale configuration (push skipped/failed)."""
+        return set(self._pending_reconcile)
+
+    def quarantined_domains(self) -> set[str]:
+        """Domains currently unusable: breaker open, or excluded from
+        the latest pristine merge because their view was unreachable."""
+        quarantined = {name for name, breaker in self.breakers.items()
+                       if breaker.state is BreakerState.OPEN}
+        return quarantined | set(self.last_view_failures)
+
+    def adapter_names_for(self, result: MappingResult) -> set[str]:
+        """The adapters whose substrate a mapping actually touches
+        (placements + route hops), per the latest merged ownership."""
+        infras = set(result.nf_placement.values())
+        for route in result.hop_routes.values():
+            infras.update(route.infra_path)
+        return {self._infra_owner[infra_id] for infra_id in infras
+                if infra_id in self._infra_owner}
 
     def _slice_for(self, adapter: DomainAdapter,
                    install: Optional[NFFG]) -> NFFG:
@@ -235,6 +411,23 @@ def _endpoint_port(dov: NFFG, service: NFFG,
     except KeyError:
         raise KeyError(f"service SAP {node_id!r} has no attachment point "
                        f"in the DoV") from None
+
+
+def _replayable(dov: NFFG, result: MappingResult) -> bool:
+    """Is all the substrate a mapping references present in ``dov``?
+
+    False means the owning domain is missing from a degraded merge —
+    applying the mapping would reference vanished nodes/links.
+    """
+    if any(not dov.has_node(infra_id)
+           for infra_id in result.nf_placement.values()):
+        return False
+    for route in result.hop_routes.values():
+        if any(not dov.has_node(node_id) for node_id in route.infra_path):
+            return False
+        if any(not dov.has_edge(link_id) for link_id in route.link_ids):
+            return False
+    return True
 
 
 def _apply_inplace(dov: NFFG, service: NFFG,

@@ -22,6 +22,7 @@ from repro.orchestration.cal import ControllerAdaptationLayer
 from repro.orchestration.adapters import DomainAdapter
 from repro.orchestration.report import DeployReport
 from repro.orchestration.ro import ResourceOrchestrator
+from repro.perf import counters
 from repro.sim.kernel import Simulator
 
 
@@ -127,12 +128,17 @@ class EscapeOrchestrator:
         report.domains_touched = len(
             {self.cal.dov.infra(infra_id).domain
              for infra_id in result.nf_placement.values()})
-        failures = [r for r in adapter_reports if not r.success]
+        failures = [r for r in adapter_reports
+                    if not r.success and not r.skipped]
         if failures:
-            self.cal.remove_service(service.id)
-            self.cal.push_all()
+            self._rollback(service.id, report)
             report.error = "; ".join(f"{r.domain}: {r.error}"
                                      for r in failures)
+            rollback_failed = report.rollback_failures()
+            if rollback_failed:
+                report.error += ("; rollback incomplete: "
+                                 + "; ".join(f"{r.domain}: {r.error}"
+                                             for r in rollback_failed))
             report.total_time_s = time.perf_counter() - started
             self.reports[service.id] = report
             return report
@@ -144,9 +150,31 @@ class EscapeOrchestrator:
             report.activation_time_s = (time.perf_counter()
                                         - activation_started)
         report.success = True
+        report.outcome = self._classify_push(result, adapter_reports)
         report.total_time_s = time.perf_counter() - started
         self.reports[service.id] = report
         return report
+
+    def _rollback(self, service_id: str, report: DeployReport) -> None:
+        """Undo a half-deployed service and record how the
+        reconciliation pushes went (satellite of the failure model:
+        silently diverging rollbacks are themselves failures)."""
+        self.cal.remove_service(service_id)
+        report.rollback = self.cal.push_all()
+        report.outcome = "failed"
+        failed = report.rollback_failures()
+        if failed:
+            counters.incr("resilience.rollback.failures", len(failed))
+
+    def _classify_push(self, result, adapter_reports) -> str:
+        """``success`` when every domain the service touches took its
+        push; ``degraded`` when a touched domain was skipped (breaker
+        open) and awaits reconciliation."""
+        not_pushed = {r.domain for r in adapter_reports if not r.success}
+        if not not_pushed:
+            return "success"
+        relevant = self.cal.adapter_names_for(result)
+        return "degraded" if not_pushed & relevant else "success"
 
     def _verify_service(self, service: NFFG,
                         report: DeployReport) -> DiagnosticList:
@@ -178,15 +206,37 @@ class EscapeOrchestrator:
         self.simulator.run()
         return self.simulator.now - start
 
-    def teardown(self, service_id: str) -> bool:
-        """Remove a deployed service and reconcile every domain."""
+    def teardown(self, service_id: str) -> DeployReport:
+        """Remove a deployed service and reconcile every domain.
+
+        Returns a report (truthy on success, so boolean callers keep
+        working): a failed or skipped reconciliation push means a
+        domain still holds the service's stale state — the report says
+        which, instead of pretending the teardown completed.
+        """
+        report = DeployReport(service_id=service_id, success=False)
         if not self.cal.remove_service(service_id):
-            return False
-        self.cal.push_all()
+            report.error = f"unknown service {service_id!r}"
+            return report
+        adapter_reports = self.cal.push_all()
+        report.adapters = adapter_reports
+        failures = [r for r in adapter_reports
+                    if not r.success and not r.skipped]
+        skipped = [r for r in adapter_reports if r.skipped]
+        report.success = not failures
+        if failures:
+            report.outcome = "failed"
+            report.error = ("stale state left in: "
+                            + "; ".join(f"{r.domain}: {r.error}"
+                                        for r in failures))
+        elif skipped:
+            report.outcome = "degraded"
+        else:
+            report.outcome = "success"
         if self.simulator is not None:
             self.simulator.run()
         self.reports.pop(service_id, None)
-        return True
+        return report
 
     def deployed_services(self) -> list[str]:
         return self.cal.deployed_services()
@@ -232,22 +282,55 @@ class EscapeOrchestrator:
         effective = result.service if result.service is not None else service
         self.cal.commit_mapping(service.id, effective, result)
         adapter_reports = self.cal.push_all()
+        failures = [r for r in adapter_reports
+                    if not r.success and not r.skipped]
+        if failures:
+            # swap back to the previous version and reconcile
+            self.cal.remove_service(service.id)
+            self.cal.restore_service(service.id, snapshot)
+            report = DeployReport(
+                service_id=service.id, success=False, outcome="failed",
+                mapping=result, adapters=adapter_reports,
+                error=("update push failed, previous version restored: "
+                       + "; ".join(f"{r.domain}: {r.error}"
+                                   for r in failures)))
+            report.rollback = self.cal.push_all()
+            failed_rollback = report.rollback_failures()
+            if failed_rollback:
+                counters.incr("resilience.rollback.failures",
+                              len(failed_rollback))
+                report.error += ("; rollback incomplete: "
+                                 + "; ".join(f"{r.domain}: {r.error}"
+                                             for r in failed_rollback))
+            self.reports[service.id] = report
+            return report
         if self.simulator is not None:
             self._wait_activation(60_000.0)
         report = DeployReport(service_id=service.id, success=True,
                               mapping=result, adapters=adapter_reports)
+        report.outcome = self._classify_push(result, adapter_reports)
         self.reports[service.id] = report
         return report
 
     def heal(self) -> dict[str, DeployReport]:
-        """Re-map services broken by topology changes (e.g. link
-        failures) against the current domain views.
+        """Re-map services broken by topology changes or domain
+        outages against the current (possibly degraded) domain views.
 
-        Domain views are re-fetched; any deployed service whose routes
-        use a link that no longer exists is re-embedded and re-pushed.
-        Returns per-service reports for everything re-mapped.
+        Domain views are re-fetched; a quarantined or unreachable
+        domain (open circuit breaker, view fetch failing after
+        retries) is excluded from the merge, so its substrate simply
+        disappears.  Any deployed service whose routes use a link that
+        no longer exists, *or whose placements/routes sit on a vanished
+        domain*, is re-embedded onto the surviving substrate — the
+        domain-outage case is an evacuation.  Returns per-service
+        reports for everything re-mapped; a service whose relevant
+        reconciliation push could not complete is marked ``degraded``.
         """
         fresh = self.cal.pristine_view()
+        lost_domains = self.cal.quarantined_domains()
+        if lost_domains:
+            counters.incr("resilience.heal.domains_lost",
+                          len(lost_domains))
         broken: list[str] = []
         for service_id in self.cal.deployed_services():
             _, result = self.cal.snapshot_service(service_id)
@@ -255,8 +338,16 @@ class EscapeOrchestrator:
                 not fresh.has_edge(link_id)
                 for route in result.hop_routes.values()
                 for link_id in route.link_ids)
-            if uses_missing:
+            stranded = any(
+                not fresh.has_node(infra_id)
+                for infra_id in result.nf_placement.values()) or any(
+                not fresh.has_node(node_id)
+                for route in result.hop_routes.values()
+                for node_id in route.infra_path)
+            if uses_missing or stranded:
                 broken.append(service_id)
+                if stranded:
+                    counters.incr("resilience.heal.evacuations")
         reports: dict[str, DeployReport] = {}
         if not broken:
             return reports
@@ -283,8 +374,16 @@ class EscapeOrchestrator:
                     service_id=service_id, success=False, mapping=result,
                     error=f"heal failed: {result.failure_reason}")
         adapter_reports = self.cal.push_all()
+        by_domain = {r.domain: r for r in adapter_reports}
         for report in reports.values():
-            report.adapters = adapter_reports
+            if not report.success:
+                continue  # never pushed: no adapter reports apply
+            relevant = self.cal.adapter_names_for(report.mapping)
+            report.adapters = [by_domain[name]
+                               for name in sorted(relevant)
+                               if name in by_domain]
+            report.outcome = self._classify_push(report.mapping,
+                                                 report.adapters)
         if self.simulator is not None:
             self._wait_activation(60_000.0)
         return reports

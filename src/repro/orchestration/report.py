@@ -23,6 +23,13 @@ class AdapterReport:
     control_bytes: int = 0
     nfs_requested: int = 0
     flowrules_requested: int = 0
+    #: push attempts made (1 = first try succeeded; >1 = retried)
+    attempts: int = 1
+    #: total retry backoff charged between attempts (seconds)
+    backoff_s: float = 0.0
+    #: True when the push was never attempted because the domain's
+    #: circuit breaker is open (the config is queued for reconciliation)
+    skipped: bool = False
 
 
 @dataclass
@@ -32,8 +39,15 @@ class DeployReport:
     service_id: str
     success: bool
     error: str = ""
+    #: partial-failure classification: "" (derive from ``success``),
+    #: "success", "degraded" (deployed, but at least one involved
+    #: domain is awaiting reconciliation) or "failed"
+    outcome: str = ""
     mapping: Optional[MappingResult] = None
     adapters: list[AdapterReport] = field(default_factory=list)
+    #: reports of the reconciliation pushes made while rolling back a
+    #: failed deploy/update (empty when no rollback happened)
+    rollback: list[AdapterReport] = field(default_factory=list)
     #: static-analysis findings from the pre-deploy verification gate
     #: (repro.lint Diagnostic objects; populated even on success)
     lint: list = field(default_factory=list)
@@ -69,9 +83,26 @@ class DeployReport:
     def __bool__(self) -> bool:
         return self.success
 
+    def resolved_outcome(self) -> str:
+        """The partial-failure outcome, derived from ``success`` when
+        no explicit classification was recorded."""
+        if self.outcome:
+            return self.outcome
+        return "success" if self.success else "failed"
+
+    def rollback_failures(self) -> list[AdapterReport]:
+        """Rollback pushes that themselves failed (domains that may
+        still hold state of the rolled-back service)."""
+        return [report for report in self.rollback if not report.success]
+
     def summary_line(self) -> str:
         if not self.success:
             return f"{self.service_id}: FAILED ({self.error})"
+        if self.resolved_outcome() == "degraded":
+            return (f"{self.service_id}: DEGRADED — deployed, but "
+                    "domains await reconciliation: "
+                    + ", ".join(sorted(r.domain for r in self.adapters
+                                       if not r.success)))
         placement = (len(self.mapping.nf_placement)
                      if self.mapping is not None else 0)
         return (f"{self.service_id}: OK — {placement} NFs over "

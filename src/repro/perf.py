@@ -11,12 +11,33 @@ Counter names are dotted strings, grouped by subsystem::
     dov.apply_inplace        incremental per-service applies
     dov.remove_inplace       incremental per-service removals
     dov.fallback             in-place maintenance bailed out to a rebuild
+    dov.replay_skipped       booked services left out of a degraded merge
+                             (their domain's substrate was unreachable)
     nffg.copy.calls          NFFG.copy() fast-path invocations
     nffg.copy.nodes          total nodes cloned by NFFG.copy()
     nffg.copy.edges          total edges cloned by NFFG.copy()
     pathcache.hit            routes served from the shared path cache
     pathcache.miss           routes that needed a fresh Dijkstra
     pathcache.invalidate     whole-cache invalidations (topology change)
+
+Resilience counters (all zero on a fault-free run)::
+
+    resilience.faults.injected    faults fired by a FaultPlan (+ per-kind
+                                  resilience.faults.<error|drop|delay|...>)
+    resilience.retry.attempts     retries scheduled after a transient failure
+    resilience.retry.nonretryable failures classified as not worth retrying
+    resilience.retry.deadline     retry loops stopped by the overall deadline
+    resilience.retry.giveup       operations that failed after all attempts
+    resilience.breaker.trip       circuit breakers tripped open
+    resilience.breaker.halfopen   open -> half-open recoveries
+    resilience.breaker.close      half-open probes that closed the breaker
+    resilience.breaker.skip       pushes skipped because a breaker was open
+    resilience.breaker.reconcile  queued configs successfully replayed
+    resilience.view.quarantined   view merges that excluded an open domain
+    resilience.view.unreachable   view fetches that failed after retries
+    resilience.rollback.failures  rollback pushes that themselves failed
+    resilience.heal.domains_lost  domains absent when heal() ran
+    resilience.heal.evacuations   services evacuated off a lost domain
 
 Use :func:`snapshot` to read everything at once (e.g. in benchmark
 tables) and :func:`reset` between measurement windows.

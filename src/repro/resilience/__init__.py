@@ -1,0 +1,63 @@
+"""Failure model for the multi-domain control plane.
+
+The paper's joint control plane programs many *unreliable* technology
+domains; this package supplies the three mechanisms that keep one flaky
+domain from taking the whole orchestration down, plus the fault
+injection needed to test them deterministically:
+
+- :mod:`repro.resilience.faults` — a seeded :class:`FaultPlan` that
+  drops, delays, errors or crashes adapter pushes, view fetches and
+  NETCONF RPCs on a deterministic schedule (:class:`FaultyAdapter`
+  wraps any :class:`~repro.orchestration.adapters.DomainAdapter`);
+- :mod:`repro.resilience.retry` — :class:`RetryPolicy`: bounded
+  attempts with exponential, seeded-jitter backoff and an overall
+  deadline, applied inside ``DomainAdapter.install()``/``fetch_view()``;
+- :mod:`repro.resilience.breaker` — per-adapter :class:`CircuitBreaker`
+  (closed / open / half-open) so the CAL skips domains that keep
+  failing and reconciles them when they come back.
+
+Everything is observable through ``repro.perf`` under ``resilience.*``.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.retry import RetryOutcome, RetryPolicy, is_transient
+
+#: names served lazily from repro.resilience.faults — that module
+#: subclasses DomainAdapter, and the adapters module itself imports
+#: repro.resilience.retry, so an eager import here would be circular
+_FAULT_NAMES = (
+    "DomainDown",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTimeout",
+    "FaultyAdapter",
+    "InjectedFault",
+    "TransientFault",
+)
+
+
+def __getattr__(name: str):
+    if name in _FAULT_NAMES:
+        from repro.resilience import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DomainDown",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTimeout",
+    "FaultyAdapter",
+    "InjectedFault",
+    "RetryOutcome",
+    "RetryPolicy",
+    "TransientFault",
+    "is_transient",
+]

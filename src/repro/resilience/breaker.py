@@ -1,0 +1,101 @@
+"""Per-domain circuit breaker.
+
+Classic three-state breaker guarding one domain adapter:
+
+- **closed** — pushes flow normally; consecutive failures are counted;
+- **open** — tripped after ``failure_threshold`` consecutive failures:
+  the CAL skips the domain instead of hammering it, and queues its
+  cumulative configuration for reconciliation;
+- **half-open** — after ``recovery_time_s`` (or an explicit
+  :meth:`force_half_open`, e.g. on an operator signal that the domain
+  is back) one probe push is allowed through: success closes the
+  breaker, failure re-opens it.
+
+The clock is injectable so simulated time and tests stay deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+from repro.perf import counters
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure accountant for one domain adapter."""
+
+    def __init__(self, name: str = "", *, failure_threshold: int = 3,
+                 recovery_time_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.clock = clock
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self.consecutive_failures = 0
+        #: lifetime trip count (closed/half-open -> open transitions)
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state; advances open -> half-open when the recovery
+        window has elapsed."""
+        if self._state is BreakerState.OPEN and \
+                self.clock() - self._opened_at >= self.recovery_time_s:
+            self._half_open()
+        return self._state
+
+    def allow(self) -> bool:
+        """May a push go through right now?  Open blocks; half-open
+        lets the (single, synchronous) probe through."""
+        return self.state is not BreakerState.OPEN
+
+    def force_half_open(self) -> None:
+        """Operator/reconciler override: allow a probe immediately."""
+        if self._state is BreakerState.OPEN:
+            self._half_open()
+
+    def record(self, success: bool) -> None:
+        if success:
+            self.record_success()
+        else:
+            self.record_failure()
+
+    def record_success(self) -> None:
+        if self._state is not BreakerState.CLOSED:
+            counters.incr("resilience.breaker.close")
+        self._state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()  # failed probe: straight back to open
+        elif self._state is BreakerState.CLOSED and \
+                self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self.clock()
+        self.trips += 1
+        counters.incr("resilience.breaker.trip")
+
+    def _half_open(self) -> None:
+        self._state = BreakerState.HALF_OPEN
+        counters.incr("resilience.breaker.halfopen")
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.name} {self._state.value} "
+                f"failures={self.consecutive_failures} trips={self.trips}>")

@@ -1,0 +1,125 @@
+"""Bounded retry with exponential, seeded-jitter backoff.
+
+A :class:`RetryPolicy` wraps one callable attempt: transient failures
+are retried up to ``max_attempts`` with exponentially growing backoff
+(jittered through :class:`~repro.sim.random.SeededRandom`, so every run
+is reproducible from the policy seed), an overall ``deadline_s`` caps
+the total time spent across attempts, and the outcome records how many
+attempts and how much backoff it took — the adapters copy both onto
+their :class:`~repro.orchestration.report.AdapterReport`.
+
+Backoff is *accounted, not slept* by default: the reproduction runs on
+virtual time, so the default ``sleep`` hook only tallies the would-be
+wait.  Pass ``sleep=time.sleep`` to make a real deployment actually
+back off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.perf import counters
+from repro.sim.random import SeededRandom
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Default classifier: is this failure worth retrying?
+
+    Transient means the same request may succeed if repeated: injected
+    transient faults, timeouts (lost replies), connection drops, and
+    NETCONF errors whose tag marks a temporary condition.  Semantic
+    errors (unknown switch, validation failures) are not retried —
+    repeating them only hammers the domain.
+    """
+    from repro.netconf.client import NetconfError
+    from repro.resilience.faults import DomainDown, TransientFault
+
+    if isinstance(exc, DomainDown):
+        return False
+    if isinstance(exc, TransientFault):
+        return True
+    if isinstance(exc, (TimeoutError, ConnectionError)):
+        return True
+    if isinstance(exc, NetconfError):
+        return exc.tag in ("timeout", "resource-denied", "in-use",
+                           "unavailable")
+    return False
+
+
+@dataclass
+class RetryOutcome:
+    """What one retried operation amounted to."""
+
+    success: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+    #: attempts actually made (1 = first try succeeded, no retry)
+    attempts: int = 1
+    #: total backoff charged between attempts (seconds, virtual unless
+    #: the policy sleeps for real)
+    backoff_s: float = 0.0
+
+
+@dataclass
+class RetryPolicy:
+    """Retry budget for one domain operation (push / view fetch)."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+    #: +/- fraction of jitter applied to each backoff step (seeded)
+    jitter: float = 0.1
+    #: overall budget across attempts; exceeded => stop retrying
+    deadline_s: float = float("inf")
+    seed: int = 0
+    #: called with each backoff delay; None = account only (virtual)
+    sleep: Optional[Callable[[float], None]] = None
+    clock: Callable[[], float] = field(default=time.monotonic)
+    classify: Callable[[BaseException], bool] = field(default=is_transient)
+
+    def backoff_for(self, attempt: int, rng: SeededRandom) -> float:
+        """Backoff after the ``attempt``-th failure (1-based)."""
+        raw = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        delay = min(self.backoff_max_s, raw)
+        if self.jitter > 0.0:
+            delay = rng.jitter(delay, self.jitter)
+        return delay
+
+    def run(self, fn: Callable[[], Any]) -> RetryOutcome:
+        """Run ``fn`` under this policy; never raises."""
+        started = self.clock()
+        rng: Optional[SeededRandom] = None
+        backoff_total = 0.0
+        last_exc: Optional[BaseException] = None
+        attempt = 0
+        while attempt < self.max_attempts:
+            attempt += 1
+            try:
+                value = fn()
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                last_exc = exc
+            else:
+                return RetryOutcome(success=True, value=value,
+                                    attempts=attempt,
+                                    backoff_s=backoff_total)
+            if attempt >= self.max_attempts:
+                break
+            if not self.classify(last_exc):
+                counters.incr("resilience.retry.nonretryable")
+                break
+            if self.clock() - started >= self.deadline_s:
+                counters.incr("resilience.retry.deadline")
+                break
+            if rng is None:
+                rng = SeededRandom(self.seed)
+            delay = self.backoff_for(attempt, rng)
+            backoff_total += delay
+            if self.sleep is not None:
+                self.sleep(delay)
+            counters.incr("resilience.retry.attempts")
+        counters.incr("resilience.retry.giveup")
+        return RetryOutcome(success=False, error=last_exc,
+                            attempts=attempt, backoff_s=backoff_total)

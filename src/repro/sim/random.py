@@ -9,6 +9,7 @@ integer seed.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -22,8 +23,13 @@ class SeededRandom:
         self._rng = random.Random(seed)
 
     def fork(self, label: str) -> "SeededRandom":
-        """Derive an independent, reproducible child stream."""
-        child_seed = (hash((self.seed, label)) & 0x7FFFFFFF)
+        """Derive an independent, reproducible child stream.
+
+        The child seed must be stable across processes, so it is
+        derived with :func:`zlib.crc32` — Python's built-in ``hash``
+        is salted per process and would silently de-seed everything.
+        """
+        child_seed = zlib.crc32(f"{self.seed}/{label}".encode()) & 0x7FFFFFFF
         return SeededRandom(child_seed)
 
     # -- passthroughs ------------------------------------------------------

@@ -1,0 +1,158 @@
+"""Seeded chaos soak: the control plane converges under injected faults.
+
+A random sequence of deploy / update / teardown operations runs against
+a single-domain orchestrator whose adapter is wrapped in a
+:class:`FaultyAdapter` driven by a seeded :class:`FaultPlan.random_plan`
+schedule (transient errors and dropped pushes).  Retries absorb most
+faults; the rest fail pushes, trip the breaker, and queue the domain
+for reconciliation.  After the storm passes (the plan is cleared and
+the queue drained), two invariants must hold:
+
+1. the incrementally maintained DoV equals a from-scratch rebuild;
+2. the domain's installed configuration matches the books — and after
+   tearing everything down, no orphaned NFs or flow rules remain.
+
+``REPRO_CHAOS_SMOKE=1`` shrinks the example budget for the CI smoke
+job; the default budget suits a local tier-1 run.
+"""
+
+import os
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import perf
+from repro.nffg.builder import mesh_substrate
+from repro.orchestration import DirectDomainAdapter, EscapeOrchestrator
+from repro.resilience import BreakerState, FaultKind, FaultPlan, FaultyAdapter
+from repro.service import ServiceRequestBuilder
+
+from tests.property.test_incremental_dov import canonical
+
+MAX_EXAMPLES = 6 if os.environ.get("REPRO_CHAOS_SMOKE") else 20
+
+
+def _chain_service(index: int, length: int = 1):
+    builder = (ServiceRequestBuilder(f"c{index}")
+               .sap("sap1").sap("sap2"))
+    names = [f"c{index}n{j}" for j in range(length)]
+    for name in names:
+        builder.nf(name, "firewall", cpu=0.5, mem=32.0)
+    builder.chain("sap1", *names, "sap2", bandwidth=1.0)
+    return builder.build().sg
+
+
+def _chaos_escape(plan: FaultPlan):
+    escape = EscapeOrchestrator("chaos")
+    escape.cal.breaker_failure_threshold = 2
+    inner = DirectDomainAdapter(
+        "dom", view=mesh_substrate(12, degree=3, seed=5,
+                                   supported_types=["firewall"]))
+    escape.add_domain(FaultyAdapter(inner, plan))
+    return escape, inner
+
+
+def _run_ops(escape, operations):
+    for kind, index in operations:
+        service_id = f"c{index}"
+        deployed = service_id in escape.cal.deployed_services()
+        if kind == "teardown":
+            if deployed:
+                escape.teardown(service_id)
+        elif kind == "update" and deployed:
+            escape.update(_chain_service(index, 2))
+        elif kind == "deploy" and not deployed:
+            escape.deploy(_chain_service(index), wait_activation=False)
+
+
+def _drain(escape, plan):
+    """End the storm: revive the domain and replay queued config."""
+    plan.clear("dom")
+    plan.specs.clear()  # retire any unfired schedule entries
+    for _ in range(5):
+        escape.cal.reconcile(force_probe=True)
+        if not escape.cal.pending_reconciliation():
+            break
+    assert escape.cal.pending_reconciliation() == set()
+    assert all(b.state is BreakerState.CLOSED
+               for b in escape.cal.breakers.values())
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["deploy", "teardown", "update"]),
+              st.integers(0, 3)),
+    min_size=2, max_size=10)
+
+
+@given(ops, st.integers(0, 2 ** 16))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_chaos_soak_converges(operations, seed):
+    plan = FaultPlan.random_plan(seed, ["dom"], ops=("push",),
+                                 rate=0.25, length=60)
+    escape, inner = _chaos_escape(plan)
+    _run_ops(escape, operations)
+    _drain(escape, plan)
+
+    # 1. incremental DoV == from-scratch rebuild (post-storm)
+    assert canonical(escape.cal.dov) == canonical(escape.cal.rebuild())
+
+    # 2. the domain holds exactly the booked services' footprint...
+    deployed = set(escape.cal.deployed_services())
+    last = inner.installed[-1] if inner.installed else None
+    if last is not None:
+        booked_nfs = {nf_id
+                      for service_id in deployed
+                      for nf_id in escape.cal.snapshot_service(
+                          service_id)[1].nf_placement}
+        assert {nf.id for nf in last.nfs} == booked_nfs
+
+    # ...and after tearing everything down, nothing is orphaned
+    for service_id in sorted(deployed):
+        report = escape.teardown(service_id)
+        assert report, report.error
+    if inner.installed:
+        final = inner.installed[-1]
+        assert not final.nfs
+        assert all(not rule_port.flowrules
+                   for infra in final.infras
+                   for rule_port in infra.ports.values())
+
+
+@given(ops, st.integers(0, 2 ** 16), st.integers(0, 5))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_chaos_soak_with_mid_storm_outage(operations, seed, crash_at):
+    """Same invariants when the domain hard-crashes mid-sequence: the
+    breaker trips, later pushes are skipped, and reconciliation after
+    the domain returns still converges to the booked state."""
+    plan = FaultPlan.random_plan(seed, ["dom"], ops=("push",),
+                                 rate=0.15, length=60)
+    escape, inner = _chaos_escape(plan)
+    before = operations[:crash_at]
+    after = operations[crash_at:]
+    _run_ops(escape, before)
+    plan.crash("dom")
+    _run_ops(escape, after)
+    _drain(escape, plan)
+    assert canonical(escape.cal.dov) == canonical(escape.cal.rebuild())
+    deployed = set(escape.cal.deployed_services())
+    if inner.installed:
+        booked_nfs = {nf_id
+                      for service_id in deployed
+                      for nf_id in escape.cal.snapshot_service(
+                          service_id)[1].nf_placement}
+        assert {nf.id for nf in inner.installed[-1].nfs} == booked_nfs
+
+
+def test_chaos_counters_record_the_storm():
+    """A sanity anchor for the smoke job: a stormy run leaves visible
+    fingerprints in the resilience counters."""
+    perf.reset("resilience.")
+    plan = FaultPlan.random_plan(11, ["dom"], ops=("push",),
+                                 rate=0.5, length=60,
+                                 kinds=(FaultKind.ERROR,))
+    escape, _ = _chaos_escape(plan)
+    _run_ops(escape, [("deploy", i) for i in range(4)])
+    _drain(escape, plan)
+    snap = perf.snapshot("resilience.")
+    assert snap.get("resilience.faults.injected", 0) > 0
+    assert snap.get("resilience.retry.attempts", 0) > 0
