@@ -50,6 +50,132 @@ def test_bench_per_domain_control_cost(benchmark):
               .service_layer.submit(_request("timed")))
 
 
+def test_bench_full_vs_delta_push(benchmark):
+    """EXT-2 extension: per-domain config messages/bytes, full-config
+    replace vs edit-config delta mode, on the steady-state (second and
+    later) deploy.
+
+    The first deploy is first contact — both modes ship the full
+    config.  From the second deploy on, delta mode diffs against the
+    acknowledged config and ships a patch; full mode keeps today's
+    replace behavior, byte-identical to the pre-delta code path (the
+    acked-config digests of both runs must agree).  The table reports
+    the deploy of one more service with ``WARM_SERVICES`` already
+    installed: full mode re-ships every installed service's state plus
+    the substrate, the delta stays proportional to the one new service.
+    """
+    WARM_SERVICES = 4 if SMOKE else 6
+
+    def run(force_full: bool):
+        testbed = build_reference_multidomain()
+        for adapter in testbed.escape.cal.adapters.values():
+            adapter.force_full_push = force_full
+        for index in range(WARM_SERVICES):
+            warm = testbed.service_layer.submit(_request(f"warm{index}"))
+            assert warm.success, warm.error
+        steady = testbed.service_layer.submit(_request("steady"))
+        assert steady.success, steady.error
+        return testbed, steady
+
+    full_bed, full_report = run(force_full=True)
+    delta_bed, delta_report = run(force_full=False)
+    full_by_domain = {r.domain: r for r in full_report.adapters}
+    rows = []
+    for report in delta_report.adapters:
+        full = full_by_domain[report.domain]
+        rows.append({
+            "domain": report.domain,
+            "full_messages": full.messages,
+            "full_bytes": full.bytes,
+            "delta_messages": report.messages,
+            "delta_bytes": report.bytes,
+            "delta": report.delta,
+        })
+    emit("EXT-2: full vs delta config push (steady-state deploy)", rows,
+         group="control_plane")
+    # hard gate (also in CI smoke): the delta path must never cost more
+    # bytes than the full path it replaces — per domain, not just in sum
+    for row in rows:
+        assert row["delta_bytes"] <= row["full_bytes"], row
+    # steady-state payoff: the patches add up to a fraction of the
+    # full-config traffic
+    full_total = sum(row["full_bytes"] for row in rows)
+    delta_total = sum(row["delta_bytes"] for row in rows)
+    assert full_total > 0
+    assert delta_total <= 0.40 * full_total, (delta_total, full_total)
+    # full mode stayed full; and both modes acknowledged byte-identical
+    # configs (canonical digests agree per NETCONF domain)
+    assert not any(r.delta for r in full_report.adapters)
+    for name, full_adapter in full_bed.escape.cal.adapters.items():
+        digest = getattr(full_adapter, "_acked_digest", None)
+        if digest is not None:
+            delta_adapter = delta_bed.escape.cal.adapters[name]
+            assert delta_adapter._acked_digest == digest, name
+    benchmark(lambda: run(force_full=False))
+
+
+def test_bench_parallel_vs_serial_push(benchmark):
+    """CP-2: parallel vs serial push fan-out under 5 ms injected
+    per-domain delay.
+
+    Every domain's push is delayed by a real 5 ms sleep (the fault
+    plan's sleep hook fires *outside* the plan lock).  The serial
+    dispatcher pays the sum of the delays, the parallel dispatcher the
+    max — the wall-clock ratio is the whole point of the fan-out.
+    """
+    from repro.nffg import NFFG
+    from repro.orchestration.cal import ControllerAdaptationLayer
+    from repro.resilience.faults import FaultKind, FaultPlan, FaultyAdapter
+
+    domains = 4 if SMOKE else 6
+    delay_s = 0.005
+
+    def build(workers: int):
+        cal = ControllerAdaptationLayer(push_workers=workers)
+        plan = FaultPlan()
+        plan.sleep = time.sleep
+        for index in range(domains):
+            name = f"d{index}"
+            view = NFFG(id=name)
+            view.add_infra(f"{name}-bb0", num_ports=1)
+            plan.add(name, "push", kind=FaultKind.DELAY,
+                     count=1_000_000, delay_s=delay_s)
+            cal.register(FaultyAdapter(DirectDomainAdapter(name, view),
+                                       plan))
+        return cal
+
+    serial_cal = build(workers=1)
+    parallel_cal = build(workers=8)
+    # warm up: builds the DoV and (for the parallel CAL) the pool
+    serial_cal.push_all()
+    parallel_cal.push_all()
+
+    def timed(cal):
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            reports = cal.push_all()
+            best = min(best, time.perf_counter() - started)
+            assert all(r.success for r in reports)
+        return best * 1e3
+
+    serial_ms = timed(serial_cal)
+    parallel_ms = timed(parallel_cal)
+    emit("CP-2: parallel vs serial push under 5 ms injected per-domain "
+         "delay", [{
+             "domains": domains,
+             "delay_ms": delay_s * 1e3,
+             "serial_ms": serial_ms,
+             "parallel_ms": parallel_ms,
+             "speedup_x": serial_ms / parallel_ms,
+         }], group="control_plane")
+    # serial pays the sum: N domains x 5 ms
+    assert serial_ms >= domains * delay_s * 1e3
+    # parallel pays the max, not the sum
+    assert parallel_ms <= 0.5 * serial_ms, (parallel_ms, serial_ms)
+    benchmark(parallel_cal.push_all)
+
+
 def _mesh_chain(index: int, length: int = 3):
     builder = (ServiceRequestBuilder(f"svc{index}")
                .sap("sap1").sap("sap2"))

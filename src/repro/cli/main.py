@@ -9,6 +9,8 @@ Subcommands:
 - ``lint``       — static-analyze NFFG JSON files (exit 0 clean,
                    1 findings at/above the fail level, 2 parse error);
 - ``scale``      — run one elastic load/idle cycle;
+- ``perf``       — deploy a few services and print the push-pipeline
+                   counters (delta vs full pushes, dispatcher fan-out);
 - ``catalog``    — list deployable NF types;
 - ``experiments``— list the experiment harnesses and how to run them.
 """
@@ -154,6 +156,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro import perf
+    from repro.cli.render import render_deploy_report
+    from repro.service import ServiceRequestBuilder
+    from repro.topo import build_reference_multidomain
+
+    def request(index: int):
+        return (ServiceRequestBuilder(f"svc{index}")
+                .sap("sap1").sap("sap2")
+                .nf(f"svc{index}-fw", "firewall")
+                .nf(f"svc{index}-nat", "nat")
+                .chain("sap1", f"svc{index}-fw", f"svc{index}-nat", "sap2",
+                       bandwidth=2.0).build())
+
+    testbed = build_reference_multidomain()
+    perf.reset()
+    report = None
+    for index in range(args.deploys):
+        report = testbed.service_layer.submit(request(index))
+        if not report.success:
+            print(f"deploy svc{index} failed: {report.error}",
+                  file=sys.stderr)
+            return 1
+    assert report is not None
+    print(f"last deploy ({args.deploys} total):")
+    print(render_deploy_report(report))
+    print("\npush pipeline counters:")
+    snapshot = perf.snapshot()
+    shown = False
+    for prefix in ("push.", "dispatch."):
+        for name in sorted(name for name in snapshot if
+                           name.startswith(prefix)):
+            print(f"  {name:24s} {snapshot[name]:g}")
+            shown = True
+    if not shown:
+        print("  (none recorded)")
+    return 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     from repro.click.catalog import NF_CATALOG
 
@@ -225,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--threshold", type=float, default=100.0)
     scale.add_argument("--max-level", type=int, default=3)
     scale.set_defaults(func=_cmd_scale)
+
+    perf = sub.add_parser(
+        "perf", help="print push-pipeline counters for a deploy run")
+    perf.add_argument("--deploys", type=int, default=3,
+                      help="number of services to deploy (default 3)")
+    perf.set_defaults(func=_cmd_perf)
 
     catalog = sub.add_parser("catalog", help="list deployable NF types")
     catalog.set_defaults(func=_cmd_catalog)

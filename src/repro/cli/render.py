@@ -136,8 +136,16 @@ def _adapter_line(adapter_report) -> str:
     retries = (f", {adapter_report.attempts} attempts "
                f"(+{adapter_report.backoff_s * 1e3:.0f} ms backoff)"
                if adapter_report.attempts > 1 else "")
+    if adapter_report.messages or adapter_report.bytes:
+        mode = "delta" if adapter_report.delta else "full"
+        push = (f", push {mode} {adapter_report.messages} msgs / "
+                f"{adapter_report.bytes} B")
+    elif adapter_report.delta:
+        push = ", push delta noop"
+    else:
+        push = ""
     return (f"{adapter_report.domain}: {status} "
             f"({adapter_report.nfs_requested} NFs, "
             f"{adapter_report.flowrules_requested} rules, "
             f"{adapter_report.control_messages} msgs / "
-            f"{adapter_report.control_bytes} B{retries})")
+            f"{adapter_report.control_bytes} B{push}{retries})")

@@ -443,6 +443,46 @@ def check_cross_view_sap_tags(ctx: LintContext) -> Iterator[Finding]:
                 graph=places[0][0])
 
 
+@rule("MD005", "slice flow rule references a port absent from its domain view",
+      severity=Severity.ERROR, category="multidomain", scope="views")
+def check_slice_flowrule_ports(ctx: LintContext) -> Iterator[Finding]:
+    """A per-domain install slice must be self-contained: every port a
+    flow rule matches on or outputs to must exist on that infra *in
+    that slice*.  A missing port means the rule was written against a
+    different view of the node (global view, another domain's slice) —
+    the domain orchestrator would reject or misprogram it, and a delta
+    push must never be able to ship a patch the full-config path would
+    have rejected.  When another view does carry the port, the finding
+    names it, pointing at the slicing step rather than a typo.
+    """
+    locations: dict[tuple[str, str], list[str]] = defaultdict(list)
+    for view in ctx.views:
+        for infra in view.infras:
+            for port_id in infra.ports:
+                locations[(infra.id, port_id)].append(view.id)
+    for view in ctx.views:
+        for infra in view.infras:
+            for port, index, flowrule in _iter_infra_rules(infra):
+                refs = (("matches in_port",
+                         flowrule.match_fields().get("in_port")),
+                        ("outputs to port",
+                         flowrule.action_fields().get("output")))
+                for role, ref in refs:
+                    if not ref or infra.has_port(ref):
+                        continue
+                    elsewhere = [owner for owner
+                                 in locations.get((infra.id, ref), [])
+                                 if owner != view.id]
+                    hint = (f" (port exists in view {elsewhere[0]!r})"
+                            if elsewhere else "")
+                    yield Finding(
+                        f"view {view.id!r}: flow rule on "
+                        f"{infra.id}.{port.id} {role} {ref!r}, which is "
+                        f"absent from this domain view{hint}",
+                        node=infra.id, port=port.id, flowrule=index,
+                        graph=view.id)
+
+
 # ----------------------------------------------------------------------
 # DC — decomposition coverage
 # ----------------------------------------------------------------------

@@ -117,9 +117,17 @@ class ResourceLedger:
         ResourceLedger._seq += 1
         self._instance = ResourceLedger._seq
         self.generation = 0
-        from repro.nffg.ops import available_resources
+        # one pass over the edge table for all placements instead of a
+        # per-infra nfs_on scan (a ledger is built for every mapping run)
+        consumed: dict[str, ResourceVector] = {}
+        for infra_id, nf in resource.placed_nfs():
+            total = consumed.get(infra_id)
+            consumed[infra_id] = (nf.resources if total is None
+                                  else total + nf.resources)
         for infra in resource.infras:
-            self._free[infra.id] = available_resources(resource, infra.id)
+            used = consumed.get(infra.id)
+            self._free[infra.id] = (infra.resources if used is None
+                                    else infra.resources - used)
         for link in resource.links:
             self._link_free[link.id] = link.available_bandwidth
 

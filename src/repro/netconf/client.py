@@ -92,6 +92,19 @@ class NetconfClient:
         return self.rpc("edit-config", target=target, operation=operation,
                         config=config)
 
+    def edit_config_delta(self, base_digest: str, entries: list[dict[str, Any]],
+                          *, target: str = "candidate") -> Any:
+        """Ship a yang.diff edit script instead of a full config.
+
+        The server verifies ``base_digest`` against its running config
+        and answers with the non-retryable ``delta-mismatch`` tag when
+        the bases have drifted — callers fall back to a full
+        ``edit_config(..., operation="replace")`` on that error.
+        """
+        return self.rpc("edit-config", target=target, operation="patch",
+                        config={"base_digest": base_digest,
+                                "entries": entries})
+
     def validate(self, source: str = "candidate") -> Any:
         return self.rpc("validate", source=source)
 

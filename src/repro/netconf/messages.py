@@ -76,11 +76,17 @@ class Notification:
                           sort_keys=True, default=str)
 
 
+#: advertised by servers whose edit-config accepts ``operation="patch"``
+#: (digest-guarded yang.diff edit scripts against the running config);
+#: clients only attempt delta pushes after seeing it in the hello
+DELTA_CAPABILITY = "urn:unify:edit-config:delta:1.0"
+
 BASE_CAPABILITIES = [
     "urn:ietf:params:netconf:base:1.1",
     "urn:ietf:params:netconf:capability:candidate:1.0",
     "urn:ietf:params:netconf:capability:validate:1.1",
     "urn:ietf:params:netconf:capability:notification:1.0",
+    DELTA_CAPABILITY,
 ]
 
 UNIFY_CAPABILITY = "urn:unify:virtualizer:1.0"

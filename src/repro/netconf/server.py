@@ -22,6 +22,9 @@ from repro.netconf.messages import (
     RpcRequest,
 )
 from repro.openflow.channel import ControlChannel
+from repro.yang.config import config_digest, config_to_tree, tree_to_config
+from repro.yang.data import ValidationError
+from repro.yang.diff import DiffEntry, apply_patch
 
 _SESSION_ID = itertools.count(1)
 
@@ -158,12 +161,44 @@ class NetconfServer:
             target.config = _merge(target.snapshot(), config)
         elif operation == "delete":
             target.config = None
+        elif operation == "patch":
+            target.config = self._patched_config(config)
         else:
             raise NetconfServerError("bad-attribute",
                                      f"unknown operation {operation!r}")
         if target is self.running:
             self._apply(self.running.snapshot())
         return {"ok": True}
+
+    def _patched_config(self, patch: Any) -> Any:
+        """Apply a delta edit script on top of the *running* config.
+
+        The patch carries the digest of the base the client diffed
+        against; if it no longer matches our running config (restart,
+        missed commit, another writer) we refuse with the non-retryable
+        ``delta-mismatch`` tag so the client falls back to a full push
+        instead of installing a patch against the wrong base.
+        """
+        if not isinstance(patch, dict) or "entries" not in patch:
+            raise NetconfServerError("bad-element",
+                                     "patch config needs 'entries'")
+        base = self.running.snapshot()
+        if base is None:
+            raise NetconfServerError("delta-mismatch",
+                                     "no running config to patch")
+        digest = config_digest(base)
+        if digest != patch.get("base_digest"):
+            raise NetconfServerError(
+                "delta-mismatch",
+                f"patch base {patch.get('base_digest')!r} != running {digest!r}")
+        tree = config_to_tree(base)
+        entries = [DiffEntry.from_dict(entry) for entry in patch["entries"]]
+        try:
+            apply_patch(tree, entries)
+        except ValidationError as exc:
+            raise NetconfServerError("delta-mismatch",
+                                     f"patch does not apply: {exc}") from exc
+        return tree_to_config(tree)
 
     def _commit(self) -> Any:
         problems = self.validate_config(self.candidate.snapshot())

@@ -381,20 +381,23 @@ class NFFG:
 
         Hand-rolled fast path: nodes, ports, flowrules and edges are
         cloned field-by-field (see ``clone()`` on the model classes)
-        and the networkx adjacency is rebuilt directly — an order of
-        magnitude cheaper than ``copy.deepcopy``'s generic memo walk on
-        control-plane-sized views.
+        and the networkx adjacency dicts are filled directly — an order
+        of magnitude cheaper than ``copy.deepcopy``'s generic memo walk
+        on control-plane-sized views.
         """
         clone = NFFG(id=self.id if new_id is None else new_id,
                      name=self.name, version=self.version)
         clone.metadata = _copy.deepcopy(self.metadata) if self.metadata else {}
         clone._id_seq = self._id_seq
         graph = clone._graph
+        node_attr, succ, pred = graph._node, graph._succ, graph._pred
         nodes = clone._nodes
         for node_id, node in self._nodes.items():
             cloned = node.clone()
             nodes[node_id] = cloned
-            graph.add_node(node_id, obj=cloned)
+            node_attr[node_id] = {"obj": cloned}
+            succ[node_id] = {}
+            pred[node_id] = {}
         edges = clone._edges
         for edge_id, edge in self._edges.items():
             cloned_edge = edge.clone()
@@ -405,12 +408,75 @@ class NFFG:
                 link_type = LinkType.SG
             else:
                 link_type = LinkType.REQUIREMENT
-            graph.add_edge(cloned_edge.src_node, cloned_edge.dst_node,
-                           key=edge_id, obj=cloned_edge, link_type=link_type)
+            # straight into the MultiDiGraph adjacency: _succ[u][v] and
+            # _pred[v][u] share one key dict, keyed by edge id
+            src, dst = cloned_edge.src_node, cloned_edge.dst_node
+            keydict = succ[src].get(dst)
+            if keydict is None:
+                keydict = {}
+                succ[src][dst] = keydict
+                pred[dst][src] = keydict
+            keydict[edge_id] = {"obj": cloned_edge, "link_type": link_type}
         counters.incr("nffg.copy.calls")
         counters.incr("nffg.copy.nodes", len(nodes))
         counters.incr("nffg.copy.edges", len(edges))
         return clone
+
+    def copy_subgraph(self, new_id: str, node_ids: Iterable[str],
+                      name: str = "") -> "NFFG":
+        """Clone of the subgraph spanning ``node_ids`` keeping only the
+        *links* (static/dynamic) whose both endpoints are kept.
+
+        SG hops and requirement edges are dropped: the result is a
+        deployment-only view — exactly what ``split_per_domain`` hands
+        to a domain adapter.  Same direct-fill fast path as
+        :meth:`copy`.
+        """
+        clone = NFFG(id=new_id, name=name or new_id, version=self.version)
+        clone._id_seq = self._id_seq
+        graph = clone._graph
+        node_attr, succ, pred = graph._node, graph._succ, graph._pred
+        nodes = clone._nodes
+        for node_id in node_ids:
+            cloned = self._nodes[node_id].clone()
+            nodes[node_id] = cloned
+            node_attr[node_id] = {"obj": cloned}
+            succ[node_id] = {}
+            pred[node_id] = {}
+        edges = clone._edges
+        for edge_id, edge in self._edges.items():
+            if not isinstance(edge, EdgeLink):
+                continue
+            if edge.src_node not in nodes or edge.dst_node not in nodes:
+                continue
+            cloned_edge = edge.clone()
+            edges[edge_id] = cloned_edge
+            src, dst = cloned_edge.src_node, cloned_edge.dst_node
+            keydict = succ[src].get(dst)
+            if keydict is None:
+                keydict = {}
+                succ[src][dst] = keydict
+                pred[dst][src] = keydict
+            keydict[edge_id] = {"obj": cloned_edge,
+                                "link_type": cloned_edge.link_type}
+        return clone
+
+    def placed_nfs(self) -> list[tuple[str, NodeNF]]:
+        """``(hosting_infra_id, NF)`` for every bound NF — one pass over
+        the edge table instead of a per-infra ``nfs_on`` scan."""
+        result: list[tuple[str, NodeNF]] = []
+        seen: set[str] = set()
+        for edge in self._edges.values():
+            if (not isinstance(edge, EdgeLink)
+                    or edge.link_type != LinkType.DYNAMIC
+                    or edge.src_node in seen):
+                continue
+            nf = self._nodes.get(edge.src_node)
+            if (isinstance(nf, NodeNF)
+                    and isinstance(self._nodes.get(edge.dst_node), NodeInfra)):
+                seen.add(edge.src_node)
+                result.append((edge.dst_node, nf))
+        return result
 
     def clear_flowrules(self) -> None:
         for infra in self.infras:

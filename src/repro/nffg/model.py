@@ -157,11 +157,15 @@ class Port:
         self.flowrules.clear()
 
     def clone(self) -> "Port":
-        port = Port(id=self.id, node_id=self.node_id, name=self.name,
-                    sap_tag=self.sap_tag,
-                    capabilities=_clone_payload(self.capabilities))
-        if self.flowrules:
-            port.flowrules = [rule.clone() for rule in self.flowrules]
+        # bypasses __init__: Port.clone dominates NFFG.copy, which is
+        # the control-plane hot loop (one copy per resource view /
+        # mapped graph / install slice)
+        port = Port.__new__(Port)
+        data = port.__dict__
+        data.update(self.__dict__)
+        data["capabilities"] = _clone_payload(self.capabilities)
+        # Flowrule is immutable: share the instances, copy the list
+        data["flowrules"] = list(self.flowrules) if self.flowrules else []
         return port
 
     def to_dict(self) -> dict[str, Any]:
@@ -186,7 +190,7 @@ class Port:
         return port
 
 
-@dataclass
+@dataclass(frozen=True)
 class Flowrule:
     """A flow rule inside a BiS-BiS: steering between two of its ports.
 
@@ -195,6 +199,9 @@ class Flowrule:
     ``output=<p>;tag=<t>`` / ``untag`` actions.  ``hop_id`` back-links
     the SG hop this rule realizes so rules can be garbage-collected when
     a chain is torn down.
+
+    Frozen: rule changes are modeled by replacing the instance in its
+    port's ``flowrules`` list, which lets clones share rule objects.
     """
 
     match: str
@@ -204,9 +211,7 @@ class Flowrule:
     hop_id: Optional[str] = None
 
     def clone(self) -> "Flowrule":
-        return Flowrule(match=self.match, action=self.action,
-                        bandwidth=self.bandwidth, delay=self.delay,
-                        hop_id=self.hop_id)
+        return self  # immutable: sharing is safe
 
     def match_fields(self) -> dict[str, str]:
         return _parse_kv(self.match)
@@ -296,8 +301,19 @@ class _NodeBase:
         self.metadata.update(data.get("metadata", {}))
 
     def _clone_base_into(self, clone: "_NodeBase") -> None:
-        clone.ports = {port_id: port.clone()
-                       for port_id, port in self.ports.items()}
+        # inlined Port.clone: node cloning is the hot path of NFFG.copy
+        # and pays one function call per port otherwise
+        ports: dict[str, Port] = {}
+        new = Port.__new__
+        for port_id, port in self.ports.items():
+            cloned = new(Port)
+            data = cloned.__dict__
+            data.update(port.__dict__)
+            data["capabilities"] = _clone_payload(port.capabilities)
+            data["flowrules"] = (list(port.flowrules)
+                                 if port.flowrules else [])
+            ports[port_id] = cloned
+        clone.ports = ports
         clone.metadata = _clone_payload(self.metadata)
 
     def __repr__(self) -> str:
@@ -324,10 +340,8 @@ class NodeNF(_NodeBase):
         self.status: str = "initialized"
 
     def clone(self) -> "NodeNF":
-        node = NodeNF(id=self.id, functional_type=self.functional_type,
-                      name=self.name, deployment_type=self.deployment_type,
-                      resources=self.resources)
-        node.status = self.status
+        node = NodeNF.__new__(NodeNF)
+        node.__dict__.update(self.__dict__)  # resources stay shared
         self._clone_base_into(node)
         return node
 
@@ -362,7 +376,8 @@ class NodeSAP(_NodeBase):
         self.binding = binding
 
     def clone(self) -> "NodeSAP":
-        node = NodeSAP(id=self.id, name=self.name, binding=self.binding)
+        node = NodeSAP.__new__(NodeSAP)
+        node.__dict__.update(self.__dict__)
         self._clone_base_into(node)
         return node
 
@@ -405,11 +420,9 @@ class NodeInfra(_NodeBase):
         self.cost_per_cpu = cost_per_cpu
 
     def clone(self) -> "NodeInfra":
-        node = NodeInfra(id=self.id, name=self.name,
-                         infra_type=self.infra_type, domain=self.domain,
-                         resources=self.resources,
-                         supported_types=self.supported_types,
-                         cost_per_cpu=self.cost_per_cpu)
+        node = NodeInfra.__new__(NodeInfra)
+        node.__dict__.update(self.__dict__)  # resources stay shared
+        node.supported_types = set(self.supported_types)
         self._clone_base_into(node)
         return node
 
@@ -465,11 +478,9 @@ class EdgeLink:
         return self.bandwidth - self.reserved
 
     def clone(self) -> "EdgeLink":
-        return EdgeLink(id=self.id, src_node=self.src_node,
-                        src_port=self.src_port, dst_node=self.dst_node,
-                        dst_port=self.dst_port, link_type=self.link_type,
-                        delay=self.delay, bandwidth=self.bandwidth,
-                        reserved=self.reserved)
+        clone = EdgeLink.__new__(EdgeLink)
+        clone.__dict__.update(self.__dict__)
+        return clone
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -510,10 +521,9 @@ class EdgeSGHop:
     delay: float = 0.0
 
     def clone(self) -> "EdgeSGHop":
-        return EdgeSGHop(id=self.id, src_node=self.src_node,
-                         src_port=self.src_port, dst_node=self.dst_node,
-                         dst_port=self.dst_port, flowclass=self.flowclass,
-                         bandwidth=self.bandwidth, delay=self.delay)
+        clone = EdgeSGHop.__new__(EdgeSGHop)
+        clone.__dict__.update(self.__dict__)
+        return clone
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -553,10 +563,10 @@ class EdgeReq:
     max_delay: float = float("inf")
 
     def clone(self) -> "EdgeReq":
-        return EdgeReq(id=self.id, src_node=self.src_node,
-                       src_port=self.src_port, dst_node=self.dst_node,
-                       dst_port=self.dst_port, sg_path=list(self.sg_path),
-                       bandwidth=self.bandwidth, max_delay=self.max_delay)
+        clone = EdgeReq.__new__(EdgeReq)
+        clone.__dict__.update(self.__dict__)
+        clone.sg_path = list(self.sg_path)
+        return clone
 
     def to_dict(self) -> dict[str, Any]:
         return {

@@ -20,6 +20,7 @@ from repro.nffg.model import (
     DomainType,
     EdgeLink,
     LinkType,
+    NodeNF,
     ResourceVector,
 )
 
@@ -82,59 +83,39 @@ def split_per_domain(mapped: NFFG) -> dict[DomainType, NFFG]:
     the flow rules already resident on its infra ports.  Inter-domain
     links (endpoints in different domains) are dropped — the hand-off
     is represented by sap-tagged ports on both sides.
+
+    A domain's membership set (its infras + hosted NFs + SAPs tagged on
+    its ports) is computed first, then materialized with the subgraph
+    fast path: a link survives exactly when both endpoints are members,
+    SG hops and requirements never enter an install view.  This runs on
+    every ``push_all`` and is kept off the generic per-element copy API
+    on purpose.
     """
-    domains: dict[DomainType, NFFG] = {}
-
-    def view_for(domain: DomainType) -> NFFG:
-        if domain not in domains:
-            domains[domain] = NFFG(id=f"{mapped.id}@{domain.value}",
-                                   name=f"install view for {domain.value}")
-        return domains[domain]
-
-    infra_domain: dict[str, DomainType] = {
-        infra.id: infra.domain for infra in mapped.infras}
-
+    # per-domain node membership: infras first, then hosted NFs, then
+    # SAPs (insertion order of the member lists is the install order)
+    members: dict[DomainType, list[str]] = {}
+    infra_domain: dict[str, DomainType] = {}
     for infra in mapped.infras:
-        view_for(infra.domain).add_node_copy(infra)
+        infra_domain[infra.id] = infra.domain
+        members.setdefault(infra.domain, []).append(infra.id)
 
-    for nf in mapped.nfs:
-        host = mapped.host_of(nf.id)
-        if host is None:
-            continue
-        view_for(infra_domain[host]).add_node_copy(nf)
+    for host, nf in mapped.placed_nfs():
+        members[infra_domain[host]].append(nf.id)
 
-    for sap in mapped.saps:
-        # A SAP belongs to every domain that has a port tagged with it.
-        for infra in mapped.infras:
-            for port in infra.ports.values():
-                if port.sap_tag == sap.id:
-                    view = view_for(infra.domain)
-                    if not view.has_node(sap.id):
-                        view.add_node_copy(sap)
+    sap_ids = {sap.id for sap in mapped.saps}
+    tagged: dict[DomainType, set[str]] = {}
+    for infra in mapped.infras:
+        for port in infra.ports.values():
+            if port.sap_tag in sap_ids:
+                domain_tags = tagged.setdefault(infra.domain, set())
+                if port.sap_tag not in domain_tags:
+                    domain_tags.add(port.sap_tag)
+                    members[infra.domain].append(port.sap_tag)
 
-    for edge in mapped.edges:
-        if isinstance(edge, EdgeLink):
-            src_domain = infra_domain.get(edge.src_node)
-            dst_domain = infra_domain.get(edge.dst_node)
-            if edge.link_type == LinkType.STATIC:
-                if src_domain is not None and src_domain == dst_domain:
-                    view_for(src_domain).add_edge_copy(edge)
-                else:
-                    # SAP attachment links: keep when the domain view
-                    # holds both the SAP node and the infra endpoint
-                    domain = src_domain or dst_domain
-                    if domain is not None:
-                        view = view_for(domain)
-                        if (view.has_node(edge.src_node)
-                                and view.has_node(edge.dst_node)):
-                            view.add_edge_copy(edge)
-            else:  # dynamic: NF <-> infra
-                domain = dst_domain or src_domain
-                if domain is not None:
-                    view = view_for(domain)
-                    if view.has_node(edge.src_node) and view.has_node(edge.dst_node):
-                        view.add_edge_copy(edge)
-    return domains
+    return {domain: mapped.copy_subgraph(
+                f"{mapped.id}@{domain.value}", node_ids,
+                name=f"install view for {domain.value}")
+            for domain, node_ids in members.items()}
 
 
 def consumed_resources(view: NFFG, infra_id: str) -> ResourceVector:
@@ -151,16 +132,40 @@ def available_resources(view: NFFG, infra_id: str) -> ResourceVector:
     return infra.resources - consumed_resources(view, infra_id)
 
 
-def remaining_nffg(view: NFFG, new_id: Optional[str] = None) -> NFFG:
+def remaining_nffg(view: NFFG, new_id: Optional[str] = None, *,
+                   include_deployed: bool = True) -> NFFG:
     """A copy of ``view`` whose infra capacities are the *free* resources
     and link bandwidths the *unreserved* bandwidths.
 
     This is the graph a virtualizer exposes northbound: the client plans
     against what is actually left.
+
+    With ``include_deployed=False`` the deployed NFs, their dynamic
+    links and the carried SG hop/requirement edges are left out: the
+    advertised view is substrate + SAPs + net capacities only.  That is
+    what a real virtualizer shows a client (tenant internals are not
+    advertised), it keeps the view's size independent of how much has
+    been deployed, and it makes downstream accounting correct — a
+    ledger built over a view that nets out the deployed NFs *and* still
+    contains them would subtract their demands a second time.
     """
-    result = view.copy(new_id or f"{view.id}-remaining")
+    if include_deployed:
+        result = view.copy(new_id or f"{view.id}-remaining")
+    else:
+        result = view.copy_subgraph(
+            new_id or f"{view.id}-remaining",
+            [node.id for node in view.nodes if not isinstance(node, NodeNF)],
+            name=f"{view.name} (remaining)")
+    # one pass over the edge table for all placements instead of a
+    # per-infra nfs_on scan (this runs on every resource_view call)
+    consumed: dict[str, ResourceVector] = {}
+    for infra_id, nf in view.placed_nfs():
+        total = consumed.get(infra_id)
+        consumed[infra_id] = (nf.resources if total is None
+                              else total + nf.resources)
     for infra in result.infras:
-        free = available_resources(result, infra.id)
+        used = consumed.get(infra.id)
+        free = infra.resources if used is None else infra.resources - used
         infra.resources = ResourceVector(
             cpu=max(free.cpu, 0.0), mem=max(free.mem, 0.0),
             storage=max(free.storage, 0.0),

@@ -19,29 +19,53 @@ lives in :mod:`repro.orchestration.unify`.)
 from __future__ import annotations
 
 import abc
+import json
 import time
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.cloud.domain import CloudDomain, CloudLocalOrchestrator
 from repro.emu.domain import EmulatedDomain
 from repro.emu.orchestrator import EmuDomainOrchestrator
 from repro.infra.flowprog import program_infra_flows
-from repro.netconf.client import NetconfClient
+from repro.netconf.client import NetconfClient, NetconfError
+from repro.netconf.messages import DELTA_CAPABILITY
 from repro.netconf.server import NetconfServer
 from repro.nffg.graph import NFFG
 from repro.nffg.model import DomainType
 from repro.nffg.serialize import nffg_to_dict
 from repro.openflow.channel import ControlChannel
 from repro.orchestration.report import AdapterReport
+from repro.perf import counters
 from repro.resilience.retry import RetryPolicy
 from repro.sdnnet.domain import SDNDomain
 from repro.un.domain import UniversalNodeDomain, UNLocalOrchestrator
+from repro.yang.config import config_digest, config_to_tree
+from repro.yang.data import DataNode
+from repro.yang.diff import diff_trees, patch_size_bytes
 
 #: library-default retry budget applied when an adapter has no policy
 #: of its own: 3 attempts, exponential seeded-jitter backoff, transient
 #: failures only (``is_transient``) — a deterministic semantic error is
 #: still reported after a single attempt
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class PushProfile:
+    """How one successful push went out on the wire.
+
+    ``messages``/``bytes`` count only the config exchange itself (the
+    edit/validate/commit RPCs and the config payload), not channel-level
+    framing; ``delta`` marks an edit-config patch, ``noop`` an install
+    whose diff against the acknowledged config was empty and that was
+    therefore skipped entirely."""
+
+    messages: int = 0
+    bytes: int = 0
+    delta: bool = False
+    noop: bool = False
+    bytes_saved: int = 0
 
 
 class DomainUnreachable(RuntimeError):
@@ -64,6 +88,10 @@ class DomainAdapter(abc.ABC):
         self.name = name
         self.domain_type = domain_type
         self.installs = 0
+        #: operational escape hatch (A/B benchmarks, distrusted
+        #: domains): every install goes out as a full-config replace
+        #: even when a delta patch would be legal
+        self.force_full_push = False
 
     @abc.abstractmethod
     def get_view(self) -> NFFG:
@@ -71,13 +99,26 @@ class DomainAdapter(abc.ABC):
 
     @abc.abstractmethod
     def _push(self, install: NFFG) -> None:
-        """Push a (cumulative) install graph; raise on failure."""
+        """Push a (cumulative) install graph in full; raise on failure."""
+
+    def _do_push(self, install: NFFG,
+                 force_full: bool = False) -> Optional[PushProfile]:
+        """One push attempt; delta-capable adapters override this to
+        pick between a full replace and an edit-config patch.  Returning
+        ``None`` means the adapter keeps no wire-level accounting."""
+        self._push(install)
+        return None
+
+    def reset_delta_state(self) -> None:
+        """Forget the acknowledged config; the next push goes out full.
+        No-op for adapters without a delta path."""
 
     def _effective_policy(self) -> RetryPolicy:
         return self.retry_policy if self.retry_policy is not None \
             else DEFAULT_RETRY_POLICY
 
-    def install(self, install: NFFG) -> AdapterReport:
+    def install(self, install: NFFG, *,
+                force_full: bool = False) -> AdapterReport:
         started = time.perf_counter()
         baseline_msgs, baseline_bytes = self.control_stats()
         report = AdapterReport(
@@ -85,11 +126,22 @@ class DomainAdapter(abc.ABC):
             nfs_requested=len(install.nfs),
             flowrules_requested=install.summary()["flowrules"])
         outcome = self._effective_policy().run(
-            lambda: self._push(install))
+            lambda: self._do_push(install,
+                                  force_full or self.force_full_push))
         report.attempts = outcome.attempts
         report.backoff_s = outcome.backoff_s
         if outcome.success:
             self.installs += 1
+            profile = outcome.value if outcome.value is not None \
+                else PushProfile()
+            report.messages = profile.messages
+            report.bytes = profile.bytes
+            report.delta = profile.delta
+            counters.incr("push.delta" if profile.delta else "push.full")
+            if profile.noop:
+                counters.incr("push.delta_noop")
+            if profile.bytes_saved:
+                counters.incr("push.bytes_saved", profile.bytes_saved)
         else:
             exc = outcome.error
             report.success = False
@@ -150,8 +202,24 @@ def _collect_endpoint_stats(endpoint) -> dict[str, tuple[int, int]]:
     return stats
 
 
+def _payload_bytes(config: Any) -> int:
+    """Wire size of a config payload (mirrors RpcRequest.to_wire)."""
+    return len(json.dumps(config, sort_keys=True, default=str).encode())
+
+
 class _NetconfAdapter(DomainAdapter):
-    """Shared NETCONF client plumbing for NETCONF-managed domains."""
+    """Shared NETCONF client plumbing for NETCONF-managed domains.
+
+    Delta pushes: the adapter remembers the last *acknowledged* config
+    (the install that made it through commit) as an install-config tree
+    plus digest, tagged with a monotonically increasing
+    ``delta_generation``.  Subsequent installs diff against that tree
+    and ship a digest-guarded edit-config patch; a full replace goes out
+    on first contact, when the caller forces it (reconcile, half-open
+    probes, pushes after a failure), or when the server rejects the
+    patch base.  Any exception mid-push leaves the server state unknown,
+    so the acknowledged config is dropped and the next attempt is full.
+    """
 
     def __init__(self, name: str, domain_type: DomainType,
                  server: NetconfServer):
@@ -160,13 +228,80 @@ class _NetconfAdapter(DomainAdapter):
         server.bind(self.channel)
         self.client = NetconfClient(f"{name}-client", self.channel)
         self.client.hello()
+        self._acked_tree: Optional[DataNode] = None
+        self._acked_digest: Optional[str] = None
+        #: bumped on every acknowledged push; the generation the acked
+        #: config belongs to (0 = never pushed / state forgotten)
+        self.delta_generation = 0
+        #: payload bytes of the most recent full push (accounting only)
+        self._last_push_bytes = 0
+
+    def reset_delta_state(self) -> None:
+        self._acked_tree = None
+        self._acked_digest = None
+
+    def _ack(self, config: Any, tree: Optional[DataNode]) -> None:
+        self._acked_tree = tree if tree is not None else config_to_tree(config)
+        self._acked_digest = config_digest(config)
+        self.delta_generation += 1
+
+    def _push_full(self, config: Any) -> None:
+        self._last_push_bytes = _payload_bytes(config)
+        try:
+            self.client.edit_config(config, target="candidate",
+                                    operation="replace")
+            self.client.validate("candidate")
+            self.client.commit()
+        except BaseException:
+            self.reset_delta_state()
+            raise
+        self._ack(config, tree=None)
 
     def _push(self, install: NFFG) -> None:
+        """Full-config replace; re-establishes the delta base.  Also the
+        override point for tests/subclasses — the delta path falls back
+        here whenever a patch cannot go out."""
+        self._push_full({"nffg": nffg_to_dict(install)})
+
+    def _do_push(self, install: NFFG,
+                 force_full: bool = False) -> Optional[PushProfile]:
+        use_delta = (not force_full and self._acked_tree is not None
+                     and self.client.has_capability(DELTA_CAPABILITY))
+        if not use_delta:
+            self._last_push_bytes = 0
+            self._push(install)
+            return PushProfile(messages=3, bytes=self._last_push_bytes)
         config = {"nffg": nffg_to_dict(install)}
-        self.client.edit_config(config, target="candidate",
-                                operation="replace")
-        self.client.validate("candidate")
-        self.client.commit()
+        new_tree = config_to_tree(config)
+        entries = diff_trees(self._acked_tree, new_tree)
+        if not entries:
+            # already acknowledged: the domain runs this exact config
+            return PushProfile(delta=True, noop=True,
+                               bytes_saved=_payload_bytes(config))
+        delta_bytes = patch_size_bytes(entries)
+        try:
+            try:
+                self.client.edit_config_delta(
+                    self._acked_digest,
+                    [entry.to_dict() for entry in entries])
+            except NetconfError as exc:
+                if exc.tag != "delta-mismatch":
+                    raise
+                # base drifted (server restart, foreign writer): resync
+                counters.incr("push.delta_fallback")
+                self.reset_delta_state()
+                self._last_push_bytes = 0
+                self._push(install)
+                return PushProfile(messages=4, bytes=self._last_push_bytes)
+            self.client.validate("candidate")
+            self.client.commit()
+        except BaseException:
+            self.reset_delta_state()
+            raise
+        self._ack(config, tree=new_tree)
+        return PushProfile(messages=3, bytes=delta_bytes, delta=True,
+                           bytes_saved=max(0, _payload_bytes(config)
+                                           - delta_bytes))
 
     def control_stats(self) -> tuple[int, int]:
         return self.channel.stats.messages, self.channel.stats.bytes

@@ -16,10 +16,20 @@ exact inverse.  ``generation`` counts DoV content versions;
 registration, :meth:`mark_stale` after link failures) and drives
 path-cache invalidation upstream.  :meth:`rebuild` is the explicit
 escape hatch back to a from-scratch merge.
+
+Adapter fan-out is **concurrent**: ``push_all``/``reconcile``/
+``pristine_view`` hand their per-adapter operations to a
+:class:`~repro.orchestration.dispatch.DomainDispatcher`, which runs
+distinct domains in parallel while keeping per-domain operations
+strictly serial (one in-flight op per adapter).  Shared bookkeeping
+(the reconciliation queue, perf counters, fault plans) is locked;
+breakers and adapter delta state are only ever touched by their own
+domain's single in-flight operation.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -33,6 +43,7 @@ from repro.nffg.graph import NFFG
 from repro.nffg.model import DomainType, NodeNF
 from repro.orchestration.adapters import DomainAdapter
 from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
+from repro.orchestration.dispatch import DEFAULT_MAX_WORKERS, DomainDispatcher
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters
 from repro.resilience.breaker import BreakerState, CircuitBreaker
@@ -64,8 +75,13 @@ class ControllerAdaptationLayer:
 
     def __init__(self, *, breaker_failure_threshold: int = 3,
                  breaker_recovery_s: float = 30.0,
-                 breaker_clock: Callable[[], float] = time.monotonic) -> None:
+                 breaker_clock: Callable[[], float] = time.monotonic,
+                 push_workers: int = DEFAULT_MAX_WORKERS) -> None:
         self.adapters: dict[str, DomainAdapter] = {}
+        #: concurrent per-domain fan-out; ``push_workers <= 1`` degrades
+        #: to strictly serial pushes on the caller's thread
+        self.dispatcher = DomainDispatcher(push_workers,
+                                           serial=push_workers <= 1)
         self._dov: Optional[NFFG] = None
         #: deployed services: service id -> (service graph, mapping result)
         self._deployed: dict[str, tuple[NFFG, MappingResult]] = {}
@@ -81,8 +97,13 @@ class ControllerAdaptationLayer:
         self.breaker_recovery_s = breaker_recovery_s
         self.breaker_clock = breaker_clock
         #: domains whose cumulative config is stale (push skipped or
-        #: failed) and must be replayed once they accept pushes again
+        #: failed) and must be replayed once they accept pushes again;
+        #: mutated by concurrent ``_push_one`` calls, hence the lock
         self._pending_reconcile: set[str] = set()
+        self._pending_lock = threading.Lock()
+        #: per-adapter own-infra-id cache for ``_slice_for``, valid for
+        #: one substrate topology generation
+        self._own_infra_cache: dict[str, tuple[int, frozenset[str]]] = {}
         #: domains whose view could not enter the latest pristine merge
         #: (breaker open, or fetch failed after retries)
         self.last_view_failures: set[str] = set()
@@ -122,30 +143,39 @@ class ControllerAdaptationLayer:
         :attr:`last_view_failures` so ``heal()`` can evacuate their
         services.
         """
-        views: list[NFFG] = []
-        owners: dict[str, str] = {}
-        self.last_view_failures = set()
-        for adapter in self.adapters.values():
+        def fetch(adapter: DomainAdapter) -> Optional[NFFG]:
             breaker = self.breakers.get(adapter.name)
             if breaker is not None and breaker.state is BreakerState.OPEN:
-                self.last_view_failures.add(adapter.name)
                 counters.incr("resilience.view.quarantined")
-                continue
+                return None
             try:
                 view = adapter.fetch_view()
             except Exception:  # noqa: BLE001 - degrade, don't abort
-                self.last_view_failures.add(adapter.name)
                 counters.incr("resilience.view.unreachable")
                 if breaker is not None:
                     breaker.record_failure()
-                continue
+                return None
             if breaker is not None and \
                     breaker.state is BreakerState.HALF_OPEN:
                 # the fetch was the probe: the domain answered
                 breaker.record_success()
+            return view
+
+        adapters = list(self.adapters.values())
+        fetched = self.dispatcher.run(
+            (adapter.name, lambda adapter=adapter: fetch(adapter))
+            for adapter in adapters)
+        views: list[NFFG] = []
+        owners: dict[str, str] = {}
+        failures: set[str] = set()
+        for adapter, view in zip(adapters, fetched):
+            if view is None:
+                failures.add(adapter.name)
+                continue
             for infra in view.infras:
                 owners[infra.id] = adapter.name
             views.append(view)
+        self.last_view_failures = failures
         self._infra_owner = owners
         if not views:
             return NFFG(id="dov-empty")
@@ -200,8 +230,12 @@ class ControllerAdaptationLayer:
             or any(delta is None for delta in self._deltas.values()))
 
     def resource_view(self) -> NFFG:
-        """What the RO should map against: remaining resources."""
-        return remaining_nffg(self.dov, new_id="dov-remaining")
+        """What the RO should map against: the substrate with remaining
+        resources.  Deployed NFs are netted out of the capacities but
+        not advertised themselves — the northbound view stays
+        substrate-sized no matter how much is deployed."""
+        return remaining_nffg(self.dov, new_id="dov-remaining",
+                              include_deployed=False)
 
     # -- deployment ---------------------------------------------------------------------
 
@@ -269,27 +303,39 @@ class ControllerAdaptationLayer:
         carries ``skipped=True`` and its configuration joins the
         reconciliation queue, replayed by :meth:`reconcile` (or by the
         next :meth:`push_all` once the breaker half-opens).
+
+        Pushes toward distinct domains run concurrently through the
+        dispatcher; the report list keeps registration order.
         """
         if self._needs_refresh():
             self.rebuild()
         per_domain = split_per_domain(self.dov)
-        reports: list[AdapterReport] = []
-        for adapter in self.adapters.values():
-            reports.append(self._push_one(adapter, per_domain))
-        return reports
+        return self.dispatcher.run(
+            (adapter.name,
+             lambda adapter=adapter: self._push_one(adapter, per_domain))
+            for adapter in self.adapters.values())
 
     def _push_one(self, adapter: DomainAdapter,
-                  per_domain: dict[DomainType, NFFG]) -> AdapterReport:
+                  per_domain: dict[DomainType, NFFG], *,
+                  force_full: bool = False) -> AdapterReport:
         breaker = self.breakers.get(adapter.name)
         if breaker is not None and not breaker.allow():
             counters.incr("resilience.breaker.skip")
-            self._pending_reconcile.add(adapter.name)
+            with self._pending_lock:
+                self._pending_reconcile.add(adapter.name)
             return AdapterReport(
                 domain=adapter.name, success=False, skipped=True,
                 error=(f"circuit open after "
                        f"{breaker.consecutive_failures} consecutive "
                        "failures; push queued for reconciliation"))
-        was_pending = adapter.name in self._pending_reconcile
+        with self._pending_lock:
+            was_pending = adapter.name in self._pending_reconcile
+        # delta pushes need an agreed base: after a skipped/failed push
+        # or on a breaker's half-open probe the domain's state is not
+        # trusted, so the cumulative config goes out in full
+        force_full = (force_full or was_pending
+                      or (breaker is not None
+                          and breaker.state is BreakerState.HALF_OPEN))
         install = per_domain.get(adapter.domain_type)
         try:
             install = self._slice_for(adapter, install)
@@ -298,15 +344,20 @@ class ControllerAdaptationLayer:
                 domain=adapter.name, success=False,
                 error=f"{type(exc).__name__}: {exc}")
         else:
-            report = adapter.install(install)
+            report = adapter.install(install, force_full=force_full)
         if breaker is not None:
             breaker.record(report.success)
-        if report.success:
-            self._pending_reconcile.discard(adapter.name)
-            if was_pending:
-                counters.incr("resilience.breaker.reconcile")
-        else:
-            self._pending_reconcile.add(adapter.name)
+        with self._pending_lock:
+            if report.success:
+                self._pending_reconcile.discard(adapter.name)
+                if was_pending:
+                    counters.incr("resilience.breaker.reconcile")
+            else:
+                self._pending_reconcile.add(adapter.name)
+        if not report.success:
+            # server state unknown: never diff against it again until a
+            # full push re-establishes the base
+            adapter.reset_delta_state()
         return report
 
     def reconcile(self, *, force_probe: bool = False) -> list[AdapterReport]:
@@ -331,24 +382,31 @@ class ControllerAdaptationLayer:
                 breaker.force_half_open()
         if self._needs_refresh():
             self.rebuild()
-        if not self._pending_reconcile:
+        # snapshot the queue before iterating: _push_one (possibly on a
+        # dispatcher worker) mutates the live set as pushes settle
+        pending = sorted(self.pending_reconciliation())
+        if not pending:
             return []
         per_domain = split_per_domain(self.dov)
-        reports: list[AdapterReport] = []
-        for name in sorted(self._pending_reconcile):
+        ops = []
+        for name in pending:
             adapter = self.adapters.get(name)
             if adapter is None:
-                self._pending_reconcile.discard(name)
+                with self._pending_lock:
+                    self._pending_reconcile.discard(name)
                 continue
             breaker = self.breakers.get(name)
             if breaker is not None and not breaker.allow():
                 continue
-            reports.append(self._push_one(adapter, per_domain))
-        return reports
+            # replays re-establish the delta base with a full push
+            ops.append((name, lambda adapter=adapter: self._push_one(
+                adapter, per_domain, force_full=True)))
+        return self.dispatcher.run(ops)
 
     def pending_reconciliation(self) -> set[str]:
         """Domains holding stale configuration (push skipped/failed)."""
-        return set(self._pending_reconcile)
+        with self._pending_lock:
+            return set(self._pending_reconcile)
 
     def quarantined_domains(self) -> set[str]:
         """Domains currently unusable: breaker open, or excluded from
@@ -366,13 +424,24 @@ class ControllerAdaptationLayer:
         return {self._infra_owner[infra_id] for infra_id in infras
                 if infra_id in self._infra_owner}
 
+    def _own_infra_ids(self, adapter: DomainAdapter) -> frozenset[str]:
+        """The adapter's own infra ids, cached per substrate topology
+        generation — ``_slice_for`` runs on every push and must not pay
+        for a full ``get_view()`` copy each time."""
+        cached = self._own_infra_cache.get(adapter.name)
+        if cached is not None and cached[0] == self.topology_generation:
+            return cached[1]
+        ids = frozenset(infra.id for infra in adapter.get_view().infras)
+        self._own_infra_cache[adapter.name] = (self.topology_generation, ids)
+        return ids
+
     def _slice_for(self, adapter: DomainAdapter,
                    install: Optional[NFFG]) -> NFFG:
         """Restrict a domain-type slice to the adapter's own nodes
         (two adapters may share a DomainType)."""
         if install is None:
             return NFFG(id=f"{adapter.name}-empty")
-        own_nodes = {infra.id for infra in adapter.get_view().infras}
+        own_nodes = self._own_infra_ids(adapter)
         foreign = [infra.id for infra in install.infras
                    if infra.id not in own_nodes]
         if not foreign:

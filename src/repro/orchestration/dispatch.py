@@ -1,0 +1,130 @@
+"""Concurrent domain fan-out for the controller adaptation layer.
+
+The CAL talks to independent technology domains; nothing orders a push
+toward ``emu`` against a push toward ``cloud``, so the dispatcher runs
+per-domain operations on a small, persistent thread pool and the
+wall-clock cost of a multi-domain ``push_all``/``reconcile``/
+``pristine_view`` becomes max-over-domains instead of sum-over-domains.
+
+Ordering guarantees:
+
+- **per-domain FIFO**: operations naming the same domain never overlap
+  and run in submission order (a per-domain mutex plus per-batch
+  grouping enforces one in-flight op per adapter);
+- **deterministic results**: :meth:`DomainDispatcher.run` returns
+  results in submission order regardless of completion order, so report
+  lists and CLI output are stable;
+- **inline fast path**: batches of one operation (the common
+  single-domain deploy) and ``serial=True`` dispatchers run on the
+  caller's thread — no pool, no handoff latency.
+
+Thunks are expected to do their own error handling and return a value
+(adapter ``install`` already catches and reports).  If one does raise,
+the dispatcher still waits for the whole batch, then re-raises the
+first failure in submission order.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.perf import counters
+
+#: default pool width; domains beyond this queue behind free workers
+DEFAULT_MAX_WORKERS = 8
+
+DomainOp = tuple[str, Callable[[], Any]]
+
+
+class DomainDispatcher:
+    """Bounded thread-pool dispatcher with per-domain serial FIFO order."""
+
+    def __init__(self, max_workers: int = DEFAULT_MAX_WORKERS, *,
+                 serial: bool = False):
+        self.max_workers = max(1, int(max_workers))
+        #: serial dispatchers run every batch inline on the caller's
+        #: thread, in submission order — used for A/B benchmarks and as
+        #: an escape hatch for adapters that are not thread-safe
+        self.serial = serial
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._domain_locks: dict[str, threading.Lock] = {}
+        self._guard = threading.Lock()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _lock_for(self, domain: str) -> threading.Lock:
+        with self._guard:
+            lock = self._domain_locks.get(domain)
+            if lock is None:
+                lock = self._domain_locks[domain] = threading.Lock()
+            return lock
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._guard:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="domain-push")
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Tear the worker pool down (it is rebuilt on next use)."""
+        with self._guard:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, ops: Iterable[DomainOp]) -> list[Any]:
+        """Run ``(domain, thunk)`` pairs; results in submission order."""
+        ops = list(ops)
+        if not ops:
+            return []
+        if self.serial or len(ops) == 1:
+            counters.incr("dispatch.inline")
+            return [self._run_op(domain, thunk) for domain, thunk in ops]
+        counters.incr("dispatch.parallel")
+        executor = self._ensure_executor()
+        # group by domain, keeping submission order inside each group:
+        # one future per domain runs its ops back to back (FIFO), while
+        # distinct domains fan out across the pool
+        groups: dict[str, list[tuple[int, Callable[[], Any]]]] = {}
+        for index, (domain, thunk) in enumerate(ops):
+            groups.setdefault(domain, []).append((index, thunk))
+        futures: list[tuple[str, Future]] = [
+            (domain, executor.submit(self._run_group, domain, group))
+            for domain, group in groups.items()]
+        results: list[Any] = [None] * len(ops)
+        errors: list[tuple[int, BaseException]] = []
+        for domain, future in futures:
+            for index, outcome, error in future.result():
+                if error is not None:
+                    errors.append((index, error))
+                else:
+                    results[index] = outcome
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            raise errors[0][1]
+        return results
+
+    def _run_op(self, domain: str, thunk: Callable[[], Any]) -> Any:
+        with self._lock_for(domain):
+            return thunk()
+
+    def _run_group(self, domain: str,
+                   group: Sequence[tuple[int, Callable[[], Any]]],
+                   ) -> list[tuple[int, Any, Optional[BaseException]]]:
+        outcomes: list[tuple[int, Any, Optional[BaseException]]] = []
+        for index, thunk in group:
+            try:
+                outcomes.append((index, self._run_op(domain, thunk), None))
+            except BaseException as exc:  # noqa: BLE001 - reraised by run()
+                outcomes.append((index, None, exc))
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        mode = "serial" if self.serial else f"workers={self.max_workers}"
+        return f"<DomainDispatcher {mode}>"

@@ -33,11 +33,15 @@ class EscapeOrchestrator:
                  embedder: Optional[Embedder] = None,
                  decomposition_library: Optional[DecompositionLibrary] = None,
                  simulator: Optional[Simulator] = None,
-                 lint_gate: Optional[Severity] = Severity.ERROR):
+                 lint_gate: Optional[Severity] = Severity.ERROR,
+                 push_workers: Optional[int] = None):
         self.name = name
         self.ro = ResourceOrchestrator(
             embedder=embedder, decomposition_library=decomposition_library)
-        self.cal = ControllerAdaptationLayer()
+        # push_workers bounds the CAL's concurrent domain fan-out;
+        # 1 (or 0) forces strictly serial pushes on the caller's thread
+        self.cal = ControllerAdaptationLayer() if push_workers is None \
+            else ControllerAdaptationLayer(push_workers=push_workers)
         #: substrate path memo shared across all mapping requests;
         #: invalidated whenever the CAL's topology generation moves
         self.path_cache = PathCache()

@@ -30,6 +30,14 @@ class AdapterReport:
     #: True when the push was never attempted because the domain's
     #: circuit breaker is open (the config is queued for reconciliation)
     skipped: bool = False
+    #: config payload accounting for *this* push (messages sent and
+    #: payload bytes on the wire), independent of the channel-level
+    #: ``control_*`` deltas which also count hellos/notifications
+    messages: int = 0
+    bytes: int = 0
+    #: True when the install went out as an edit-config delta patch
+    #: rather than a full-config replace
+    delta: bool = False
 
 
 @dataclass

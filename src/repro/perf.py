@@ -20,6 +20,18 @@ Counter names are dotted strings, grouped by subsystem::
     pathcache.miss           routes that needed a fresh Dijkstra
     pathcache.invalidate     whole-cache invalidations (topology change)
 
+Push-pipeline counters (concurrent delta-based domain programming)::
+
+    push.delta               installs shipped as an edit-config patch
+    push.full                installs shipped as a full-config replace
+    push.delta_noop          installs skipped entirely (empty diff)
+    push.bytes_saved         full-config bytes minus delta bytes, summed
+    push.delta_fallback      delta attempts the server rejected
+                             (stale base digest -> full resync)
+    dispatch.parallel        dispatcher fan-outs that used worker threads
+    dispatch.inline          dispatcher batches run on the caller thread
+                             (single op, or serial mode)
+
 Resilience counters (all zero on a fault-free run)::
 
     resilience.faults.injected    faults fired by a FaultPlan (+ per-kind
@@ -45,33 +57,45 @@ tables) and :func:`reset` between measurement windows.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 
 class Counters:
-    """A named-counter registry with per-name totals."""
+    """A named-counter registry with per-name totals.
+
+    Thread-safe: the concurrent push dispatcher increments counters from
+    worker threads, so every mutation takes a small lock.  Reads through
+    :meth:`snapshot` copy under the same lock.
+    """
 
     def __init__(self) -> None:
         self._counts: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def incr(self, name: str, amount: float = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
 
     def get(self, name: str) -> float:
-        return self._counts.get(name, 0)
+        with self._lock:
+            return self._counts.get(name, 0)
 
     def snapshot(self, prefix: str = "") -> dict[str, float]:
         """Copy of the current counters, optionally filtered by prefix."""
-        return {name: value for name, value in sorted(self._counts.items())
-                if name.startswith(prefix)}
+        with self._lock:
+            return {name: value
+                    for name, value in sorted(self._counts.items())
+                    if name.startswith(prefix)}
 
     def reset(self, prefix: str = "") -> None:
         """Zero all counters (or only those under ``prefix``)."""
-        if not prefix:
-            self._counts.clear()
-            return
-        for name in [n for n in self._counts if n.startswith(prefix)]:
-            del self._counts[name]
+        with self._lock:
+            if not prefix:
+                self._counts.clear()
+                return
+            for name in [n for n in self._counts if n.startswith(prefix)]:
+                del self._counts[name]
 
     def __repr__(self) -> str:
         return f"<Counters {len(self._counts)} names>"

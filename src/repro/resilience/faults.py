@@ -18,6 +18,7 @@ faults can also surface mid-RPC inside a NETCONF push.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -117,6 +118,9 @@ class FaultPlan:
         #: real-sleep hook for DELAY faults; default accounts only
         self.sleep: Optional[Callable[[float], None]] = None
         self._down: set[str] = set()
+        # the concurrent push dispatcher consults the plan from several
+        # worker threads; spec.seen/injected bookkeeping must not race
+        self._lock = threading.Lock()
 
     # -- schedule construction ---------------------------------------------
 
@@ -178,31 +182,34 @@ class FaultPlan:
         Raises the scheduled fault, or returns the delay (seconds) to
         charge against the call — 0.0 when nothing is scheduled.
         """
-        if domain in self._down:
-            self._record(domain, op, FaultKind.CRASH)
-            raise DomainDown(f"{domain}: domain is down")
-        delay = 0.0
-        for spec in self.specs:
-            if not spec.matches(domain, op):
-                continue
-            spec.seen += 1
-            if spec.exhausted() or spec.seen <= spec.after:
-                continue
-            spec.injected += 1
-            self._record(domain, op, spec.kind)
-            if spec.kind is FaultKind.DELAY:
-                delay += spec.delay_s
-                continue
-            if spec.kind is FaultKind.CRASH:
-                self._down.add(domain)
-            exc_type = _KIND_EXC[spec.kind]
-            raise exc_type(spec.message
-                           or f"injected {spec.kind.value} on "
-                              f"{domain}/{op}")
-        if delay > 0.0:
-            self.virtual_delay_s += delay
-            if self.sleep is not None:
-                self.sleep(delay)
+        with self._lock:
+            if domain in self._down:
+                self._record(domain, op, FaultKind.CRASH)
+                raise DomainDown(f"{domain}: domain is down")
+            delay = 0.0
+            for spec in self.specs:
+                if not spec.matches(domain, op):
+                    continue
+                spec.seen += 1
+                if spec.exhausted() or spec.seen <= spec.after:
+                    continue
+                spec.injected += 1
+                self._record(domain, op, spec.kind)
+                if spec.kind is FaultKind.DELAY:
+                    delay += spec.delay_s
+                    continue
+                if spec.kind is FaultKind.CRASH:
+                    self._down.add(domain)
+                exc_type = _KIND_EXC[spec.kind]
+                raise exc_type(spec.message
+                               or f"injected {spec.kind.value} on "
+                                  f"{domain}/{op}")
+            if delay > 0.0:
+                self.virtual_delay_s += delay
+        # sleep outside the lock: concurrent delayed pushes must overlap
+        # (max-over-domains, not sum) when the dispatcher fans out
+        if delay > 0.0 and self.sleep is not None:
+            self.sleep(delay)
         return delay
 
     def _record(self, domain: str, op: str, kind: FaultKind) -> None:
@@ -243,8 +250,19 @@ class FaultyAdapter(DomainAdapter):
         self.plan.before(self.name, "push")
         self.inner._push(install)
 
-    def install(self, install: NFFG) -> AdapterReport:
-        report = super().install(install)
+    def _do_push(self, install: NFFG, force_full: bool = False):
+        # consult the plan first: a fault fires before any RPC reaches
+        # the inner adapter, so its acknowledged-config state stays in
+        # step with the (untouched) server
+        self.plan.before(self.name, "push")
+        return self.inner._do_push(install, force_full)
+
+    def reset_delta_state(self) -> None:
+        self.inner.reset_delta_state()
+
+    def install(self, install: NFFG, *,
+                force_full: bool = False) -> AdapterReport:
+        report = super().install(install, force_full=force_full)
         self.inner.installs = self.installs
         return report
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -174,6 +175,10 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
+        # domains share one simulator; the concurrent push dispatcher may
+        # schedule from several worker threads at once (execution itself
+        # stays single-threaded on the caller's thread)
+        self._schedule_lock = threading.Lock()
 
     # -- scheduling ------------------------------------------------------
 
@@ -181,8 +186,10 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + float(delay), callback, args)
-        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        with self._schedule_lock:
+            event = Event(self.now + float(delay), callback, args)
+            heapq.heappush(self._queue,
+                           _QueueEntry(event.time, next(self._seq), event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:

@@ -21,6 +21,13 @@ from repro.yang.schema import (
 )
 from repro.yang.data import DataNode, ValidationError, data_from_dict
 from repro.yang.diff import DiffEntry, DiffOp, apply_patch, diff_trees
+from repro.yang.config import (
+    canonical_config,
+    config_digest,
+    config_to_tree,
+    install_config_schema,
+    tree_to_config,
+)
 
 __all__ = [
     "Container",
@@ -35,4 +42,9 @@ __all__ = [
     "DiffOp",
     "apply_patch",
     "diff_trees",
+    "canonical_config",
+    "config_digest",
+    "config_to_tree",
+    "install_config_schema",
+    "tree_to_config",
 ]

@@ -1,0 +1,276 @@
+"""Install-config codec: NETCONF config payloads as YANG data trees.
+
+Domain adapters push ``{"nffg": nffg_to_dict(...)}`` payloads.  To diff
+two such payloads with :func:`repro.yang.diff.diff_trees` we mirror the
+payload onto a tiny YANG-like schema:
+
+- ``id`` / ``name`` / ``version`` become string leaves,
+- ``metadata`` becomes one leaf holding canonical JSON,
+- the ``nodes`` / ``edges`` arrays become *keyed lists*: an edge
+  instance holds the member dict as one canonical-JSON ``body`` leaf; a
+  node instance splits into an ``attrs`` leaf (the port-free remainder
+  of the node dict), a nested ``port`` list keyed by port id, and each
+  port into its own ``attrs`` leaf plus a ``flowrule`` list keyed by
+  hop id.
+
+Keying the lists is what makes deltas small: an unchanged node or edge
+compares equal through its canonical JSON leaves and contributes
+nothing to the edit script, while additions/removals become CREATE and
+DELETE entries addressed by key.  Splitting ports (and their flow
+rules) out of the node body is what makes deltas proportional to the
+*change* rather than to the accumulated state: installing one flow rule
+on a transit switch ships one flowrule entry, not the switch's whole
+flowtable grown by every service deployed so far.  The nffg <->
+virtualizer translation is deliberately *not* used here — it is lossy,
+and the delta path must reconstruct the exact ``{"nffg": ...}`` dict
+the domain orchestrators parse.
+
+Because list instances are keyed, reconstructing a config from a tree
+yields nodes/edges/ports in canonical (key-sorted) order rather than
+graph insertion order.  Equality across push modes is therefore defined
+over :func:`canonical_config` / :func:`config_digest`, which sort
+members the same way on both sides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.yang.data import DataNode, ValidationError
+from repro.yang.schema import Container, Leaf, YangList
+
+__all__ = [
+    "install_config_schema",
+    "config_to_tree",
+    "tree_to_config",
+    "canonical_config",
+    "config_digest",
+]
+
+
+def _canonical_json(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _build_schema() -> Container:
+    return Container("install-config", [
+        Leaf("id"),
+        Leaf("name"),
+        Leaf("version"),
+        Leaf("metadata"),
+        YangList("node", key="key", children=[
+            Leaf("key", mandatory=True),
+            Leaf("attrs"),
+            YangList("port", key="key", children=[
+                Leaf("key", mandatory=True),
+                Leaf("attrs"),
+                YangList("flowrule", key="key", children=[
+                    Leaf("key", mandatory=True),
+                    Leaf("body"),
+                ]),
+            ]),
+        ]),
+        YangList("edge", key="key", children=[
+            Leaf("key", mandatory=True),
+            Leaf("body"),
+        ]),
+    ])
+
+
+_SCHEMA = _build_schema()
+
+
+def install_config_schema() -> Container:
+    """The shared schema all install-config trees bind to (one instance,
+    so :func:`diff_trees` accepts any pair of trees built here)."""
+    return _SCHEMA
+
+
+def _node_key(node: dict[str, Any]) -> str:
+    try:
+        return str(node["id"])
+    except KeyError:
+        raise ValidationError(f"config node without id: {node!r}") from None
+
+
+def _edge_key(edge: dict[str, Any]) -> str:
+    # edge ids are only unique per edge type; the type joins the key
+    try:
+        return f"{edge.get('type', 'STATIC')}|{edge['id']}"
+    except KeyError:
+        raise ValidationError(f"config edge without id: {edge!r}") from None
+
+
+def _port_key(port: dict[str, Any]) -> str:
+    try:
+        return str(port["id"])
+    except (TypeError, KeyError):
+        raise ValidationError(f"config port without id: {port!r}") from None
+
+
+def _flowrule_key(flowrule: dict[str, Any]) -> str:
+    try:
+        return str(flowrule["hop_id"])
+    except (TypeError, KeyError):
+        raise ValidationError(
+            f"config flowrule without hop_id: {flowrule!r}") from None
+
+
+def _splittable(member: dict[str, Any], field: str, keyer) -> bool:
+    """Whether ``member[field]`` can become keyed list instances.  An
+    absent/empty/malformed/key-colliding value stays inside ``attrs``
+    verbatim so reconstruction is loss-free."""
+    items = member.get(field)
+    if not (isinstance(items, list) and items
+            and all(isinstance(item, dict) for item in items)):
+        return False
+    try:
+        keys = {keyer(item) for item in items}
+    except ValidationError:
+        return False
+    return len(keys) == len(items)
+
+
+def _splittable_ports(member: dict[str, Any]) -> bool:
+    return _splittable(member, "ports", _port_key)
+
+
+def _splittable_flowrules(port: dict[str, Any]) -> bool:
+    return _splittable(port, "flowrules", _flowrule_key)
+
+
+def config_to_tree(config: dict[str, Any]) -> DataNode:
+    """Project an adapter config (``{"nffg": nffg_to_dict(...)}``) onto
+    the install-config schema."""
+    try:
+        nffg = config["nffg"]
+    except (TypeError, KeyError):
+        raise ValidationError(
+            f"install config must be {{'nffg': ...}}-shaped, got {config!r}"
+        ) from None
+    tree = DataNode(_SCHEMA)
+    tree.set_leaf("id", str(nffg.get("id", "")))
+    tree.set_leaf("name", str(nffg.get("name", "")))
+    tree.set_leaf("version", str(nffg.get("version", "")))
+    tree.set_leaf("metadata", _canonical_json(nffg.get("metadata", {})))
+    node_holder = tree.list_node("node")
+    for member in nffg.get("nodes", []):
+        instance = node_holder.add_instance(_node_key(member))
+        if _splittable_ports(member):
+            attrs = {name: value for name, value in member.items()
+                     if name != "ports"}
+            port_holder = instance.list_node("port")
+            for port in member["ports"]:
+                port_instance = port_holder.add_instance(_port_key(port))
+                if _splittable_flowrules(port):
+                    port_attrs = {name: value for name, value in port.items()
+                                  if name != "flowrules"}
+                    rule_holder = port_instance.list_node("flowrule")
+                    for flowrule in port["flowrules"]:
+                        rule_holder.add_instance(_flowrule_key(flowrule)) \
+                            .set_leaf("body", _canonical_json(flowrule))
+                else:
+                    port_attrs = port
+                port_instance.set_leaf("attrs", _canonical_json(port_attrs))
+        else:
+            attrs = member
+        instance.set_leaf("attrs", _canonical_json(attrs))
+    edge_holder = tree.list_node("edge")
+    for member in nffg.get("edges", []):
+        edge_holder.add_instance(_edge_key(member)) \
+            .set_leaf("body", _canonical_json(member))
+    return tree
+
+
+def tree_to_config(tree: DataNode) -> dict[str, Any]:
+    """Rebuild the ``{"nffg": ...}`` config dict from an install-config
+    tree.  Nodes, edges and ports come back in canonical (key-sorted)
+    order."""
+
+    def port_member(instance: DataNode) -> dict[str, Any]:
+        port = json.loads(instance.get("attrs", "null"))
+        if instance.has_child("flowrule"):
+            holder = instance.child("flowrule")
+            flowrules = [json.loads(holder.instance(key).get("body", "null"))
+                         for key in sorted(holder.instance_keys())]
+            if flowrules:
+                port["flowrules"] = flowrules
+        return port
+
+    def node_member(instance: DataNode) -> dict[str, Any]:
+        member = json.loads(instance.get("attrs", "null"))
+        if instance.has_child("port"):
+            holder = instance.child("port")
+            ports = [port_member(holder.instance(key))
+                     for key in sorted(holder.instance_keys())]
+            if ports:
+                member["ports"] = ports
+        return member
+
+    def members(list_name: str) -> list[dict[str, Any]]:
+        if not tree.has_child(list_name):
+            return []
+        holder = tree.child(list_name)
+        if list_name == "node":
+            return [node_member(holder.instance(key))
+                    for key in sorted(holder.instance_keys())]
+        return [json.loads(holder.instance(key).get("body", "null"))
+                for key in sorted(holder.instance_keys())]
+
+    return {"nffg": {
+        "id": tree.get("id", ""),
+        "name": tree.get("name", ""),
+        "version": tree.get("version", ""),
+        "metadata": json.loads(tree.get("metadata", "{}")),
+        "nodes": members("node"),
+        "edges": members("edge"),
+    }}
+
+
+def canonical_config(config: dict[str, Any]) -> dict[str, Any]:
+    """The config with nodes/edges sorted by their list keys, each
+    node's ports by port id and each port's flow rules by hop id — the
+    mode-independent form both digest and equality checks use."""
+
+    def canonical_port(port: dict[str, Any]) -> dict[str, Any]:
+        if not _splittable_flowrules(port):
+            return port
+        canonical = dict(port)
+        canonical["flowrules"] = sorted(port["flowrules"], key=_flowrule_key)
+        return canonical
+
+    def canonical_node(member: dict[str, Any]) -> dict[str, Any]:
+        if not _splittable_ports(member):
+            return member
+        canonical = dict(member)
+        canonical["ports"] = sorted(
+            (canonical_port(port) for port in member["ports"]),
+            key=_port_key)
+        return canonical
+
+    nffg = config.get("nffg") if isinstance(config, dict) else None
+    if not isinstance(nffg, dict):
+        return config
+    canonical = dict(nffg)
+    canonical["nodes"] = sorted(
+        (canonical_node(member) for member in nffg.get("nodes", [])),
+        key=_node_key)
+    canonical["edges"] = sorted(nffg.get("edges", []), key=_edge_key)
+    result = dict(config)
+    result["nffg"] = canonical
+    return result
+
+
+def config_digest(config: dict[str, Any]) -> str:
+    """Short hex digest over the canonical JSON form of ``config``.
+
+    Both ends derive it locally: the client stamps its last acknowledged
+    config, the server its running config.  A delta push carries the
+    client's digest as the expected base; any drift (restart, missed
+    commit, concurrent writer) surfaces as a mismatch and forces a full
+    resync instead of silently corrupting domain state.
+    """
+    payload = _canonical_json(canonical_config(config))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -1,0 +1,172 @@
+"""Property-based equivalence of delta and full-config pushes.
+
+The delta path is an optimization, never a semantic change: after any
+random deploy / update / teardown sequence — including a mid-sequence
+breaker trip that forces a full-config resync — every domain's
+installed (running) configuration must be byte-identical to what an
+all-full-push run of the same sequence installs.
+"""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import perf
+from repro.netconf.server import NetconfServer
+from repro.nffg.builder import mesh_substrate
+from repro.nffg.model import DomainType
+from repro.orchestration.adapters import _NetconfAdapter
+from repro.orchestration.cal import ControllerAdaptationLayer
+from repro.orchestration.ro import ResourceOrchestrator
+from repro.resilience.breaker import BreakerState
+from repro.resilience.retry import RetryPolicy
+from repro.service import ServiceRequestBuilder
+from repro.yang.config import canonical_config
+
+
+class _StubNetconfAdapter(_NetconfAdapter):
+    """NETCONF adapter over a plain in-memory server.
+
+    ``force_full`` turns the delta machinery off (the all-full control
+    run); ``fail_next`` makes the next N pushes raise before anything
+    reaches the server (breaker fodder)."""
+
+    retry_policy = RetryPolicy(max_attempts=1)
+
+    def __init__(self, name, view, *, force_full=False):
+        self._view = view
+        self.force_full = force_full
+        self.fail_next = 0
+        self.server = NetconfServer(f"{name}-server")
+        super().__init__(name, DomainType.INTERNAL, self.server)
+
+    def get_view(self):
+        return self._view.copy()
+
+    def _do_push(self, install, force_full=False):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise RuntimeError("injected push failure")
+        return super()._do_push(install, force_full or self.force_full)
+
+
+def _chain_request(index: int, length: int):
+    builder = (ServiceRequestBuilder(f"q{index}")
+               .sap("sap1").sap("sap2"))
+    names = [f"q{index}n{j}" for j in range(length)]
+    for name in names:
+        builder.nf(name, "firewall", cpu=0.5, mem=32.0)
+    builder.chain("sap1", *names, "sap2", bandwidth=1.0)
+    return builder.build().sg
+
+
+class _Universe:
+    """One orchestration stack: CAL + stub NETCONF domain + RO."""
+
+    def __init__(self, *, force_full: bool):
+        mesh = mesh_substrate(12, degree=3, seed=5,
+                              supported_types=["firewall"])
+        self.cal = ControllerAdaptationLayer()
+        self.adapter = self.cal.register(
+            _StubNetconfAdapter("dom", mesh, force_full=force_full))
+        self.ro = ResourceOrchestrator()
+
+    def apply(self, kind: str, index: int) -> None:
+        service_id = f"q{index}"
+        deployed = service_id in self.cal.deployed_services()
+        if kind == "teardown":
+            self.cal.remove_service(service_id)
+            return
+        if kind == "update" and deployed:
+            snapshot = self.cal.snapshot_service(service_id)
+            self.cal.remove_service(service_id)
+            result = self.ro.orchestrate(_chain_request(index, 2),
+                                         self.cal.resource_view())
+            if result.success:
+                self.cal.commit_mapping(service_id, result.service, result)
+            else:
+                self.cal.restore_service(service_id, snapshot)
+            return
+        if deployed:
+            return
+        result = self.ro.orchestrate(_chain_request(index, 1),
+                                     self.cal.resource_view())
+        if result.success:
+            self.cal.commit_mapping(service_id, result.service, result)
+
+    def push(self) -> None:
+        reports = self.cal.push_all()
+        assert all(report.success for report in reports), reports
+
+    def installed_bytes(self) -> bytes:
+        """The running config in its canonical wire form — the same
+        form both push modes digest, so equality here is the byte-level
+        contract the delta protocol guarantees."""
+        return json.dumps(canonical_config(self.adapter.server.running.config),
+                          sort_keys=True, default=str).encode()
+
+    def trip_breaker_and_recover(self) -> None:
+        """Fail enough pushes to open the breaker, then heal the domain
+        and reconcile: the replay re-establishes the delta base with a
+        forced full-config resync."""
+        threshold = self.cal.breaker_failure_threshold
+        self.adapter.fail_next = threshold
+        for _ in range(threshold):
+            reports = self.cal.push_all()
+            assert not reports[0].success
+        assert self.cal.breakers["dom"].state is BreakerState.OPEN
+        replays = self.cal.reconcile(force_probe=True)
+        assert replays and all(report.success for report in replays)
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["deploy", "update", "teardown"]),
+              st.integers(0, 2)),
+    min_size=1, max_size=6)
+
+
+@given(ops, st.integers(0, 5))
+@settings(max_examples=15, deadline=None)
+def test_delta_sequence_matches_all_full_run(operations, trip_at):
+    delta = _Universe(force_full=False)
+    full = _Universe(force_full=True)
+    trip_step = min(trip_at, len(operations) - 1)
+    for step, (kind, index) in enumerate(operations):
+        delta.apply(kind, index)
+        full.apply(kind, index)
+        if step == trip_step:
+            delta.trip_breaker_and_recover()
+        delta.push()
+        full.push()
+        assert delta.installed_bytes() == full.installed_bytes()
+    # tear everything down: the final (service-free) configs agree too
+    for service_id in list(delta.cal.deployed_services()):
+        delta.cal.remove_service(service_id)
+        full.cal.remove_service(service_id)
+    delta.push()
+    full.push()
+    assert delta.installed_bytes() == full.installed_bytes()
+
+
+def test_deploy_update_teardown_with_trip_uses_deltas():
+    """The deterministic spine of the property: the delta universe
+    actually ships edit-config patches (this is not a vacuous pass
+    where everything went out full), and still matches the full run."""
+    perf.reset("push.")
+    delta = _Universe(force_full=False)
+    full = _Universe(force_full=True)
+    script = [("deploy", 0), ("deploy", 1), ("update", 0),
+              ("teardown", 1), ("deploy", 2)]
+    for step, (kind, index) in enumerate(script):
+        delta.apply(kind, index)
+        full.apply(kind, index)
+        if step == 2:
+            delta.trip_breaker_and_recover()
+        delta.push()
+        full.push()
+        assert delta.installed_bytes() == full.installed_bytes()
+    snapshot = perf.snapshot("push.")
+    assert snapshot.get("push.delta", 0) >= 2
+    # the recovery replay after the trip went out as a full resync
+    assert snapshot.get("push.full", 0) >= 2

@@ -160,15 +160,20 @@ def test_copy_fast_path_equals_deepcopy(nffg):
     fast = nffg.copy()
     slow = copy.deepcopy(nffg)
     assert nffg_to_dict(fast) == nffg_to_dict(slow)
-    # no aliasing into the original
+    # no aliasing of mutable structure into the original (immutable
+    # Flowrule instances are deliberately shared; their *lists* are not)
     for node in fast.nodes:
         original = nffg.node(node.id)
         assert node is not original
         for port_id, port in node.ports.items():
             assert port is not original.ports[port_id]
-            for rule in port.flowrules:
-                assert all(rule is not orig
-                           for orig in original.ports[port_id].flowrules)
+            assert port.flowrules is not original.ports[port_id].flowrules \
+                or not port.flowrules
+            # mutating the copy's rule list must not leak back
+            before = len(original.ports[port_id].flowrules)
+            port.add_flowrule(match="in_port=x", action="output=y")
+            assert len(original.ports[port_id].flowrules) == before
+            port.flowrules.pop()
     assert fast.metadata == nffg.metadata
     assert fast.metadata is not nffg.metadata or not nffg.metadata
 

@@ -59,13 +59,18 @@ class TestAdapterFaultIsolation:
         domain.add_sap("sap1", "bb0")
         adapter = EmuDomainAdapter("emu", domain)
         first = adapter.install(domain.domain_view())
-        second = adapter.install(domain.domain_view())
+        second = adapter.install(domain.domain_view(), force_full=True)
         assert first.control_messages > 0
         assert second.control_messages > 0
         # deltas, not cumulative totals
         total_messages, _ = adapter.control_stats()
         assert total_messages >= first.control_messages \
             + second.control_messages
+        # an unforced re-push of the acknowledged config is a delta
+        # no-op: nothing goes on the wire at all
+        third = adapter.install(domain.domain_view())
+        assert third.success and third.delta
+        assert third.control_messages == 0
 
 
 class TestSdnAdapter:

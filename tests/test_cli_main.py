@@ -56,3 +56,20 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "scale-out" in out
         assert "final level 1" in out
+
+    def test_perf_prints_push_pipeline_counters(self, capsys):
+        assert main(["perf", "--deploys", "2"]) == 0
+        out = capsys.readouterr().out
+        # the adapter lines surface the config-push accounting
+        assert "push delta" in out
+        # steady-state deploys go out as edit-config patches
+        assert "push.delta" in out
+        assert "push.bytes_saved" in out
+        assert "dispatch.parallel" in out
+
+    def test_perf_first_deploy_pushes_full(self, capsys):
+        assert main(["perf", "--deploys", "1"]) == 0
+        out = capsys.readouterr().out
+        # first contact: every NETCONF domain ships the full config
+        assert "push full" in out
+        assert "push.full" in out

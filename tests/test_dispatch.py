@@ -1,0 +1,179 @@
+"""Tests for the concurrent domain dispatcher and the CAL fan-out
+contracts built on it (ordering, per-domain FIFO, reconciliation
+queue snapshotting)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.nffg import NFFG
+from repro.orchestration.adapters import DirectDomainAdapter
+from repro.orchestration.cal import ControllerAdaptationLayer
+from repro.orchestration.dispatch import DomainDispatcher
+from repro.perf import counters
+from repro.resilience.retry import RetryPolicy
+
+
+class TestDispatcherOrdering:
+    def test_results_keep_submission_order(self):
+        dispatcher = DomainDispatcher(4)
+        delays = {"a": 0.05, "b": 0.0, "c": 0.02}
+
+        def op(name):
+            time.sleep(delays[name])
+            return name
+
+        try:
+            results = dispatcher.run(
+                (name, lambda name=name: op(name)) for name in "abc")
+        finally:
+            dispatcher.shutdown()
+        # "b" and "c" finish before "a"; the result list does not care
+        assert results == ["a", "b", "c"]
+
+    def test_distinct_domains_overlap(self):
+        # both ops block on a shared barrier: the batch can only finish
+        # if the two domains genuinely run at the same time
+        barrier = threading.Barrier(2, timeout=5.0)
+        dispatcher = DomainDispatcher(2)
+        try:
+            results = dispatcher.run([("a", barrier.wait),
+                                      ("b", barrier.wait)])
+        finally:
+            dispatcher.shutdown()
+        assert sorted(results) == [0, 1]
+
+    def test_same_domain_ops_fifo_and_never_overlap(self):
+        dispatcher = DomainDispatcher(4)
+        order = []
+        active = 0
+        max_active = 0
+        guard = threading.Lock()
+
+        def op(index):
+            nonlocal active, max_active
+            with guard:
+                active += 1
+                max_active = max(max_active, active)
+                order.append(index)
+            time.sleep(0.005)
+            with guard:
+                active -= 1
+            return index
+
+        try:
+            results = dispatcher.run(
+                [("dom", lambda index=index: op(index))
+                 for index in range(5)])
+        finally:
+            dispatcher.shutdown()
+        assert results == list(range(5))
+        assert order == list(range(5))
+        assert max_active == 1
+
+    def test_first_error_in_submission_order_wins(self):
+        dispatcher = DomainDispatcher(4)
+
+        def fail(message, delay=0.0):
+            time.sleep(delay)
+            raise RuntimeError(message)
+
+        try:
+            with pytest.raises(RuntimeError, match="first"):
+                # "second" raises earlier in wall-clock; "first" wins
+                # because it was submitted earlier
+                dispatcher.run([("a", lambda: fail("first", 0.02)),
+                                ("b", lambda: fail("second"))])
+        finally:
+            dispatcher.shutdown()
+
+    def test_single_op_runs_inline_on_caller_thread(self):
+        counters.reset("dispatch.")
+        dispatcher = DomainDispatcher(4)
+        assert dispatcher.run([("a", threading.get_ident)]) \
+            == [threading.get_ident()]
+        assert counters.get("dispatch.inline") == 1
+        assert counters.get("dispatch.parallel") == 0
+
+    def test_serial_mode_runs_on_caller_thread(self):
+        dispatcher = DomainDispatcher(4, serial=True)
+        caller = threading.get_ident()
+        assert dispatcher.run([("a", threading.get_ident),
+                               ("b", threading.get_ident)]) \
+            == [caller, caller]
+
+    def test_empty_batch(self):
+        assert DomainDispatcher(2).run([]) == []
+
+
+class _FlakyAdapter(DirectDomainAdapter):
+    """Pushes fail while ``broken`` is set; one attempt, no backoff."""
+
+    retry_policy = RetryPolicy(max_attempts=1)
+
+    def __init__(self, name, view):
+        super().__init__(name, view)
+        self.broken = False
+
+    def _push(self, install):
+        if self.broken:
+            raise RuntimeError(f"{self.name} down")
+        super()._push(install)
+
+
+def _domain_view(name):
+    view = NFFG(id=name)
+    view.add_infra(f"{name}-bb0", num_ports=1)
+    return view
+
+
+def _cal_with(names):
+    cal = ControllerAdaptationLayer()
+    adapters = {}
+    for name in names:
+        adapters[name] = cal.register(
+            _FlakyAdapter(name, _domain_view(name)))
+    return cal, adapters
+
+
+class TestReconcileSnapshot:
+    """Regression: ``reconcile`` iterates a *snapshot* of the pending
+    queue; concurrent ``_push_one`` calls drain/refill the live set as
+    replays settle, which must not disturb the iteration."""
+
+    def test_reconcile_replays_every_queued_domain(self):
+        cal, adapters = _cal_with(["a", "b", "c"])
+        for adapter in adapters.values():
+            adapter.broken = True
+        reports = cal.push_all()
+        assert {r.domain for r in reports if not r.success} \
+            == {"a", "b", "c"}
+        assert cal.pending_reconciliation() == {"a", "b", "c"}
+
+        for adapter in adapters.values():
+            adapter.broken = False
+        replays = cal.reconcile()
+        # one replay per queued domain, in snapshot (sorted) order,
+        # even though each success removed itself from the live queue
+        # mid-iteration
+        assert [r.domain for r in replays] == ["a", "b", "c"]
+        assert all(r.success for r in replays)
+        assert cal.pending_reconciliation() == set()
+
+    def test_failed_replay_stays_queued(self):
+        cal, adapters = _cal_with(["a", "b"])
+        adapters["a"].broken = True
+        adapters["b"].broken = True
+        cal.push_all()
+        adapters["b"].broken = False
+        replays = cal.reconcile()
+        assert {r.domain: r.success for r in replays} \
+            == {"a": False, "b": True}
+        assert cal.pending_reconciliation() == {"a"}
+
+    def test_parallel_push_all_reports_keep_registration_order(self):
+        cal, adapters = _cal_with(["z", "m", "a"])
+        reports = cal.push_all()
+        assert [r.domain for r in reports] == ["z", "m", "a"]
+        assert all(r.success for r in reports)

@@ -233,6 +233,34 @@ class TestMultiDomainRules:
         diagnostics = lint_views([linear_substrate(2, id="a")])
         assert not {d.rule_id for d in diagnostics} & {"MD003", "MD004"}
 
+    def test_md005_slice_rule_references_foreign_port(self):
+        # "bb" exists in both slices, but the port the rule outputs to
+        # was only kept in dom-b's slice — the finding names the view
+        # that does carry it
+        a = NFFG(id="dom-a")
+        infra_a = a.add_infra("bb", num_ports=1)
+        infra_a.port("1").add_flowrule("in_port=1", "output=uplink")
+        b = NFFG(id="dom-b")
+        b.add_infra("bb2", num_ports=1).add_port("uplink")
+        found = [d for d in lint_views([a, b]) if d.rule_id == "MD005"]
+        assert found and "absent from this domain view" in found[0].message
+
+    def test_md005_names_the_view_that_has_the_port(self):
+        a = NFFG(id="dom-a")
+        infra_a = a.add_infra("bb", num_ports=1)
+        infra_a.port("1").add_flowrule("in_port=1", "output=uplink")
+        b = NFFG(id="dom-b")
+        b.add_infra("bb", num_ports=1).add_port("uplink")
+        found = [d for d in lint_views([a, b]) if d.rule_id == "MD005"]
+        assert found and "dom-b" in found[0].message
+
+    def test_md005_quiet_on_self_contained_slices(self):
+        view = linear_substrate(2, id="s")
+        view.infras[0].port("sap-sap1").add_flowrule(
+            "in_port=sap-sap1", "output=to-s-bb1")
+        found = [d for d in lint_views([view]) if d.rule_id == "MD005"]
+        assert not found
+
 
 class TestDecompositionRules:
     def test_dc001_abstract_type_without_rule(self):
