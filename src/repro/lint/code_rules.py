@@ -1,0 +1,355 @@
+"""CC — code-scope concurrency rules over this repo's own source.
+
+The control plane is concurrent (dispatcher fan-out, breaker replays,
+heal) and its past defects cluster around a handful of mechanical
+patterns: sleeping while holding a lock (the PR 4 ``FaultPlan`` delay
+bug), mutating a dict while iterating it (the PR 4 ``CAL.reconcile``
+bug), acquiring the same two locks in opposite orders, mutable default
+arguments, and writes to lock-guarded state outside the owning lock.
+Each pattern is an AST rule here, registered into the normal lint
+registry under the ``code`` scope, so ``repro check --self`` gates the
+orchestrator's source with the same machinery that gates NFFGs.
+
+Rules receive a :class:`~repro.lint.codescope.CodeModule` via
+``ctx.module``; findings carry the file path in ``graph`` and the
+source line in ``line``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.codescope import (
+    dotted_name,
+    is_lock_expr,
+    iter_body_nodes,
+    self_attr,
+)
+from repro.lint.diagnostics import Finding, Severity
+from repro.lint.engine import LintContext
+from repro.lint.registry import default_registry
+
+_registry = default_registry()
+rule = _registry.rule
+
+#: method names that mutate a dict/set (and would raise or corrupt if
+#: called on the object currently being iterated)
+_CONTAINER_MUTATORS = frozenset({
+    "pop", "popitem", "clear", "update", "setdefault",
+    "add", "remove", "discard",
+})
+
+#: attribute mutators that count as writes for guarded-by enforcement
+_WRITE_MUTATORS = _CONTAINER_MUTATORS | frozenset({
+    "append", "extend", "insert",
+})
+
+#: final call-name segments considered blocking (plus adapter I/O)
+_BLOCKING_FINALS = frozenset({"sleep"})
+_ADAPTER_IO = frozenset({"install", "fetch_view"})
+
+
+def _lock_token(expr: ast.AST) -> Optional[str]:
+    """Canonical per-class lock identity for a with-item: the final
+    name segment of a lock-looking expression (``self._pending_lock``
+    and ``cal._pending_lock`` both map to ``_pending_lock``)."""
+    if is_lock_expr(expr) is None:
+        return None
+    target = expr.func if isinstance(expr, ast.Call) else expr
+    name = dotted_name(target)
+    return name.rsplit(".", 1)[-1] if name else None
+
+
+def _walk_held(node: ast.AST, held: tuple[str, ...],
+               ) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Yield ``(node, locks held here)`` for every node lexically inside
+    ``node``, skipping nested function/lambda/class bodies and growing
+    ``held`` through ``with <lock>`` items."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda, ast.ClassDef)):
+        return
+    yield node, held
+    if isinstance(node, ast.With):
+        inner = held
+        for item in node.items:
+            yield from _walk_held(item.context_expr, inner)
+            token = _lock_token(item.context_expr)
+            if token is not None:
+                inner = inner + (token,)
+        for stmt in node.body:
+            yield from _walk_held(stmt, inner)
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_held(child, held)
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every function/method in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _blocking_label(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is not None:
+        final = name.rsplit(".", 1)[-1]
+        if final in _BLOCKING_FINALS:
+            return f"blocking call {name}()"
+        if final in _ADAPTER_IO:
+            return f"adapter I/O {name}()"
+    return None
+
+
+# ----------------------------------------------------------------------
+# CC001 — blocking call while holding a lock
+# ----------------------------------------------------------------------
+
+@rule("CC001", "blocking call (sleep / adapter I/O) inside a lock",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_blocking_under_lock(ctx: LintContext) -> Iterator[Finding]:
+    module = ctx.module
+    for function in _functions(module.tree):
+        for stmt in function.body:
+            for node, held in _walk_held(stmt, ()):
+                if not held or not isinstance(node, ast.Call):
+                    continue
+                label = _blocking_label(node)
+                if label is not None:
+                    yield Finding(
+                        f"{function.name}: {label} while holding "
+                        f"{list(held)}; release the lock first "
+                        "(sleep/I-O under a shared lock serializes "
+                        "every other thread behind it)",
+                        line=node.lineno)
+
+
+# ----------------------------------------------------------------------
+# CC002 — container mutated while iterating it
+# ----------------------------------------------------------------------
+
+def _iteration_base(iter_expr: ast.AST) -> Optional[str]:
+    """The dotted name of the container a ``for`` loop iterates
+    *directly*, or None when the loop runs over a snapshot (``list()``,
+    ``sorted()``, ``.copy()``, a comprehension, ...)."""
+    if isinstance(iter_expr, ast.Call):
+        func = iter_expr.func
+        # d.items() / d.keys() / d.values() iterate the live container
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("items", "keys", "values")):
+            return dotted_name(func.value)
+        return None  # list(d), sorted(d), d.copy(): a snapshot
+    return dotted_name(iter_expr)
+
+
+@rule("CC002", "dict/set mutated while iterating over it",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_iterate_while_mutate(ctx: LintContext) -> Iterator[Finding]:
+    module = ctx.module
+    for loop in ast.walk(module.tree):
+        if not isinstance(loop, (ast.For, ast.AsyncFor)):
+            continue
+        base = _iteration_base(loop.iter)
+        if base is None:
+            continue
+        for node in iter_body_nodes(loop.body):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _CONTAINER_MUTATORS
+                        and dotted_name(func.value) == base):
+                    yield Finding(
+                        f"{base}.{func.attr}() called while iterating "
+                        f"{base} (line {loop.lineno}); iterate a "
+                        "snapshot instead", line=node.lineno)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and dotted_name(target.value) == base):
+                        yield Finding(
+                            f"del {base}[...] while iterating {base} "
+                            f"(line {loop.lineno}); iterate a snapshot "
+                            "instead", line=node.lineno)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and dotted_name(target.value) == base):
+                        yield Finding(
+                            f"{base}[...] assigned while iterating "
+                            f"{base} (line {loop.lineno}); inserting a "
+                            "new key mid-iteration raises RuntimeError",
+                            severity=Severity.WARNING, line=node.lineno)
+
+
+# ----------------------------------------------------------------------
+# CC003 — inconsistent lock acquisition order inside a class
+# ----------------------------------------------------------------------
+
+@rule("CC003", "methods of one class nest the same locks in opposite orders",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_lock_order_consistency(ctx: LintContext) -> Iterator[Finding]:
+    module = ctx.module
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        #: (outer, inner) -> (method name, line of first witness)
+        pairs: dict[tuple[str, str], tuple[str, int]] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for stmt in method.body:
+                for node, held in _walk_held(stmt, ()):
+                    if not isinstance(node, ast.With):
+                        continue
+                    prev = held
+                    for item in node.items:
+                        token = _lock_token(item.context_expr)
+                        if token is None:
+                            continue
+                        for outer in prev:
+                            if outer != token:
+                                pairs.setdefault(
+                                    (outer, token),
+                                    (method.name, item.context_expr.lineno))
+                        prev = prev + (token,)
+        reported: set[frozenset[str]] = set()
+        for (outer, inner), (method_name, lineno) in sorted(
+                pairs.items(), key=lambda kv: kv[1][1]):
+            if (inner, outer) not in pairs:
+                continue
+            key = frozenset((outer, inner))
+            if key in reported:
+                continue
+            reported.add(key)
+            other_method, other_line = pairs[(inner, outer)]
+            yield Finding(
+                f"class {cls.name}: {method_name} (line {lineno}) "
+                f"acquires {outer!r} then {inner!r} but {other_method} "
+                f"(line {other_line}) nests them the other way round — "
+                "potential deadlock", line=max(lineno, other_line))
+
+
+# ----------------------------------------------------------------------
+# CC004 — mutable default argument
+# ----------------------------------------------------------------------
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and not node.args and not node.keywords:
+        return isinstance(node.func, ast.Name) \
+            and node.func.id in ("list", "dict", "set")
+    return False
+
+
+@rule("CC004", "mutable default argument",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_mutable_defaults(ctx: LintContext) -> Iterator[Finding]:
+    module = ctx.module
+    for function in _functions(module.tree):
+        defaults = list(function.args.defaults) \
+            + [d for d in function.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield Finding(
+                    f"{function.name}: mutable default argument is "
+                    "shared across calls; default to None and create "
+                    "inside", line=default.lineno)
+
+
+# ----------------------------------------------------------------------
+# CC005 — guarded-by annotated state written outside the owning lock
+# ----------------------------------------------------------------------
+
+def _guarded_attrs(cls: ast.ClassDef,
+                   guarded_lines: dict[int, str]) -> dict[str, str]:
+    """attr name -> owning lock, from guarded-by comments on
+    ``self.<attr> = ...`` statements anywhere in the class."""
+    guarded: dict[str, str] = {}
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        lock = None
+        for lineno in range(node.lineno,
+                            (node.end_lineno or node.lineno) + 1):
+            if lineno in guarded_lines:
+                lock = guarded_lines[lineno]
+                break
+        if lock is None:
+            continue
+        for target in targets:
+            attr = self_attr(target)
+            if attr is not None:
+                guarded[attr] = lock
+    return guarded
+
+
+def _written_attrs(node: ast.AST) -> Iterator[tuple[str, str]]:
+    """(attr, kind) pairs for every ``self.<attr>`` write in ``node``."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        if isinstance(node, ast.AnnAssign) and node.value is None:
+            return
+        for target in targets:
+            elements = target.elts \
+                if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            for element in elements:
+                attr = self_attr(element)
+                if attr is not None:
+                    yield attr, "assigned"
+                elif isinstance(element, ast.Subscript):
+                    attr = self_attr(element.value)
+                    if attr is not None:
+                        yield attr, "item-assigned"
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            base = target.value if isinstance(target, ast.Subscript) \
+                else target
+            attr = self_attr(base)
+            if attr is not None:
+                yield attr, "deleted"
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_MUTATORS:
+            attr = self_attr(func.value)
+            if attr is not None:
+                yield attr, f"mutated via .{func.attr}()"
+
+
+@rule("CC005", "guarded-by state written outside the owning lock",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_guarded_by(ctx: LintContext) -> Iterator[Finding]:
+    module = ctx.module
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guarded = _guarded_attrs(cls, module.guarded_lines)
+        if not guarded:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction is single-threaded by contract
+            for stmt in method.body:
+                for node, held in _walk_held(stmt, ()):
+                    for attr, kind in _written_attrs(node):
+                        lock = guarded.get(attr)
+                        if lock is None or lock in held:
+                            continue
+                        if node.lineno in module.guarded_lines:
+                            continue  # a (re)declaration, not a write
+                        yield Finding(
+                            f"{cls.name}.{method.name}: self.{attr} "
+                            f"{kind} outside its owning lock "
+                            f"{lock!r} (declared guarded-by)",
+                            line=node.lineno)

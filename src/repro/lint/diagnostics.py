@@ -49,8 +49,11 @@ class Diagnostic:
     port: Optional[str] = None
     edge: Optional[str] = None
     flowrule: Optional[int] = None
-    #: id of the NFFG/view the finding belongs to
+    #: id of the NFFG/view — or, for code-scope rules, the file path —
+    #: the finding belongs to
     graph: Optional[str] = None
+    #: source line (code-scope rules only)
+    line: Optional[int] = None
 
     def location(self) -> str:
         """Human-readable location string, empty when unlocated."""
@@ -63,6 +66,8 @@ class Diagnostic:
             parts.append(f"flowrule #{self.flowrule}")
         if self.edge is not None:
             parts.append(f"edge {self.edge}")
+        if self.line is not None:
+            parts.append(f"line {self.line}")
         return ", ".join(parts)
 
     def to_dict(self) -> dict[str, Any]:
@@ -72,7 +77,7 @@ class Diagnostic:
             "category": self.category,
             "message": self.message,
         }
-        for key in ("node", "port", "edge", "flowrule", "graph"):
+        for key in ("node", "port", "edge", "flowrule", "graph", "line"):
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
@@ -140,6 +145,7 @@ class Finding:
     flowrule: Optional[int] = None
     severity: Optional[Severity] = None
     graph: Optional[str] = None
+    line: Optional[int] = None
 
 
 def make_diagnostics(rule_id: str, category: str, default: Severity,
@@ -151,5 +157,6 @@ def make_diagnostics(rule_id: str, category: str, default: Severity,
                        category=category, message=finding.message,
                        node=finding.node, port=finding.port,
                        edge=finding.edge, flowrule=finding.flowrule,
-                       graph=finding.graph or graph_id)
+                       graph=finding.graph or graph_id,
+                       line=finding.line)
             for finding in findings]

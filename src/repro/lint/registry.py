@@ -6,22 +6,50 @@ severity and a check function.  Check functions receive a
 :class:`~repro.lint.diagnostics.Finding` objects; the engine stamps
 rule id / category / severity onto each finding.
 
-Two scopes exist:
+Three scopes exist:
 
 - ``graph`` rules analyze one NFFG (the vast majority);
 - ``views`` rules analyze a *set* of domain views together, catching
   problems that only materialize when :func:`repro.nffg.ops.merge_nffgs`
-  stitches them (duplicate node ids, mismatched hand-off tags).
+  stitches them (duplicate node ids, mismatched hand-off tags);
+- ``code`` rules analyze a parsed Python module of this code base
+  itself (:class:`~repro.lint.codescope.CodeModule`) — the CC
+  concurrency rules.
+
+Rule ids are namespaced: two uppercase letters plus three digits, and
+the prefixes this project has assigned a meaning (NF/RS/FR/MD/DC/CC,
+plus MP which the mapping validator emits outside the registry) are
+**reserved** — registering a rule under a reserved prefix with the
+wrong category, or under MP at all, is rejected so the catalog stays
+collision-free as extensions register their own rules.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.lint.diagnostics import Finding, Severity
 
 CheckFn = Callable[..., Iterable[Finding]]
+
+#: prefix -> category it is reserved for; ``None`` means the prefix is
+#: claimed by a subsystem that emits diagnostics directly (the mapping
+#: validator) and can never be registered here
+RESERVED_PREFIXES: dict[str, Optional[str]] = {
+    "NF": "graph",            # graph well-formedness
+    "RS": "resources",        # resource soundness
+    "FR": "flowrules",        # flow-rule analysis
+    "MD": "multidomain",      # multi-domain consistency
+    "DC": "decomposition",    # decomposition coverage
+    "CC": "code",             # code-scope concurrency rules
+    "MP": None,               # repro.mapping.validate (post-mapping)
+}
+
+VALID_SCOPES = ("graph", "views", "code")
+
+_ID_PATTERN = re.compile(r"^([A-Z]{2})(\d{3})$")
 
 
 @dataclass(frozen=True)
@@ -47,6 +75,28 @@ class RuleRegistry:
         self._rules: dict[str, LintRule] = {}
 
     def register(self, rule: LintRule) -> LintRule:
+        match = _ID_PATTERN.match(rule.id)
+        if match is None:
+            raise ValueError(
+                f"lint rule id {rule.id!r} must be two uppercase letters "
+                "plus three digits (e.g. 'NF001')")
+        prefix = match.group(1)
+        if prefix in RESERVED_PREFIXES:
+            owner = RESERVED_PREFIXES[prefix]
+            if owner is None:
+                raise ValueError(
+                    f"rule id prefix {prefix!r} is reserved for the "
+                    "mapping validator (repro.mapping.validate), which "
+                    "emits its diagnostics outside the registry")
+            if rule.category != owner:
+                raise ValueError(
+                    f"rule id prefix {prefix!r} is reserved for category "
+                    f"{owner!r}; rule {rule.id!r} declares "
+                    f"{rule.category!r}")
+        if rule.scope not in VALID_SCOPES:
+            raise ValueError(
+                f"rule {rule.id!r}: unknown scope {rule.scope!r}; "
+                f"expected one of {VALID_SCOPES}")
         if rule.id in self._rules:
             raise ValueError(f"duplicate lint rule id {rule.id!r}")
         self._rules[rule.id] = rule

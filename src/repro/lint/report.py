@@ -1,4 +1,4 @@
-"""Rendering lint results for humans (text) and machines (JSON)."""
+"""Rendering lint results for humans (text) and machines (JSON/SARIF)."""
 
 from __future__ import annotations
 
@@ -7,6 +7,9 @@ from typing import Optional
 
 from repro.lint.diagnostics import DiagnosticList
 from repro.lint.registry import RuleRegistry, default_registry
+
+#: Diagnostic severity label -> SARIF result level
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
 def render_text(diagnostics: DiagnosticList, *,
@@ -31,6 +34,52 @@ def render_json(diagnostics: DiagnosticList, *,
         "source": source,
         "summary": diagnostics.counts(),
         "diagnostics": [diag.to_dict() for diag in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(diagnostics: DiagnosticList, *,
+                 source: Optional[str] = None,
+                 registry: Optional[RuleRegistry] = None) -> str:
+    """SARIF 2.1.0 report — the shape CI annotators (GitHub code
+    scanning) ingest.  ``graph`` doubles as the artifact URI: the file
+    path for code-scope findings, the NFFG/view id (or ``source``)
+    otherwise."""
+    registry = registry or default_registry()
+    rules_meta: dict[str, dict] = {}
+    results = []
+    for diag in diagnostics:
+        if diag.rule_id not in rules_meta:
+            meta = {"id": diag.rule_id,
+                    "properties": {"category": diag.category}}
+            if diag.rule_id in registry:
+                meta["shortDescription"] = {
+                    "text": registry.get(diag.rule_id).title}
+            rules_meta[diag.rule_id] = meta
+        result = {
+            "ruleId": diag.rule_id,
+            "level": _SARIF_LEVELS[diag.severity.label],
+            "message": {"text": diag.message},
+        }
+        uri = diag.graph or source
+        if uri is not None:
+            location = {"artifactLocation": {"uri": uri}}
+            if diag.line is not None:
+                location["region"] = {"startLine": diag.line}
+            result["locations"] = [{"physicalLocation": location}]
+        results.append(result)
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": [rules_meta[rule_id]
+                          for rule_id in sorted(rules_meta)],
+            }},
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -38,6 +38,7 @@ from repro.openflow.channel import ControlChannel
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters
 from repro.resilience.retry import RetryPolicy
+from repro import sanitize
 from repro.sdnnet.domain import SDNDomain
 from repro.un.domain import UniversalNodeDomain, UNLocalOrchestrator
 from repro.yang.config import config_digest, config_to_tree
@@ -119,6 +120,9 @@ class DomainAdapter(abc.ABC):
 
     def install(self, install: NFFG, *,
                 force_full: bool = False) -> AdapterReport:
+        # adapter I/O may block on the domain; it must never run while
+        # the caller holds a shared-state lock
+        sanitize.note_blocking(f"adapter.install({self.name})")
         started = time.perf_counter()
         baseline_msgs, baseline_bytes = self.control_stats()
         report = AdapterReport(
@@ -155,6 +159,7 @@ class DomainAdapter(abc.ABC):
     def fetch_view(self) -> NFFG:
         """:meth:`get_view` under the retry policy; raises
         :class:`DomainUnreachable` once the budget is exhausted."""
+        sanitize.note_blocking(f"adapter.fetch_view({self.name})")
         outcome = self._effective_policy().run(self.get_view)
         if outcome.success:
             return outcome.value

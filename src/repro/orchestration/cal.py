@@ -29,7 +29,6 @@ domain's single in-flight operation.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -47,6 +46,7 @@ from repro.orchestration.dispatch import DEFAULT_MAX_WORKERS, DomainDispatcher
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters
 from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.sanitize import make_lock
 
 
 @dataclass
@@ -99,8 +99,8 @@ class ControllerAdaptationLayer:
         #: domains whose cumulative config is stale (push skipped or
         #: failed) and must be replayed once they accept pushes again;
         #: mutated by concurrent ``_push_one`` calls, hence the lock
-        self._pending_reconcile: set[str] = set()
-        self._pending_lock = threading.Lock()
+        self._pending_reconcile: set[str] = set()  # guarded-by: _pending_lock
+        self._pending_lock = make_lock("cal.pending")
         #: per-adapter own-infra-id cache for ``_slice_for``, valid for
         #: one substrate topology generation
         self._own_infra_cache: dict[str, tuple[int, frozenset[str]]] = {}

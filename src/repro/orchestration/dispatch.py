@@ -26,11 +26,11 @@ first failure in submission order.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.perf import counters
+from repro.sanitize import make_lock
 
 #: default pool width; domains beyond this queue behind free workers
 DEFAULT_MAX_WORKERS = 8
@@ -48,17 +48,21 @@ class DomainDispatcher:
         #: thread, in submission order — used for A/B benchmarks and as
         #: an escape hatch for adapters that are not thread-safe
         self.serial = serial
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._domain_locks: dict[str, threading.Lock] = {}
-        self._guard = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _guard
+        self._domain_locks: dict[str, object] = {}  # guarded-by: _guard
+        self._guard = make_lock("dispatch.guard")
 
     # -- plumbing ----------------------------------------------------------
 
-    def _lock_for(self, domain: str) -> threading.Lock:
+    def _lock_for(self, domain: str):
         with self._guard:
             lock = self._domain_locks.get(domain)
             if lock is None:
-                lock = self._domain_locks[domain] = threading.Lock()
+                # per-domain serialization mutex: holding it across the
+                # adapter push *is* the FIFO contract, so blocking I/O
+                # under it is by design (blocking_ok)
+                lock = self._domain_locks[domain] = make_lock(
+                    f"dispatch.domain.{domain}", blocking_ok=True)
             return lock
 
     def _ensure_executor(self) -> ThreadPoolExecutor:

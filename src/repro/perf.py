@@ -57,8 +57,9 @@ tables) and :func:`reset` between measurement windows.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict
+
+from repro.sanitize import make_lock
 
 
 class Counters:
@@ -70,8 +71,8 @@ class Counters:
     """
 
     def __init__(self) -> None:
-        self._counts: Dict[str, float] = {}
-        self._lock = threading.Lock()
+        self._counts: Dict[str, float] = {}  # guarded-by: _lock
+        self._lock = make_lock("perf.counters")
 
     def incr(self, name: str, amount: float = 1) -> None:
         with self._lock:

@@ -18,7 +18,6 @@ faults can also surface mid-RPC inside a NETCONF push.
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -26,6 +25,7 @@ from repro.nffg.graph import NFFG
 from repro.orchestration.adapters import DomainAdapter
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters
+from repro.sanitize import make_lock, note_blocking
 from repro.sim.random import SeededRandom
 
 
@@ -110,17 +110,19 @@ class FaultPlan:
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.rng = SeededRandom(seed)
-        self.specs: list[FaultSpec] = []
+        # the concurrent push dispatcher consults the plan from several
+        # worker threads; schedule edits (add/crash/clear may run while
+        # a storm is in flight) and spec.seen/injected bookkeeping must
+        # not race
+        self.specs: list[FaultSpec] = []  # guarded-by: _lock
         #: every injection that actually fired, in order
         self.history: list[_Injection] = []
         #: virtual seconds charged by DELAY faults (nothing sleeps)
         self.virtual_delay_s = 0.0
         #: real-sleep hook for DELAY faults; default accounts only
         self.sleep: Optional[Callable[[float], None]] = None
-        self._down: set[str] = set()
-        # the concurrent push dispatcher consults the plan from several
-        # worker threads; spec.seen/injected bookkeeping must not race
-        self._lock = threading.Lock()
+        self._down: set[str] = set()  # guarded-by: _lock
+        self._lock = make_lock("resilience.faultplan")
 
     # -- schedule construction ---------------------------------------------
 
@@ -128,22 +130,25 @@ class FaultPlan:
             kind: FaultKind = FaultKind.ERROR, count: int = 1,
             after: int = 0, delay_s: float = 0.0,
             message: str = "") -> "FaultPlan":
-        self.specs.append(FaultSpec(domain=domain, op=op, kind=kind,
-                                    count=count, after=after,
-                                    delay_s=delay_s, message=message))
+        with self._lock:
+            self.specs.append(FaultSpec(domain=domain, op=op, kind=kind,
+                                        count=count, after=after,
+                                        delay_s=delay_s, message=message))
         return self
 
     def crash(self, domain: str) -> "FaultPlan":
         """Take a domain hard-down (every op fails until cleared)."""
-        self._down.add(domain)
+        with self._lock:
+            self._down.add(domain)
         return self
 
     def clear(self, domain: str) -> "FaultPlan":
         """Revive a crashed domain and retire its CRASH specs."""
-        self._down.discard(domain)
-        self.specs = [spec for spec in self.specs
-                      if not (spec.kind is FaultKind.CRASH
-                              and spec.domain in (domain, "*"))]
+        with self._lock:
+            self._down.discard(domain)
+            self.specs = [spec for spec in self.specs
+                          if not (spec.kind is FaultKind.CRASH
+                                  and spec.domain in (domain, "*"))]
         return self
 
     @classmethod
@@ -209,6 +214,7 @@ class FaultPlan:
         # sleep outside the lock: concurrent delayed pushes must overlap
         # (max-over-domains, not sum) when the dispatcher fans out
         if delay > 0.0 and self.sleep is not None:
+            note_blocking(f"FaultPlan.sleep({delay:g})")
             self.sleep(delay)
         return delay
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.perf import counters
+from repro.sanitize import note_blocking
 from repro.sim.random import SeededRandom
 
 
@@ -118,6 +119,7 @@ class RetryPolicy:
             delay = self.backoff_for(attempt, rng)
             backoff_total += delay
             if self.sleep is not None:
+                note_blocking(f"RetryPolicy.backoff({delay:g})")
                 self.sleep(delay)
             counters.incr("resilience.retry.attempts")
         counters.incr("resilience.retry.giveup")

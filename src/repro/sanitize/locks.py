@@ -1,0 +1,356 @@
+"""Instrumented locks and the global concurrency-sanitizer state.
+
+:class:`TrackedLock` / :class:`TrackedRLock` are drop-in replacements
+for :class:`threading.Lock` / :class:`threading.RLock` that report every
+acquisition into a :class:`SanitizerState`:
+
+- a **global lock-order graph** (edge ``A -> B`` when some thread
+  acquired ``B`` while holding ``A``) whose cycles are potential
+  deadlocks;
+- **blocking-under-lock** events, raised by the instrumented blocking
+  points (:func:`note_blocking` at ``time.sleep`` hooks, retry backoff
+  and adapter I/O) whenever the calling thread holds a shared-state
+  lock;
+- **hold-time outliers**, shared-state locks held past a budget.
+
+The sanitizer costs nothing when disabled: :func:`make_lock` returns a
+plain ``threading.Lock`` unless ``REPRO_SANITIZE=1`` is set (or a test
+called :func:`enable`), and :func:`note_blocking` is a single global
+``None`` check.
+
+Locks that *serialize work by design* — the dispatcher's per-domain
+mutexes, which intentionally hold while an adapter push runs — are
+created with ``blocking_ok=True``; they still feed the lock-order graph
+but are exempt from blocking/hold-time checks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Optional, Union
+
+from repro.sanitize.report import LockOrderCycle, SanitizerIssue, SanitizerReport
+
+#: default hold-time budget for shared-state locks (seconds); generous
+#: so scheduler hiccups on CI never flag, while a sleep-under-lock does
+DEFAULT_HOLD_BUDGET_S = 0.5
+
+
+def _env_hold_budget() -> float:
+    raw = os.environ.get("REPRO_SANITIZE_HOLD_MS", "")
+    try:
+        return float(raw) / 1000.0 if raw else DEFAULT_HOLD_BUDGET_S
+    except ValueError:
+        return DEFAULT_HOLD_BUDGET_S
+
+
+class SanitizerState:
+    """Aggregates evidence from every tracked lock bound to it.
+
+    All mutation happens under one small internal mutex (a raw
+    ``threading.Lock`` — the sanitizer must not sanitize itself); the
+    per-thread held-lock stack lives in a ``threading.local``.
+    """
+
+    def __init__(self, *, hold_budget_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.hold_budget_s = (_env_hold_budget() if hold_budget_s is None
+                              else hold_budget_s)
+        self.clock = clock
+        self._mutex = threading.Lock()
+        #: lock-order edges: held-lock -> {acquired-lock -> witness}
+        self._order: dict[str, dict[str, str]] = {}
+        self._issues: list[SanitizerIssue] = []
+        self._locks_seen: set[str] = set()
+        self.acquisitions = 0
+        self._tls = threading.local()
+
+    # -- per-thread bookkeeping -------------------------------------------
+
+    def _held(self) -> list[tuple[str, float, bool]]:
+        """This thread's stack of (lock name, acquire time, blocking_ok)."""
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def holding(self) -> tuple[str, ...]:
+        """Names of the locks the calling thread currently holds."""
+        return tuple(name for name, _, _ in self._held())
+
+    # -- event sinks -------------------------------------------------------
+
+    def note_acquire(self, name: str, *, blocking_ok: bool = False) -> None:
+        held = self._held()
+        now = self.clock()
+        thread = threading.current_thread().name
+        with self._mutex:
+            self.acquisitions += 1
+            self._locks_seen.add(name)
+            for held_name, _, _ in held:
+                if held_name != name:
+                    self._order.setdefault(held_name, {}) \
+                        .setdefault(name, thread)
+        held.append((name, now, blocking_ok))
+
+    def note_release(self, name: str) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] != name:
+                continue
+            _, acquired_at, blocking_ok = held.pop(index)
+            elapsed = self.clock() - acquired_at
+            if not blocking_ok and elapsed > self.hold_budget_s:
+                self._add_issue(SanitizerIssue(
+                    kind="hold-time", lock=name,
+                    detail=(f"held {elapsed * 1e3:.1f} ms "
+                            f"(budget {self.hold_budget_s * 1e3:.0f} ms)"),
+                    thread=threading.current_thread().name))
+            return
+        self._add_issue(SanitizerIssue(
+            kind="unheld-release", lock=name,
+            detail="released by a thread that never acquired it",
+            thread=threading.current_thread().name))
+
+    def note_blocking(self, label: str) -> None:
+        """A blocking call is about to run on the calling thread."""
+        guarded = [name for name, _, blocking_ok in self._held()
+                   if not blocking_ok]
+        if guarded:
+            self._add_issue(SanitizerIssue(
+                kind="blocking-under-lock", lock=guarded[-1],
+                detail=f"{label} while holding {guarded}",
+                thread=threading.current_thread().name))
+
+    def _add_issue(self, issue: SanitizerIssue) -> None:
+        with self._mutex:
+            self._issues.append(issue)
+
+    # -- analysis ----------------------------------------------------------
+
+    def find_inversions(self) -> list[LockOrderCycle]:
+        """Cycles in the lock-order graph (potential deadlocks).
+
+        Tarjan over the recorded edges; every strongly connected
+        component with more than one lock is reported once, rotated to
+        start at its smallest lock name so output is deterministic.
+        """
+        with self._mutex:
+            graph = {src: dict(dsts) for src, dsts in self._order.items()}
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        components: list[list[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index_of[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in graph.get(node, ()):
+                if succ not in index_of:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+        for node in sorted(set(graph) | {dst for dsts in graph.values()
+                                         for dst in dsts}):
+            if node not in index_of:
+                strongconnect(node)
+
+        cycles = []
+        for component in components:
+            if len(component) < 2:
+                continue
+            ring = sorted(component)
+            witnesses = tuple(
+                f"{src} -> {dst} ({graph[src][dst]})"
+                for src in ring for dst in graph.get(src, ())
+                if dst in set(ring))
+            cycles.append(LockOrderCycle(locks=tuple(ring),
+                                         witnesses=witnesses))
+        cycles.sort(key=lambda cycle: cycle.locks)
+        return cycles
+
+    def report(self) -> SanitizerReport:
+        with self._mutex:
+            issues = list(self._issues)
+            acquisitions = self.acquisitions
+            locks_seen = len(self._locks_seen)
+        return SanitizerReport(inversions=self.find_inversions(),
+                               issues=issues, acquisitions=acquisitions,
+                               locks_seen=locks_seen)
+
+
+class TrackedLock:
+    """Drop-in ``threading.Lock`` feeding a :class:`SanitizerState`.
+
+    Bound to an explicit state (tests) or to the module-global one at
+    each acquire (production code created after :func:`enable`).
+    """
+
+    _factory = staticmethod(threading.Lock)
+
+    def __init__(self, name: str = "", *,
+                 state: Optional[SanitizerState] = None,
+                 blocking_ok: bool = False) -> None:
+        self._inner = self._factory()
+        self.name = name or f"lock@{id(self):x}"
+        self.blocking_ok = blocking_ok
+        self._state = state
+
+    def _current_state(self) -> Optional[SanitizerState]:
+        return self._state if self._state is not None else _STATE
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            state = self._current_state()
+            if state is not None:
+                state.note_acquire(self.name, blocking_ok=self.blocking_ok)
+        return got
+
+    def release(self) -> None:
+        state = self._current_state()
+        if state is not None:
+            state.note_release(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TrackedRLock(TrackedLock):
+    """Drop-in ``threading.RLock``; only the outermost acquire/release
+    of each thread feeds the sanitizer."""
+
+    _factory = staticmethod(threading.RLock)
+
+    def __init__(self, name: str = "", *,
+                 state: Optional[SanitizerState] = None,
+                 blocking_ok: bool = False) -> None:
+        super().__init__(name, state=state, blocking_ok=blocking_ok)
+        self._depth = threading.local()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            depth = getattr(self._depth, "value", 0)
+            self._depth.value = depth + 1
+            if depth == 0:
+                state = self._current_state()
+                if state is not None:
+                    state.note_acquire(self.name,
+                                       blocking_ok=self.blocking_ok)
+        return got
+
+    def release(self) -> None:
+        depth = getattr(self._depth, "value", 0)
+        if depth == 1:
+            state = self._current_state()
+            if state is not None:
+                state.note_release(self.name)
+        self._depth.value = max(0, depth - 1)
+        self._inner.release()
+
+
+LockLike = Union[threading.Lock, TrackedLock]
+
+#: the module-global sanitizer state; ``None`` = sanitizing disabled
+_STATE: Optional[SanitizerState] = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+if _env_enabled():
+    _STATE = SanitizerState()
+
+
+def enabled() -> bool:
+    return _STATE is not None
+
+
+def state() -> Optional[SanitizerState]:
+    """The global sanitizer state, or None when disabled."""
+    return _STATE
+
+
+def enable(fresh: bool = True) -> SanitizerState:
+    """Turn the global sanitizer on; returns the (new) state."""
+    global _STATE
+    if fresh or _STATE is None:
+        _STATE = SanitizerState()
+    return _STATE
+
+
+def disable() -> Optional[SanitizerState]:
+    """Turn the global sanitizer off; returns the detached state."""
+    global _STATE
+    detached, _STATE = _STATE, None
+    return detached
+
+
+def restore(previous: Optional[SanitizerState]) -> None:
+    """Re-install a state detached by :func:`disable` (scoped runs)."""
+    global _STATE
+    _STATE = previous
+
+
+def make_lock(name: str, *, blocking_ok: bool = False) -> LockLike:
+    """A mutex for ``name``: tracked when sanitizing, plain otherwise.
+
+    This is the factory every shared-state lock in the control plane
+    goes through, so ``REPRO_SANITIZE=1`` instruments the whole hot
+    path with zero overhead when off.
+    """
+    if _STATE is not None:
+        return TrackedLock(name, blocking_ok=blocking_ok)
+    return threading.Lock()
+
+
+def make_rlock(name: str, *, blocking_ok: bool = False):
+    if _STATE is not None:
+        return TrackedRLock(name, blocking_ok=blocking_ok)
+    return threading.RLock()
+
+
+def note_blocking(label: str) -> None:
+    """Declare an imminent blocking call (sleep, I/O, backoff).
+
+    The instrumented blocking points call this unconditionally; it is
+    a no-op unless the sanitizer is on.
+    """
+    current = _STATE
+    if current is not None:
+        current.note_blocking(label)
+
+
+def tracked_sleep(seconds: float) -> None:
+    """``time.sleep`` that reports itself to the sanitizer first."""
+    note_blocking(f"time.sleep({seconds:g})")
+    time.sleep(seconds)

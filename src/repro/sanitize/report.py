@@ -1,0 +1,103 @@
+"""Structured sanitizer results.
+
+The runtime concurrency sanitizer (:mod:`repro.sanitize.locks`) records
+three classes of evidence while the control plane runs:
+
+- **lock-order inversions** — the global lock-order graph contains a
+  cycle, i.e. two threads could acquire the same locks in opposite
+  orders and deadlock;
+- **blocking under lock** — a blocking call (``time.sleep``, retry
+  backoff, adapter I/O) executed while the thread held a shared-state
+  lock, serializing unrelated work behind it (the PR 4 ``FaultPlan``
+  delay bug);
+- **hold-time outliers** — a shared-state lock held longer than the
+  configured budget, a latency smell even when nothing blocks.
+
+:class:`SanitizerReport` is the immutable summary a soak run or the
+``repro check`` smoke hands back; ``ok()`` is the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SanitizerIssue:
+    """One observed violation (not an inversion; those are cycles)."""
+
+    #: "blocking-under-lock" | "hold-time" | "unheld-release"
+    kind: str
+    #: the lock involved (innermost held lock for blocking issues)
+    lock: str
+    detail: str
+    thread: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" [{self.thread}]" if self.thread else ""
+        return f"{self.kind}: lock {self.lock!r}: {self.detail}{suffix}"
+
+
+@dataclass(frozen=True)
+class LockOrderCycle:
+    """A potential-deadlock cycle in the lock-order graph."""
+
+    #: lock names along the cycle, starting from the smallest name
+    locks: tuple[str, ...]
+    #: one witness "A -> B (thread)" string per edge of the cycle
+    witnesses: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        ring = " -> ".join(self.locks + (self.locks[0],))
+        return f"lock-order inversion: {ring}"
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitizer state observed, frozen at report time."""
+
+    inversions: list[LockOrderCycle] = field(default_factory=list)
+    issues: list[SanitizerIssue] = field(default_factory=list)
+    #: total tracked-lock acquisitions observed (sanity: > 0 means the
+    #: instrumented code actually ran under the sanitizer)
+    acquisitions: int = 0
+    #: distinct tracked locks seen at least once
+    locks_seen: int = 0
+
+    def ok(self) -> bool:
+        return not self.inversions and not self.issues
+
+    @property
+    def blocking(self) -> list[SanitizerIssue]:
+        return [i for i in self.issues if i.kind == "blocking-under-lock"]
+
+    @property
+    def hold_outliers(self) -> list[SanitizerIssue]:
+        return [i for i in self.issues if i.kind == "hold-time"]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok(),
+            "acquisitions": self.acquisitions,
+            "locks_seen": self.locks_seen,
+            "inversions": [list(cycle.locks) for cycle in self.inversions],
+            "issues": [{"kind": issue.kind, "lock": issue.lock,
+                        "detail": issue.detail, "thread": issue.thread}
+                       for issue in self.issues],
+        }
+
+    def render_text(self) -> str:
+        lines = [f"sanitizer: {self.acquisitions} acquisitions over "
+                 f"{self.locks_seen} lock(s)"]
+        for cycle in self.inversions:
+            lines.append(f"  {cycle}")
+            for witness in cycle.witnesses:
+                lines.append(f"    via {witness}")
+        for issue in self.issues:
+            lines.append(f"  {issue}")
+        verdict = "clean" if self.ok() else (
+            f"{len(self.inversions)} inversion(s), "
+            f"{len(self.issues)} issue(s)")
+        lines.append(f"  {verdict}")
+        return "\n".join(lines)

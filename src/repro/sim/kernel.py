@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sanitize import make_lock
 
 
 class SimulationError(RuntimeError):
@@ -177,8 +178,9 @@ class Simulator:
         self.events_processed = 0
         # domains share one simulator; the concurrent push dispatcher may
         # schedule from several worker threads at once (execution itself
-        # stays single-threaded on the caller's thread)
-        self._schedule_lock = threading.Lock()
+        # stays single-threaded on the caller's thread, so _queue is only
+        # lock-guarded on the insert side)
+        self._schedule_lock = make_lock("sim.schedule")
 
     # -- scheduling ------------------------------------------------------
 

@@ -19,6 +19,7 @@ job; the default budget suits a local tier-1 run.
 import os
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro import perf
@@ -156,3 +157,40 @@ def test_chaos_counters_record_the_storm():
     snap = perf.snapshot("resilience.")
     assert snap.get("resilience.faults.injected", 0) > 0
     assert snap.get("resilience.retry.attempts", 0) > 0
+
+
+def test_chaos_storm_is_sanitizer_clean():
+    """A whole storm under the runtime sanitizer yields zero reports:
+    no lock-order inversions, no blocking under a non-exempt lock, no
+    hold-time outliers.  The testbed is built *after* enabling, so
+    every control-plane lock is tracked."""
+    from repro import sanitize
+
+    previous = sanitize.disable()
+    state = sanitize.enable(fresh=True)
+    try:
+        plan = FaultPlan.random_plan(23, ["dom"], ops=("push",),
+                                     rate=0.4, length=60)
+        escape, _ = _chaos_escape(plan)
+        _run_ops(escape, [("deploy", index) for index in range(4)]
+                 + [("update", 1), ("teardown", 2), ("deploy", 2)])
+        _drain(escape, plan)
+    finally:
+        sanitize.disable()
+        sanitize.restore(previous)
+    report = state.report()
+    assert report.acquisitions > 0       # the instrumentation saw the run
+    assert report.locks_seen >= 3
+    assert report.ok(), report.render_text()
+
+
+def test_global_sanitizer_state_is_clean():
+    """CI gate for the REPRO_SANITIZE=1 smoke job: everything tracked
+    by the import-time global state across this test session must be
+    violation-free."""
+    from repro import sanitize
+
+    if not sanitize.enabled():
+        pytest.skip("REPRO_SANITIZE not set")
+    report = sanitize.state().report()
+    assert report.ok(), report.render_text()

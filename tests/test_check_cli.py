@@ -1,0 +1,155 @@
+"""End-to-end tests of the ``repro check`` CLI subcommand."""
+
+import json
+import textwrap
+
+from repro.cli.main import main
+
+
+DIRTY_SOURCE = textwrap.dedent("""
+    import time
+
+    class Plan:
+        def __init__(self):
+            self.specs = []  # guarded-by: _lock
+            self._lock = object()
+
+        def before(self):
+            with self._lock:
+                time.sleep(0.1)
+
+        def add(self, spec):
+            self.specs.append(spec)
+""")
+
+CLEAN_SOURCE = textwrap.dedent("""
+    class Plan:
+        def __init__(self):
+            self.specs = []  # guarded-by: _lock
+            self._lock = object()
+
+        def add(self, spec):
+            with self._lock:
+                self.specs.append(spec)
+""")
+
+
+def write(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+def test_no_input_exits_two(capsys):
+    assert main(["check"]) == 2
+    assert "no input" in capsys.readouterr().err
+
+
+def test_clean_module_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, CLEAN_SOURCE)
+    assert main(["check", path]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_dirty_module_exits_one(tmp_path, capsys):
+    path = write(tmp_path, DIRTY_SOURCE)
+    assert main(["check", path]) == 1
+    out = capsys.readouterr().out
+    assert "CC001" in out
+    assert "CC005" in out
+
+
+def test_unparseable_module_exits_two(tmp_path, capsys):
+    path = write(tmp_path, "def broken(:\n")
+    assert main(["check", path]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_missing_file_exits_two(tmp_path, capsys):
+    assert main(["check", str(tmp_path / "ghost.py")]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_json_format(tmp_path, capsys):
+    path = write(tmp_path, DIRTY_SOURCE)
+    assert main(["check", "--format", "json", path]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    assert {"CC001", "CC005"} <= rules
+    lines = [d["line"] for d in payload["diagnostics"]]
+    assert all(isinstance(line, int) for line in lines)
+
+
+def test_sarif_format(tmp_path, capsys):
+    path = write(tmp_path, DIRTY_SOURCE)
+    assert main(["check", "--format", "sarif", path]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    result_ids = {result["ruleId"] for result in run["results"]}
+    assert result_ids <= rule_ids
+    location = run["results"][0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == path
+    assert location["region"]["startLine"] >= 1
+
+
+def test_fail_level_error_tolerates_warnings(tmp_path, capsys):
+    source = textwrap.dedent("""
+        def bump(table):
+            for key in table:
+                table[key] = table[key] + 1
+    """)
+    path = write(tmp_path, source)
+    assert main(["check", path]) == 1          # default level: warning
+    capsys.readouterr()
+    assert main(["check", "--fail-level", "error", path]) == 0
+
+
+def test_self_clean_with_smoke(capsys):
+    # acceptance criterion: the shipped package passes its own check,
+    # including the runtime sanitizer smoke, with exit code 0
+    assert main(["check", "--self"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+    assert "sanitizer" in out
+    assert "clean" in out
+
+
+def test_self_no_smoke_skips_sanitizer(capsys):
+    assert main(["check", "--self", "--no-smoke"]) == 0
+    assert "sanitizer" not in capsys.readouterr().out
+
+
+def test_mixed_py_and_nffg_inputs(tmp_path, capsys):
+    from repro.nffg import NFFGBuilder
+    from repro.nffg.serialize import nffg_to_dict
+
+    graph = (NFFGBuilder("clean").sap("sap1").sap("sap2")
+             .nf("fw", "firewall")
+             .chain("sap1", "fw", "sap2", bandwidth=5.0).build())
+    graph_path = tmp_path / "graph.json"
+    graph_path.write_text(json.dumps(nffg_to_dict(graph)))
+    module_path = write(tmp_path, CLEAN_SOURCE)
+    assert main(["check", module_path, str(graph_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("0 error(s)") == 2
+
+
+def test_lint_sarif_format(tmp_path, capsys):
+    # satellite: `repro lint` learned --format sarif alongside json
+    from repro.nffg.builder import linear_substrate
+    from repro.nffg.model import ResourceVector
+    from repro.nffg.serialize import nffg_to_dict
+
+    view = linear_substrate(2, id="bad", supported_types=["firewall"])
+    view.add_nf("evil", "firewall",
+                resources=ResourceVector(cpu=-2.0, mem=64.0), num_ports=1)
+    view.place_nf("evil", "bad-bb0")
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(nffg_to_dict(view)))
+    assert main(["lint", "--format", "sarif", str(path)]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"]

@@ -1,0 +1,369 @@
+"""Tests for the code-scope (CC) lint rules and the rule-id namespace."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    RESERVED_PREFIXES,
+    LintRule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+    lint_source,
+    self_lint,
+)
+
+
+def lint(source):
+    return lint_source(textwrap.dedent(source), path="synthetic.py")
+
+
+def codes(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+class TestCC001BlockingUnderLock:
+    def test_sleep_under_lock_flagged(self):
+        diags = lint("""
+            import time
+
+            class Plan:
+                def before(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """)
+        assert codes(diags) == ["CC001"]
+        assert diags[0].line == 7
+
+    def test_sleep_outside_lock_clean(self):
+        diags = lint("""
+            import time
+
+            class Plan:
+                def before(self):
+                    with self._lock:
+                        delay = 0.1
+                    time.sleep(delay)
+            """)
+        assert codes(diags) == []
+
+    def test_adapter_io_under_lock_flagged(self):
+        diags = lint("""
+            class Dispatcher:
+                def push(self, adapter, nffg):
+                    with self._guard:
+                        adapter.install(nffg)
+            """)
+        assert codes(diags) == ["CC001"]
+
+    def test_nested_function_bodies_not_attributed(self):
+        # a closure defined (not called) under the lock is not a
+        # blocking call at that point
+        diags = lint("""
+            import time
+
+            class Plan:
+                def before(self):
+                    with self._lock:
+                        def later():
+                            time.sleep(0.1)
+                        self._callback = later
+            """)
+        assert codes(diags) == []
+
+    def test_nested_with_mutex_variants(self):
+        diags = lint("""
+            import time
+
+            class Kernel:
+                def step(self):
+                    with self._schedule_mutex:
+                        time.sleep(0.5)
+            """)
+        assert codes(diags) == ["CC001"]
+
+
+class TestCC002IterateWhileMutate:
+    def test_pop_during_items_flagged(self):
+        # the shape of the PR 4 reconcile bug
+        diags = lint("""
+            class Cal:
+                def reconcile(self):
+                    for key, value in self._pending.items():
+                        if value.done:
+                            self._pending.pop(key)
+            """)
+        assert codes(diags) == ["CC002"]
+
+    def test_snapshot_iteration_clean(self):
+        diags = lint("""
+            class Cal:
+                def reconcile(self):
+                    for key in list(self._pending):
+                        self._pending.pop(key)
+                    for key in sorted(self._queue):
+                        self._queue.discard(key)
+                    for key, value in self._pending.copy().items():
+                        self._pending.pop(key)
+            """)
+        assert codes(diags) == []
+
+    def test_set_mutation_during_iteration_flagged(self):
+        diags = lint("""
+            def drain(active):
+                for item in active:
+                    if item.stale:
+                        active.remove(item)
+            """)
+        assert codes(diags) == ["CC002"]
+
+    def test_del_subscript_flagged(self):
+        diags = lint("""
+            def drain(table):
+                for key in table:
+                    del table[key]
+            """)
+        assert codes(diags) == ["CC002"]
+
+    def test_subscript_assign_is_warning(self):
+        diags = lint("""
+            def bump(table):
+                for key in table:
+                    table[key] = table[key] + 1
+            """)
+        assert codes(diags) == ["CC002"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_mutating_other_container_clean(self):
+        diags = lint("""
+            def copy_keys(src, dst):
+                for key in src:
+                    dst.add(key)
+            """)
+        assert codes(diags) == []
+
+
+class TestCC003InconsistentLockOrder:
+    def test_reversed_nesting_flagged(self):
+        diags = lint("""
+            class Orchestrator:
+                def submit(self):
+                    with self._book_lock:
+                        with self._view_lock:
+                            pass
+
+                def teardown(self):
+                    with self._view_lock:
+                        with self._book_lock:
+                            pass
+            """)
+        assert codes(diags) == ["CC003"]
+        assert "_book_lock" in diags[0].message
+        assert "_view_lock" in diags[0].message
+
+    def test_consistent_nesting_clean(self):
+        diags = lint("""
+            class Orchestrator:
+                def submit(self):
+                    with self._book_lock:
+                        with self._view_lock:
+                            pass
+
+                def teardown(self):
+                    with self._book_lock:
+                        with self._view_lock:
+                            pass
+            """)
+        assert codes(diags) == []
+
+    def test_separate_classes_not_compared(self):
+        # different classes own different locks even if the attribute
+        # names collide; no cross-class pairing
+        diags = lint("""
+            class A:
+                def f(self):
+                    with self._x_lock:
+                        with self._y_lock:
+                            pass
+
+            class B:
+                def g(self):
+                    with self._y_lock:
+                        with self._x_lock:
+                            pass
+            """)
+        assert codes(diags) == []
+
+
+class TestCC004MutableDefault:
+    def test_literal_defaults_flagged(self):
+        diags = lint("""
+            def f(items=[]):
+                return items
+
+            def g(table={}, tags=set()):
+                return table, tags
+            """)
+        assert codes(diags) == ["CC004", "CC004", "CC004"]
+
+    def test_none_default_clean(self):
+        diags = lint("""
+            def f(items=None, count=0, name=""):
+                return items or []
+            """)
+        assert codes(diags) == []
+
+    def test_keyword_only_default_flagged(self):
+        diags = lint("""
+            def f(*, hooks=list()):
+                return hooks
+            """)
+        assert codes(diags) == ["CC004"]
+
+
+class TestCC005GuardedBy:
+    def test_unguarded_write_flagged(self):
+        diags = lint("""
+            class Plan:
+                def __init__(self):
+                    self.specs = []  # guarded-by: _lock
+                    self._lock = object()
+
+                def add(self, spec):
+                    self.specs.append(spec)
+            """)
+        assert codes(diags) == ["CC005"]
+        assert "specs" in diags[0].message
+
+    def test_write_under_owning_lock_clean(self):
+        diags = lint("""
+            class Plan:
+                def __init__(self):
+                    self.specs = []  # guarded-by: _lock
+                    self._lock = object()
+
+                def add(self, spec):
+                    with self._lock:
+                        self.specs.append(spec)
+            """)
+        assert codes(diags) == []
+
+    def test_write_under_wrong_lock_flagged(self):
+        diags = lint("""
+            class Plan:
+                def __init__(self):
+                    self.specs = []  # guarded-by: _lock
+                    self._lock = object()
+                    self._other_lock = object()
+
+                def add(self, spec):
+                    with self._other_lock:
+                        self.specs.append(spec)
+            """)
+        assert codes(diags) == ["CC005"]
+
+    def test_init_writes_exempt(self):
+        # construction is single-threaded; only post-init writes need
+        # the lock
+        diags = lint("""
+            class Plan:
+                def __init__(self):
+                    self.specs = []  # guarded-by: _lock
+                    self.specs = ["seed"]
+                    self._lock = object()
+            """)
+        assert codes(diags) == []
+
+    def test_augassign_and_del_flagged(self):
+        diags = lint("""
+            class Stats:
+                def __init__(self):
+                    self.total = 0  # guarded-by: _lock
+                    self._lock = object()
+
+                def bump(self):
+                    self.total += 1
+
+                def wipe(self):
+                    del self.total
+            """)
+        assert codes(diags) == ["CC005", "CC005"]
+
+    def test_reads_not_flagged(self):
+        diags = lint("""
+            class Stats:
+                def __init__(self):
+                    self.total = 0  # guarded-by: _lock
+                    self._lock = object()
+
+                def peek(self):
+                    return self.total
+            """)
+        assert codes(diags) == []
+
+
+class TestSelfLint:
+    def test_package_is_clean(self):
+        # acceptance criterion: `repro check --self` reports zero
+        # violations on HEAD
+        diags = self_lint()
+        assert list(diags.errors) == [], [str(d) for d in diags.errors]
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:\n", path="broken.py")
+
+
+class TestRuleNamespace:
+    def make_rule(self, rule_id, category="code", scope="code"):
+        return LintRule(id=rule_id, title="test rule",
+                        severity=Severity.ERROR, category=category,
+                        check=lambda ctx: [], scope=scope)
+
+    def test_duplicate_id_rejected(self):
+        registry = RuleRegistry()
+        registry.register(self.make_rule("CC901"))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(self.make_rule("CC901"))
+
+    def test_bad_id_format_rejected(self):
+        registry = RuleRegistry()
+        for bad in ("CC1", "cc001", "C0001", "CCC01", "CC0001", ""):
+            with pytest.raises(ValueError):
+                registry.register(self.make_rule(bad))
+
+    def test_mp_prefix_reserved_for_mapping_validator(self):
+        registry = RuleRegistry()
+        with pytest.raises(ValueError, match="MP"):
+            registry.register(self.make_rule("MP001", category="mapping"))
+
+    def test_reserved_prefix_wrong_category_rejected(self):
+        registry = RuleRegistry()
+        with pytest.raises(ValueError, match="reserved"):
+            registry.register(self.make_rule("NF901", category="code"))
+
+    def test_reserved_prefix_right_category_accepted(self):
+        registry = RuleRegistry()
+        registry.register(self.make_rule("NF901", category="graph",
+                                         scope="graph"))
+        assert "NF901" in registry
+
+    def test_unreserved_prefix_accepted(self):
+        registry = RuleRegistry()
+        registry.register(self.make_rule("ZZ001", category="custom"))
+        assert "ZZ001" in registry
+
+    def test_invalid_scope_rejected(self):
+        registry = RuleRegistry()
+        with pytest.raises(ValueError, match="scope"):
+            registry.register(self.make_rule("CC902", scope="bogus"))
+
+    def test_default_registry_collision_free_and_reserved(self):
+        rules = list(default_registry())
+        ids = [rule.id for rule in rules]
+        assert len(ids) == len(set(ids))
+        for rule in rules:
+            prefix = rule.id[:2]
+            assert prefix in RESERVED_PREFIXES, rule.id
+            assert RESERVED_PREFIXES[prefix] == rule.category, rule.id

@@ -12,6 +12,8 @@ from repro.orchestration.adapters import DirectDomainAdapter
 from repro.orchestration.cal import ControllerAdaptationLayer
 from repro.orchestration.dispatch import DomainDispatcher
 from repro.perf import counters
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.faults import FaultKind, FaultPlan, TransientFault
 from repro.resilience.retry import RetryPolicy
 
 
@@ -177,3 +179,97 @@ class TestReconcileSnapshot:
         reports = cal.push_all()
         assert [r.domain for r in reports] == ["z", "m", "a"]
         assert all(r.success for r in reports)
+
+
+class TestErrorPathsMidFanout:
+    """Dispatcher error-path contracts under faults: a breaker tripping
+    *inside* a batch, and per-domain FIFO holding up when injected
+    delays skew completion order."""
+
+    def test_breaker_trips_mid_fanout_first_error_still_wins(self):
+        # domain "a" fails three times inside one batch — enough to trip
+        # its breaker mid-fanout, so the fourth "a" op must short-circuit
+        # without attempting a push.  Domain "b" keeps succeeding; the
+        # dispatcher finishes the WHOLE batch, then re-raises the error
+        # that is first in submission order (not first in wall-clock).
+        breaker = CircuitBreaker("a", failure_threshold=3,
+                                 recovery_time_s=60.0)
+        events = []
+
+        def push_a(index):
+            if not breaker.allow():
+                events.append(("a", index, "skipped"))
+                return "skipped"
+            events.append(("a", index, "attempt"))
+            breaker.record_failure()
+            time.sleep(0.01)   # "b" errors earlier in wall-clock
+            raise TransientFault(f"a push {index}")
+
+        def push_b(index):
+            events.append(("b", index, "ok"))
+            return index
+
+        dispatcher = DomainDispatcher(4)
+        ops = []
+        for index in range(4):
+            ops.append(("a", lambda index=index: push_a(index)))
+            ops.append(("b", lambda index=index: push_b(index)))
+        try:
+            with pytest.raises(TransientFault, match="a push 0"):
+                dispatcher.run(ops)
+        finally:
+            dispatcher.shutdown()
+        assert breaker.state is BreakerState.OPEN
+        # FIFO within "a" means the trip is observed by op 3, not racing it
+        assert [e for e in events if e[0] == "a"] \
+            == [("a", 0, "attempt"), ("a", 1, "attempt"),
+                ("a", 2, "attempt"), ("a", 3, "skipped")]
+        # the batch still completed every "b" op despite the "a" failures
+        assert [e[1] for e in events if e[0] == "b"] == [0, 1, 2, 3]
+
+    def test_cal_skips_open_breaker_and_recovers_via_reconcile(self):
+        cal, adapters = _cal_with(["a", "b"])
+        adapters["a"].broken = True
+        for _ in range(3):          # default failure_threshold = 3
+            cal.push_all()
+        assert cal.breakers["a"].state is BreakerState.OPEN
+
+        reports = {r.domain: r for r in cal.push_all()}
+        assert reports["a"].skipped and not reports["a"].success
+        assert "circuit open" in reports["a"].error
+        assert reports["b"].success
+        assert cal.pending_reconciliation() == {"a"}
+
+        adapters["a"].broken = False
+        replays = cal.reconcile(force_probe=True)
+        assert [r.domain for r in replays] == ["a"]
+        assert replays[0].success
+        assert cal.breakers["a"].state is BreakerState.CLOSED
+        assert cal.pending_reconciliation() == set()
+
+    def test_per_domain_fifo_under_injected_delays(self):
+        # DELAY faults with a real sleep hook skew wall-clock completion
+        # hard toward "b"; submission order within each domain must hold
+        # anyway, and so must the result list.
+        plan = FaultPlan()
+        plan.sleep = time.sleep
+        plan.add("a", "push", kind=FaultKind.DELAY, count=4, delay_s=0.01)
+        order = {"a": [], "b": []}
+
+        def op(domain, index):
+            plan.before(domain, "push")
+            order[domain].append(index)
+            return f"{domain}{index}"
+
+        dispatcher = DomainDispatcher(4)
+        ops = []
+        for index in range(4):
+            ops.append(("a", lambda index=index: op("a", index)))
+            ops.append(("b", lambda index=index: op("b", index)))
+        try:
+            results = dispatcher.run(ops)
+        finally:
+            dispatcher.shutdown()
+        assert order == {"a": [0, 1, 2, 3], "b": [0, 1, 2, 3]}
+        assert results == ["a0", "b0", "a1", "b1", "a2", "b2", "a3", "b3"]
+        assert plan.virtual_delay_s == pytest.approx(0.04)

@@ -29,7 +29,6 @@ from repro.resilience import (
     TransientFault,
     is_transient,
 )
-from repro.service import ServiceRequestBuilder
 
 
 # -- helpers ----------------------------------------------------------------
