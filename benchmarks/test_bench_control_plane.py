@@ -210,16 +210,23 @@ def test_bench_repeated_deploys(benchmark):
         assert report.success, report.error
     elapsed_ms = (time.perf_counter() - started) * 1e3
     snapshot = perf.snapshot()
+    latency = perf.metrics.histogram("deploy.latency_s")
 
     emit("CP-1: repeated deploys on an unchanged substrate", [{
         "substrate_nodes": size,
         "deploys": deploys,
         "ms_per_deploy": elapsed_ms / deploys,
+        "p50_ms": latency.percentile(50) * 1e3,
+        "p95_ms": latency.percentile(95) * 1e3,
+        "p99_ms": latency.percentile(99) * 1e3,
         "dov_rebuilds": snapshot.get("dov.rebuild", 0),
         "dov_inplace": snapshot.get("dov.apply_inplace", 0),
         "path_hits": snapshot.get("pathcache.hit", 0),
         "path_misses": snapshot.get("pathcache.miss", 0),
     }], group="control_plane")
+    # the latency histogram saw exactly the timed deploys (perf.reset
+    # above cleared the warmup's observation)
+    assert latency.count == deploys
     # incremental maintenance: every deploy applied in place, no rebuild
     assert snapshot.get("dov.rebuild", 0) == 0
     assert snapshot.get("dov.apply_inplace", 0) == deploys

@@ -15,6 +15,12 @@ Subcommands:
 - ``scale``      — run one elastic load/idle cycle;
 - ``perf``       — deploy a few services and print the push-pipeline
                    counters (delta vs full pushes, dispatcher fan-out);
+- ``trace``      — run traced deploys, print the span tree and
+                   optionally export Chrome trace_event JSON;
+- ``metrics``    — deploy a few services and print histogram/counter
+                   metrics in Prometheus text-exposition format;
+- ``events``     — replay (or follow) the structured event log as
+                   JSONL, optionally under an injected fault schedule;
 - ``catalog``    — list deployable NF types;
 - ``experiments``— list the experiment harnesses and how to run them.
 """
@@ -292,6 +298,118 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reference_requests(count: int, prefix: str):
+    """Service requests for the observability subcommands: ``count``
+    two-NF chains over the Fig. 1 reference testbed."""
+    from repro.service import ServiceRequestBuilder
+
+    for index in range(count):
+        yield (ServiceRequestBuilder(f"{prefix}{index}")
+               .sap("sap1").sap("sap2")
+               .nf(f"{prefix}{index}-fw", "firewall")
+               .nf(f"{prefix}{index}-nat", "nat")
+               .chain("sap1", f"{prefix}{index}-fw", f"{prefix}{index}-nat",
+                      "sap2", bandwidth=2.0)
+               .build())
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.obs.trace import render_tree, validate_chrome_trace
+    from repro.topo import build_reference_multidomain
+
+    previous = obs.disable()
+    state = obs.enable(fresh=True)
+    try:
+        testbed = build_reference_multidomain()
+        for index, request in enumerate(
+                _reference_requests(args.deploys, "trace")):
+            report = testbed.service_layer.submit(request)
+            if not report.success:
+                print(f"deploy trace{index} failed: {report.error}",
+                      file=sys.stderr)
+                return 1
+    finally:
+        obs.disable()
+        obs.restore(previous)
+    print(render_tree(state.tracer))
+    if args.chrome:
+        data = state.tracer.export_chrome()
+        problems = validate_chrome_trace(data)
+        if problems:
+            for problem in problems:
+                print(f"repro trace: invalid trace: {problem}",
+                      file=sys.stderr)
+            return 1
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+        print(f"\nwrote {len(data['traceEvents'])} trace events to "
+              f"{args.chrome} (load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import perf
+    from repro.obs.metrics import render_prometheus
+    from repro.topo import build_reference_multidomain
+
+    testbed = build_reference_multidomain()
+    perf.reset()
+    for index, request in enumerate(
+            _reference_requests(args.deploys, "svc")):
+        report = testbed.service_layer.submit(request)
+        if not report.success:
+            print(f"deploy svc{index} failed: {report.error}",
+                  file=sys.stderr)
+            return 1
+    print(render_prometheus(counter_snapshot=perf.snapshot()), end="")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.obs.events import render_jsonl
+    from repro.topo import build_reference_multidomain
+
+    previous = obs.disable()
+    state = obs.enable(fresh=True)
+    if args.follow:
+        # tail mode: print each event the moment it is emitted instead
+        # of replaying the ring afterwards
+        state.events.subscribe(
+            lambda event: print(json.dumps(event, default=str)))
+    failures = 0
+    try:
+        testbed = build_reference_multidomain()
+        if args.faults:
+            from repro.resilience.faults import FaultPlan, FaultyAdapter
+
+            cal = testbed.escape.cal
+            plan = FaultPlan.random_plan(args.seed, sorted(cal.adapters),
+                                         rate=0.3, length=20)
+            for name, adapter in list(cal.adapters.items()):
+                cal.adapters[name] = FaultyAdapter(adapter, plan)
+        for request in _reference_requests(args.deploys, "ev"):
+            report = testbed.service_layer.submit(request)
+            if not report.success:
+                failures += 1
+    finally:
+        obs.disable()
+        obs.restore(previous)
+    if not args.follow:
+        events = state.events.events(limit=args.limit)
+        if events:
+            print(render_jsonl(events))
+    if failures:
+        print(f"repro events: {failures} deploy(s) failed under faults "
+              "(see deploy events above)", file=sys.stderr)
+    return 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     from repro.click.catalog import NF_CATALOG
 
@@ -389,6 +507,38 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--deploys", type=int, default=3,
                       help="number of services to deploy (default 3)")
     perf.set_defaults(func=_cmd_perf)
+
+    trace = sub.add_parser(
+        "trace", help="trace reference deploys; print the span tree")
+    trace.add_argument("--deploys", type=int, default=2,
+                       help="number of services to deploy (default 2)")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="also write a Chrome trace_event JSON file "
+                            "(Perfetto / chrome://tracing)")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="deploy a few services, print Prometheus-format metrics")
+    metrics.add_argument("--deploys", type=int, default=5,
+                         help="number of services to deploy (default 5)")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    events = sub.add_parser(
+        "events", help="print the structured event log as JSONL")
+    events.add_argument("--deploys", type=int, default=2,
+                        help="number of services to deploy (default 2)")
+    events.add_argument("--faults", action="store_true",
+                        help="inject a seeded random fault schedule so "
+                             "retry/breaker events show up")
+    events.add_argument("--seed", type=int, default=7,
+                        help="fault schedule seed (with --faults)")
+    events.add_argument("--follow", action="store_true",
+                        help="print events live as they are emitted "
+                             "instead of replaying the ring at the end")
+    events.add_argument("--limit", type=int, default=None,
+                        help="only replay the last N events")
+    events.set_defaults(func=_cmd_events)
 
     catalog = sub.add_parser("catalog", help="list deployable NF types")
     catalog.set_defaults(func=_cmd_catalog)

@@ -113,8 +113,10 @@ def render_dot(nffg: NFFG, *, title: str = "") -> str:
 
 def render_deploy_report(report: DeployReport) -> str:
     lines = [report.summary_line()]
-    stages = report.stage_timings()
-    if any(value > 0.0 for value in stages.values()):
+    stages = {stage: seconds
+              for stage, seconds in report.stage_timings().items()
+              if seconds > 0.0}
+    if stages:
         lines.append("  stages: " + "  ".join(
             f"{stage} {seconds * 1e3:.1f} ms"
             for stage, seconds in stages.items()))

@@ -5,7 +5,9 @@ heal) and its past defects cluster around a handful of mechanical
 patterns: sleeping while holding a lock (the PR 4 ``FaultPlan`` delay
 bug), mutating a dict while iterating it (the PR 4 ``CAL.reconcile``
 bug), acquiring the same two locks in opposite orders, mutable default
-arguments, and writes to lock-guarded state outside the owning lock.
+arguments, writes to lock-guarded state outside the owning lock, and
+tracing spans opened without a close path (which orphan every later
+span in the trace tree).
 Each pattern is an AST rule here, registered into the normal lint
 registry under the ``code`` scope, so ``repro check --self`` gates the
 orchestrator's source with the same machinery that gates NFFGs.
@@ -353,3 +355,75 @@ def check_guarded_by(ctx: LintContext) -> Iterator[Finding]:
                             f"{kind} outside its owning lock "
                             f"{lock!r} (declared guarded-by)",
                             line=node.lineno)
+
+
+# ----------------------------------------------------------------------
+# CC006 — span opened without a with/finally close path
+# ----------------------------------------------------------------------
+
+#: final call-name segments that open a tracing span
+_SPAN_OPENERS = frozenset({"span", "start_span"})
+
+
+def _span_opener(node: ast.AST) -> Optional[str]:
+    """The dotted call name when ``node`` is a span-opening call
+    (final segment ``span`` or ``start_span``), else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return name if name.rsplit(".", 1)[-1] in _SPAN_OPENERS else None
+
+
+@rule("CC006", "span opened without a with/finally close path",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_leaked_spans(ctx: LintContext) -> Iterator[Finding]:
+    """Tracing spans (``obs.span`` / ``tracer.start_span``) must end on
+    every path, or the span stays open forever and the trace tree loses
+    its parent edges.  A span-opening call is safe when it is the
+    context expression of a ``with`` (the protocol closes it), when it
+    is returned directly (the caller owns it), or when it is assigned
+    to a name the function demonstrably closes (the name is later used
+    as a ``with`` context or has ``.end()``/``.close()`` called on it,
+    e.g. in a ``finally``).  Anything else is a leaked span."""
+    module = ctx.module
+    for function in _functions(module.tree):
+        body_nodes = list(iter_body_nodes(function.body))
+        safe: set[int] = set()          # call nodes proven to be closed
+        closed_names: set[str] = set()  # names the function closes
+        for node in body_nodes:
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if _span_opener(expr) is not None:
+                        safe.add(id(expr))
+                    name = dotted_name(expr)
+                    if name is not None:
+                        closed_names.add(name)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if _span_opener(sub) is not None:
+                        safe.add(id(sub))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in ("end", "close"):
+                    name = dotted_name(func.value)
+                    if name is not None:
+                        closed_names.add(name)
+        for node in body_nodes:
+            if not isinstance(node, ast.Assign) \
+                    or _span_opener(node.value) is None:
+                continue
+            if any(dotted_name(target) in closed_names
+                   for target in node.targets):
+                safe.add(id(node.value))
+        for node in body_nodes:
+            name = _span_opener(node)
+            if name is None or id(node) in safe:
+                continue
+            yield Finding(
+                f"{function.name}: {name}(...) opens a span that is "
+                "never closed — wrap it in `with`, or assign it and "
+                "call .end() in a finally", line=node.lineno)

@@ -1,0 +1,164 @@
+"""``repro.obs`` — gated tracing, event log, and metrics exposition.
+
+The observability layer mirrors :mod:`repro.sanitize`'s on/off trick:
+a module-global :class:`ObsState` (one tracer + one event log) that is
+``None`` unless ``REPRO_OBS`` is set in the environment at import time
+or :func:`enable` is called.  Every instrumentation site goes through
+:func:`span` / :func:`event`, whose disabled path is a single global
+``None`` check returning a shared no-op span — the CP-1/CP-2/EXT-2
+bench gates see no regression when tracing is off.
+
+Typical scoped use (the CLI subcommands and tests do exactly this)::
+
+    previous = obs.disable()
+    state = obs.enable(fresh=True)
+    try:
+        ...traced work...
+    finally:
+        obs.disable()
+        obs.restore(previous)
+    print(render_tree(state.tracer))
+
+Histograms and gauges are *not* gated — they live in
+:mod:`repro.perf` and stay on everywhere, like the counters.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.obs.events import DEFAULT_MAX_EVENTS, EventLog, render_jsonl
+from repro.obs.trace import (
+    DEFAULT_MAX_SPANS,
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_ids,
+    current_span,
+    render_tree,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_MAX_SPANS",
+    "EventLog",
+    "NOOP_SPAN",
+    "ObsState",
+    "Span",
+    "Tracer",
+    "bind_virtual_clock",
+    "current_ids",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "render_jsonl",
+    "render_tree",
+    "restore",
+    "restore_virtual_clock",
+    "span",
+    "state",
+    "validate_chrome_trace",
+]
+
+
+class ObsState:
+    """One tracer plus one event log, enabled and torn down together."""
+
+    def __init__(self, *, max_spans: int = DEFAULT_MAX_SPANS,
+                 max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.tracer = Tracer(max_spans=max_spans)
+        self.events = EventLog(max_events=max_events)
+
+
+_STATE: Optional[ObsState] = None
+
+#: optional virtual-time source stamped onto events while the sim
+#: kernel is running (bound by Simulator.run when tracing is on)
+_VCLOCK: Optional[Callable[[], float]] = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+if _env_enabled():
+    _STATE = ObsState()
+
+
+def enabled() -> bool:
+    """Whether tracing/event collection is currently on."""
+    return _STATE is not None
+
+
+def state() -> Optional[ObsState]:
+    """The active state, or None when disabled."""
+    return _STATE
+
+
+def enable(fresh: bool = True) -> ObsState:
+    """Turn tracing on; with ``fresh`` (default) start empty."""
+    global _STATE
+    if fresh or _STATE is None:
+        _STATE = ObsState()
+    return _STATE
+
+
+def disable() -> Optional[ObsState]:
+    """Turn tracing off; returns the detached state for inspection."""
+    global _STATE
+    detached, _STATE = _STATE, None
+    return detached
+
+
+def restore(previous: Optional[ObsState]) -> None:
+    """Reinstate a state captured by :func:`disable`."""
+    global _STATE
+    _STATE = previous
+
+
+def span(name: str, **attrs):
+    """A context-managed span, or the shared no-op when tracing is off.
+
+    The span parents under whatever span is active on the calling
+    context, so nested ``with obs.span(...)`` blocks build the tree.
+    """
+    current = _STATE
+    if current is None:
+        return NOOP_SPAN
+    return current.tracer.start_span(name, attrs)
+
+
+def event(type_: str, **fields) -> None:
+    """Append a structured event; no-op when tracing is off.
+
+    The active span's trace/span ids and the bound virtual clock (if
+    the sim kernel is running) are stamped on automatically.
+    """
+    current = _STATE
+    if current is None:
+        return
+    trace_id, span_id = current_ids()
+    vclock = _VCLOCK
+    current.events.emit(type_, trace_id=trace_id, span_id=span_id,
+                        vtime_ms=vclock() if vclock is not None else None,
+                        fields=fields)
+
+
+def bind_virtual_clock(
+        clock: Optional[Callable[[], float]],
+) -> Optional[Callable[[], float]]:
+    """Stamp events with ``vtime_ms`` from ``clock``; returns the
+    previously bound clock for a paired :func:`restore_virtual_clock`."""
+    global _VCLOCK
+    previous, _VCLOCK = _VCLOCK, clock
+    return previous
+
+
+def restore_virtual_clock(
+        previous: Optional[Callable[[], float]]) -> None:
+    global _VCLOCK
+    _VCLOCK = previous

@@ -1,0 +1,108 @@
+"""A bounded structured event log for the control plane.
+
+Every noteworthy control-plane transition — deploy outcomes, injected
+faults, breaker trips, evacuations, delta-vs-full push decisions —
+lands here as one typed dict, stamped with a monotonic sequence number,
+wall-clock milliseconds since the log's epoch, optionally the sim
+kernel's virtual time, and the trace/span ids of whatever span was
+active when it fired.  The log is a ring: the oldest events are
+evicted once ``max_events`` is reached (counted in
+``obs.events_dropped``).
+
+``repro events`` renders the ring as JSONL; subscribers registered via
+:meth:`EventLog.subscribe` see each event as it is emitted (the
+``--follow`` replay).  Subscriber callbacks run on the emitting thread,
+outside the log's lock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.perf import counters
+from repro.sanitize import make_lock
+
+#: events kept before the oldest are evicted
+DEFAULT_MAX_EVENTS = 4096
+
+Subscriber = Callable[[dict], None]
+
+
+class EventLog:
+    """Bounded ring of typed event dicts with live subscribers."""
+
+    def __init__(self, *, max_events: int = DEFAULT_MAX_EVENTS,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.epoch_s = clock()
+        self._events: deque = deque(  # guarded-by: _lock
+            maxlen=max(1, int(max_events)))
+        self._seq = 0  # guarded-by: _lock
+        self.dropped = 0  # guarded-by: _lock
+        self._subscribers: List[Subscriber] = []  # guarded-by: _lock
+        self._lock = make_lock("obs.events")
+
+    def emit(self, type_: str, *, trace_id: Optional[str] = None,
+             span_id: Optional[str] = None,
+             vtime_ms: Optional[float] = None,
+             fields: Optional[dict] = None) -> dict:
+        """Append one event; returns the stored dict."""
+        event: Dict[str, Any] = {"seq": 0,
+                                 "ts_ms": (self.clock() - self.epoch_s) * 1e3,
+                                 "type": type_}
+        if vtime_ms is not None:
+            event["vtime_ms"] = vtime_ms
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+        if span_id is not None:
+            event["span_id"] = span_id
+        if fields:
+            event.update(fields)
+        evicted = False
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+                evicted = True
+            self._events.append(event)
+            subscribers = list(self._subscribers)
+        counters.incr("obs.events")
+        if evicted:
+            counters.incr("obs.events_dropped")
+        for subscriber in subscribers:
+            subscriber(event)
+        return event
+
+    def events(self, *, type_prefix: str = "",
+               limit: Optional[int] = None) -> list[dict]:
+        """The retained events oldest-first, optionally filtered by a
+        ``type`` prefix and truncated to the most recent ``limit``."""
+        with self._lock:
+            retained = list(self._events)
+        if type_prefix:
+            retained = [event for event in retained
+                        if str(event.get("type", "")).startswith(type_prefix)]
+        if limit is not None:
+            retained = retained[-limit:]
+        return retained
+
+    def subscribe(self, callback: Subscriber) -> None:
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Subscriber) -> None:
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+    def __repr__(self) -> str:
+        return f"<EventLog {len(self._events)} events>"
+
+
+def render_jsonl(events: list[dict]) -> str:
+    """One compact JSON object per line, in the given order."""
+    return "\n".join(json.dumps(event, default=str) for event in events)

@@ -1,0 +1,91 @@
+"""Prometheus text-exposition rendering for :mod:`repro.perf`.
+
+Renders the global counters as ``repro_<name>_total`` counter families,
+each histogram as a classic cumulative-``_bucket``/``_sum``/``_count``
+family plus explicit ``_p50``/``_p95``/``_p99`` quantile gauges (the
+fixed buckets make server-side quantiles coarse; the client-side ones
+are exact up to bucket interpolation), and each gauge as a gauge
+family.  Dotted metric names are mangled to underscores under the
+``repro_`` prefix, per the exposition-format naming rules.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro import perf
+
+_MANGLE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: the explicit client-side quantiles rendered per histogram
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """``push.latency_s`` -> ``repro_push_latency_s<suffix>``."""
+    return "repro_" + _MANGLE.sub("_", name) + suffix
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _by_name(metrics_list) -> Dict[str, list]:
+    grouped: Dict[str, list] = {}
+    for metric in metrics_list:
+        grouped.setdefault(metric.name, []).append(metric)
+    return grouped
+
+
+def render_prometheus(*, registry: Optional[perf.MetricsRegistry] = None,
+                      counter_snapshot: Optional[dict] = None) -> str:
+    """The counters + histograms + gauges in Prometheus text format."""
+    registry = registry if registry is not None else perf.metrics
+    counter_values = (counter_snapshot if counter_snapshot is not None
+                      else perf.snapshot())
+    lines: List[str] = []
+
+    for name, value in sorted(counter_values.items()):
+        family = metric_name(name, "_total")
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {value:g}")
+
+    for name, histograms in sorted(_by_name(registry.histograms()).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} histogram")
+        for histogram in histograms:
+            snap = histogram.snapshot()
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, snap["counts"]):
+                cumulative += count
+                labels = histogram.labels + (("le", f"{bound:g}"),)
+                lines.append(f"{family}_bucket{_label_str(labels)} "
+                             f"{cumulative}")
+            labels = histogram.labels + (("le", "+Inf"),)
+            lines.append(f"{family}_bucket{_label_str(labels)} "
+                         f"{snap['count']}")
+            lines.append(f"{family}_sum{_label_str(histogram.labels)} "
+                         f"{snap['sum']:g}")
+            lines.append(f"{family}_count{_label_str(histogram.labels)} "
+                         f"{snap['count']}")
+        for suffix, q in QUANTILES:
+            quantile_family = metric_name(name, f"_{suffix}")
+            lines.append(f"# TYPE {quantile_family} gauge")
+            for histogram in histograms:
+                lines.append(
+                    f"{quantile_family}{_label_str(histogram.labels)} "
+                    f"{histogram.quantile(q):g}")
+
+    for name, gauges in sorted(_by_name(registry.gauges()).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        for gauge in gauges:
+            lines.append(f"{family}{_label_str(gauge.labels)} "
+                         f"{gauge.get():g}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,310 @@
+"""Spans, the tracer, and Chrome ``trace_event`` export.
+
+A :class:`Span` is one timed, named unit of work on one thread
+(``deploy``, ``deploy/map``, ``push/<domain>``, ...).  Spans nest: the
+currently active span lives in a :mod:`contextvars` variable, so a span
+opened on a dispatcher worker thread parents correctly as long as the
+caller's context was copied onto the worker (the
+:class:`~repro.orchestration.dispatch.DomainDispatcher` does this when
+tracing is on).  Parent/child links and the trace id travel with the
+span, which is what lets a ``breaker.trip`` event point back at the
+exact push that tripped it.
+
+Finished spans land in a bounded ring (oldest evicted, counted in
+``trace.dropped``); :meth:`Tracer.export_chrome` turns the ring into
+the Chrome ``trace_event`` JSON that Perfetto and ``chrome://tracing``
+load directly, and :func:`render_tree` prints the same spans as an
+indented tree for the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, Optional
+
+from repro.perf import counters
+from repro.sanitize import make_lock
+
+#: finished spans kept per tracer before the oldest are evicted
+DEFAULT_MAX_SPANS = 16384
+
+_CURRENT: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None)
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost span active on this thread's context, if any."""
+    return _CURRENT.get()
+
+
+def current_ids() -> tuple[Optional[str], Optional[str]]:
+    """(trace_id, span_id) of the active span, or (None, None)."""
+    span = _CURRENT.get()
+    if span is None:
+        return None, None
+    return span.trace_id, span.span_id
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled.
+
+    Supports the full :class:`Span` surface (context manager, ``set``,
+    id attributes) so instrumentation sites never branch beyond the
+    single ``obs.enabled()`` check.
+    """
+
+    __slots__ = ()
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def end(self) -> None:
+        return None
+
+
+#: the singleton no-op span (allocation-free instrumentation when off)
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, named unit of work on one thread."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_s",
+                 "end_s", "thread_id", "thread_name", "attrs", "status",
+                 "_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 span_id: str, parent_id: Optional[str],
+                 attrs: Optional[dict]) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = tracer.clock()
+        self.end_s: Optional[float] = None
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.status = "ok"
+        self._tracer = tracer
+        self._token = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = exc_type.__name__
+        self.end()
+        return False
+
+    def end(self) -> None:
+        """Close the span; idempotent."""
+        if self.end_s is not None:
+            return
+        self.end_s = self._tracer.clock()
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self._tracer._finish(self)
+
+    def __repr__(self) -> str:
+        state = "open" if self.end_s is None else "closed"
+        return (f"<Span {self.name} {self.span_id} "
+                f"trace={self.trace_id} {state}>")
+
+
+class Tracer:
+    """Creates spans, tracks the open set, rings the finished ones."""
+
+    def __init__(self, *, max_spans: int = DEFAULT_MAX_SPANS,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.epoch_s = clock()
+        self._seq = 0  # guarded-by: _lock
+        self._open: Dict[str, Span] = {}  # guarded-by: _lock
+        self._finished: deque = deque(  # guarded-by: _lock
+            maxlen=max(1, int(max_spans)))
+        self.dropped = 0  # guarded-by: _lock
+        self._lock = make_lock("obs.tracer")
+
+    def start_span(self, name: str, attrs: Optional[dict] = None, *,
+                   parent: Optional[Span] = None) -> Span:
+        """Open a span; the caller must close it (``with`` preferred).
+
+        With no explicit ``parent`` the span parents under the current
+        context's span — a root span when there is none.
+        """
+        if parent is None:
+            parent = _CURRENT.get()
+        with self._lock:
+            self._seq += 1
+            sequence = self._seq
+        if parent is None or parent.trace_id is None:
+            trace_id = f"t{sequence}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(self, name, trace_id, f"s{sequence}", parent_id, attrs)
+        with self._lock:
+            self._open[span.span_id] = span
+        counters.incr("trace.spans")
+        return span
+
+    def _finish(self, span: Span) -> None:
+        evicted = False
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+                evicted = True
+            self._finished.append(span)
+        if evicted:
+            counters.incr("trace.dropped")
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def open_spans(self) -> list[Span]:
+        """Spans started but not yet closed (leaks, if lingering)."""
+        with self._lock:
+            return list(self._open.values())
+
+    def export_chrome(self) -> dict:
+        """The whole ring as a Chrome ``trace_event`` JSON object.
+
+        Complete (``ph: "X"``) events carry microsecond timestamps
+        relative to the tracer epoch plus trace/span/parent ids in
+        ``args``; ``ph: "M"`` metadata events name each thread.  The
+        result loads directly in Perfetto / ``chrome://tracing``.
+        """
+        pid = os.getpid()
+        events: list[dict] = []
+        thread_names: Dict[int, str] = {}
+        for span in self.spans():
+            end_s = span.end_s if span.end_s is not None else self.clock()
+            args: Dict[str, Any] = {"trace_id": span.trace_id,
+                                    "span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            if span.status != "ok":
+                args["status"] = span.status
+            args.update(span.attrs)
+            events.append({
+                "name": span.name,
+                "cat": span.name.split("/", 1)[0],
+                "ph": "X",
+                "pid": pid,
+                "tid": span.thread_id,
+                "ts": (span.start_s - self.epoch_s) * 1e6,
+                "dur": max(0.0, (end_s - span.start_s) * 1e6),
+                "args": args,
+            })
+            thread_names.setdefault(span.thread_id, span.thread_name)
+        for tid in sorted(thread_names):
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_names[tid]},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(data: object) -> list[str]:
+    """Problems with ``data`` as a minimal Chrome trace, [] when valid.
+
+    Checks the subset this tracer emits (and CI gates on): a top-level
+    ``traceEvents`` list of objects with a name, a supported phase, and
+    integer pid/tid; complete events also need non-negative ts/dur.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing event name")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(f"{where}: unsupported phase {phase!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: {field} must be an integer")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: {field} must be a non-negative number")
+    return problems
+
+
+def render_tree(tracer: Tracer) -> str:
+    """Finished spans as an indented tree (roots in start order)."""
+    spans = tracer.spans()
+    if not spans:
+        return "(no spans recorded)"
+    children: Dict[Optional[str], list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span.start_s)
+    present = {span.span_id for span in spans}
+    roots = [span for span in spans
+             if span.parent_id is None or span.parent_id not in present]
+    roots.sort(key=lambda span: span.start_s)
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = " ".join(f"{key}={value}"
+                         for key, value in sorted(span.attrs.items()))
+        line = (f"{'  ' * depth}{span.name} "
+                f"{span.duration_s * 1e3:.2f} ms [{span.thread_name}]")
+        if attrs:
+            line += f" {attrs}"
+        if span.status != "ok":
+            line += f" !{span.status}"
+        lines.append(line)
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

@@ -38,7 +38,7 @@ from repro.openflow.channel import ControlChannel
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters
 from repro.resilience.retry import RetryPolicy
-from repro import sanitize
+from repro import obs, sanitize
 from repro.sdnnet.domain import SDNDomain
 from repro.un.domain import UniversalNodeDomain, UNLocalOrchestrator
 from repro.yang.config import config_digest, config_to_tree
@@ -146,6 +146,10 @@ class DomainAdapter(abc.ABC):
                 counters.incr("push.delta_noop")
             if profile.bytes_saved:
                 counters.incr("push.bytes_saved", profile.bytes_saved)
+            obs.event("push.mode", domain=self.name,
+                      mode=("noop" if profile.noop
+                            else "delta" if profile.delta else "full"),
+                      bytes=profile.bytes)
         else:
             exc = outcome.error
             report.success = False
@@ -294,6 +298,7 @@ class _NetconfAdapter(DomainAdapter):
                     raise
                 # base drifted (server restart, foreign writer): resync
                 counters.incr("push.delta_fallback")
+                obs.event("push.fallback", domain=self.name)
                 self.reset_delta_state()
                 self._last_push_bytes = 0
                 self._push(install)

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import obs
 from repro.mapping.base import (
     MappingResult,
     build_sap_attachments,
@@ -44,7 +45,7 @@ from repro.orchestration.adapters import DomainAdapter
 from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
 from repro.orchestration.dispatch import DEFAULT_MAX_WORKERS, DomainDispatcher
 from repro.orchestration.report import AdapterReport
-from repro.perf import counters
+from repro.perf import counters, observe, set_gauge
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.sanitize import make_lock
 
@@ -144,22 +145,24 @@ class ControllerAdaptationLayer:
         services.
         """
         def fetch(adapter: DomainAdapter) -> Optional[NFFG]:
-            breaker = self.breakers.get(adapter.name)
-            if breaker is not None and breaker.state is BreakerState.OPEN:
-                counters.incr("resilience.view.quarantined")
-                return None
-            try:
-                view = adapter.fetch_view()
-            except Exception:  # noqa: BLE001 - degrade, don't abort
-                counters.incr("resilience.view.unreachable")
-                if breaker is not None:
-                    breaker.record_failure()
-                return None
-            if breaker is not None and \
-                    breaker.state is BreakerState.HALF_OPEN:
-                # the fetch was the probe: the domain answered
-                breaker.record_success()
-            return view
+            with obs.span(f"view/{adapter.name}", domain=adapter.name):
+                breaker = self.breakers.get(adapter.name)
+                if breaker is not None and \
+                        breaker.state is BreakerState.OPEN:
+                    counters.incr("resilience.view.quarantined")
+                    return None
+                try:
+                    view = adapter.fetch_view()
+                except Exception:  # noqa: BLE001 - degrade, don't abort
+                    counters.incr("resilience.view.unreachable")
+                    if breaker is not None:
+                        breaker.record_failure()
+                    return None
+                if breaker is not None and \
+                        breaker.state is BreakerState.HALF_OPEN:
+                    # the fetch was the probe: the domain answered
+                    breaker.record_success()
+                return view
 
         adapters = list(self.adapters.values())
         fetched = self.dispatcher.run(
@@ -206,19 +209,24 @@ class ControllerAdaptationLayer:
 
     def _rebuild_dov(self) -> NFFG:
         counters.incr("dov.rebuild")
-        dov = self.pristine_view()
-        self._degraded_view = bool(self.last_view_failures)
-        self._deltas = {}
-        for service_id, (service, result) in self._deployed.items():
-            if not _replayable(dov, result):
-                # its substrate vanished from the merge (domain
-                # quarantined or unreachable): keep the booking but
-                # leave the service out of the degraded view — heal()
-                # evacuates it, or a later refresh re-applies it
-                self._deltas[service_id] = None
-                counters.incr("dov.replay_skipped")
-                continue
-            self._deltas[service_id] = _apply_inplace(dov, service, result)
+        started = time.perf_counter()
+        with obs.span("dov/rebuild"):
+            dov = self.pristine_view()
+            self._degraded_view = bool(self.last_view_failures)
+            self._deltas = {}
+            for service_id, (service, result) in self._deployed.items():
+                if not _replayable(dov, result):
+                    # its substrate vanished from the merge (domain
+                    # quarantined or unreachable): keep the booking but
+                    # leave the service out of the degraded view —
+                    # heal() evacuates it, or a later refresh
+                    # re-applies it
+                    self._deltas[service_id] = None
+                    counters.incr("dov.replay_skipped")
+                    continue
+                self._deltas[service_id] = _apply_inplace(
+                    dov, service, result)
+        observe("dov.rebuild_s", time.perf_counter() - started)
         return dov
 
     def _needs_refresh(self) -> bool:
@@ -247,6 +255,7 @@ class ControllerAdaptationLayer:
         self._deployed[service_id] = (service, result)
         self.generation += 1
         counters.incr("dov.apply_inplace")
+        set_gauge("cal.services_deployed", len(self._deployed))
 
     def remove_service(self, service_id: str) -> bool:
         if service_id not in self._deployed:
@@ -266,6 +275,7 @@ class ControllerAdaptationLayer:
             self._deltas.clear()
             counters.incr("dov.fallback")
         self.generation += 1
+        set_gauge("cal.services_deployed", len(self._deployed))
         return True
 
     def snapshot_service(self, service_id: str) -> tuple[NFFG, MappingResult]:
@@ -288,6 +298,7 @@ class ControllerAdaptationLayer:
                 self._deltas[service_id] = None
                 counters.incr("dov.replay_skipped")
         self.generation += 1
+        set_gauge("cal.services_deployed", len(self._deployed))
 
     def deployed_services(self) -> list[str]:
         return list(self._deployed)
@@ -318,11 +329,37 @@ class ControllerAdaptationLayer:
     def _push_one(self, adapter: DomainAdapter,
                   per_domain: dict[DomainType, NFFG], *,
                   force_full: bool = False) -> AdapterReport:
+        """One domain's push, traced: the ``push/<domain>`` span covers
+        the whole attempt *including* the breaker bookkeeping, so a
+        ``breaker.trip`` event carries the span id of the push that
+        tripped it.  Runs on a dispatcher worker thread under the
+        domain's FIFO mutex (context copied over when tracing is on)."""
+        with obs.span(f"push/{adapter.name}",
+                      domain=adapter.name) as span:
+            report = self._push_one_traced(adapter, per_domain,
+                                           force_full=force_full)
+            span.set(outcome=("skipped" if report.skipped
+                              else "ok" if report.success else "failed"),
+                     delta=report.delta, attempts=report.attempts)
+            obs.event("push", domain=adapter.name, success=report.success,
+                      skipped=report.skipped, delta=report.delta,
+                      attempts=report.attempts, error=report.error,
+                      push_ms=round(report.push_time_s * 1e3, 3))
+        if not report.skipped:
+            observe("push.latency_s", report.push_time_s,
+                    domain=adapter.name)
+        return report
+
+    def _push_one_traced(self, adapter: DomainAdapter,
+                         per_domain: dict[DomainType, NFFG], *,
+                         force_full: bool = False) -> AdapterReport:
         breaker = self.breakers.get(adapter.name)
         if breaker is not None and not breaker.allow():
             counters.incr("resilience.breaker.skip")
             with self._pending_lock:
                 self._pending_reconcile.add(adapter.name)
+                pending_count = len(self._pending_reconcile)
+            set_gauge("cal.pending_reconcile", pending_count)
             return AdapterReport(
                 domain=adapter.name, success=False, skipped=True,
                 error=(f"circuit open after "
@@ -354,6 +391,8 @@ class ControllerAdaptationLayer:
                     counters.incr("resilience.breaker.reconcile")
             else:
                 self._pending_reconcile.add(adapter.name)
+            pending_count = len(self._pending_reconcile)
+        set_gauge("cal.pending_reconcile", pending_count)
         if not report.success:
             # server state unknown: never diff against it again until a
             # full push re-establishes the base

@@ -26,9 +26,11 @@ first failure in submission order.
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from repro import obs
 from repro.perf import counters
 from repro.sanitize import make_lock
 
@@ -98,9 +100,19 @@ class DomainDispatcher:
         groups: dict[str, list[tuple[int, Callable[[], Any]]]] = {}
         for index, (domain, thunk) in enumerate(ops):
             groups.setdefault(domain, []).append((index, thunk))
-        futures: list[tuple[str, Future]] = [
-            (domain, executor.submit(self._run_group, domain, group))
-            for domain, group in groups.items()]
+        futures: list[tuple[str, Future]] = []
+        for domain, group in groups.items():
+            if obs.enabled():
+                # carry the caller's span context onto the worker so a
+                # push/<domain> span parents under the deploy that
+                # submitted it; one fresh Context per future (a Context
+                # cannot be entered concurrently)
+                context = contextvars.copy_context()
+                futures.append((domain, executor.submit(
+                    context.run, self._run_group, domain, group)))
+            else:
+                futures.append((domain, executor.submit(
+                    self._run_group, domain, group)))
         results: list[Any] = [None] * len(ops)
         errors: list[tuple[int, BaseException]] = []
         for domain, future in futures:

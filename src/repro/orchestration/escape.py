@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro import obs
 from repro.lint import DiagnosticList, Severity, lint_nffg
 from repro.mapping.base import Embedder
 from repro.mapping.decomposition import DecompositionLibrary
@@ -22,7 +23,7 @@ from repro.orchestration.cal import ControllerAdaptationLayer
 from repro.orchestration.adapters import DomainAdapter
 from repro.orchestration.report import DeployReport
 from repro.orchestration.ro import ResourceOrchestrator
-from repro.perf import counters
+from repro.perf import counters, observe
 from repro.sim.kernel import Simulator
 
 
@@ -77,7 +78,24 @@ class EscapeOrchestrator:
 
         Runs the shared simulator (when present) until every NF
         reported up, so callers can inject traffic right away.
+
+        With tracing on the whole request runs inside a root ``deploy``
+        span (stage spans nested under it) and lands one ``deploy``
+        event; end-to-end latency always feeds the ``deploy.latency_s``
+        histogram.
         """
+        with obs.span("deploy", service=service.id) as root:
+            report = self._deploy(service, wait_activation=wait_activation,
+                                  max_activation_ms=max_activation_ms)
+            root.set(outcome=report.resolved_outcome())
+            obs.event("deploy", service=service.id,
+                      outcome=report.resolved_outcome(), error=report.error,
+                      duration_ms=round(report.total_time_s * 1e3, 3))
+        observe("deploy.latency_s", report.total_time_s)
+        return report
+
+    def _deploy(self, service: NFFG, *, wait_activation: bool,
+                max_activation_ms: float) -> DeployReport:
         started = time.perf_counter()
         report = DeployReport(service_id=service.id, success=False)
         if service.id in self.cal.deployed_services():
@@ -87,7 +105,8 @@ class EscapeOrchestrator:
             return report
 
         lint_started = time.perf_counter()
-        blocking = self._verify_service(service, report)
+        with obs.span("deploy/lint"):
+            blocking = self._verify_service(service, report)
         report.lint_time_s = time.perf_counter() - lint_started
         if blocking:
             report.error = ("lint gate rejected service graph: "
@@ -110,10 +129,12 @@ class EscapeOrchestrator:
             return report
 
         view_started = time.perf_counter()
-        view = self.cal.resource_view()
+        with obs.span("deploy/view"):
+            view = self.cal.resource_view()
         report.view_time_s = time.perf_counter() - view_started
 
-        result = self._orchestrate(service, view)
+        with obs.span("deploy/map"):
+            result = self._orchestrate(service, view)
         report.mapping = result
         report.mapping_time_s = result.runtime_s
         if not result.success:
@@ -126,7 +147,8 @@ class EscapeOrchestrator:
             else service
         self.cal.commit_mapping(service.id, effective_service, result)
         push_started = time.perf_counter()
-        adapter_reports = self.cal.push_all()
+        with obs.span("deploy/push"):
+            adapter_reports = self.cal.push_all()
         report.push_time_s = time.perf_counter() - push_started
         report.adapters = adapter_reports
         report.domains_touched = len(
@@ -149,8 +171,9 @@ class EscapeOrchestrator:
 
         if wait_activation:
             activation_started = time.perf_counter()
-            report.activation_virtual_ms = self._wait_activation(
-                max_activation_ms)
+            with obs.span("deploy/activate"):
+                report.activation_virtual_ms = self._wait_activation(
+                    max_activation_ms)
             report.activation_time_s = (time.perf_counter()
                                         - activation_started)
         report.success = True
@@ -163,12 +186,17 @@ class EscapeOrchestrator:
         """Undo a half-deployed service and record how the
         reconciliation pushes went (satellite of the failure model:
         silently diverging rollbacks are themselves failures)."""
-        self.cal.remove_service(service_id)
-        report.rollback = self.cal.push_all()
+        rollback_started = time.perf_counter()
+        with obs.span("deploy/rollback", service=service_id):
+            self.cal.remove_service(service_id)
+            report.rollback = self.cal.push_all()
+        report.rollback_time_s = time.perf_counter() - rollback_started
         report.outcome = "failed"
         failed = report.rollback_failures()
         if failed:
             counters.incr("resilience.rollback.failures", len(failed))
+        obs.event("rollback", service=service_id,
+                  pushes=len(report.rollback), failures=len(failed))
 
     def _classify_push(self, result, adapter_reports) -> str:
         """``success`` when every domain the service touches took its
@@ -218,6 +246,14 @@ class EscapeOrchestrator:
         domain still holds the service's stale state — the report says
         which, instead of pretending the teardown completed.
         """
+        with obs.span("teardown", service=service_id) as root:
+            report = self._teardown(service_id)
+            root.set(outcome=report.resolved_outcome())
+            obs.event("teardown", service=service_id,
+                      outcome=report.resolved_outcome(), error=report.error)
+        return report
+
+    def _teardown(self, service_id: str) -> DeployReport:
         report = DeployReport(service_id=service_id, success=False)
         if not self.cal.remove_service(service_id):
             report.error = f"unknown service {service_id!r}"
@@ -259,6 +295,14 @@ class EscapeOrchestrator:
         """
         if service.id not in self.cal.deployed_services():
             return self.deploy(service)
+        with obs.span("update", service=service.id) as root:
+            report = self._update(service)
+            root.set(outcome=report.resolved_outcome())
+            obs.event("update", service=service.id,
+                      outcome=report.resolved_outcome(), error=report.error)
+        return report
+
+    def _update(self, service: NFFG) -> DeployReport:
         report = DeployReport(service_id=service.id, success=False)
         blocking = self._verify_service(service, report)
         if blocking:
@@ -290,15 +334,18 @@ class EscapeOrchestrator:
                     if not r.success and not r.skipped]
         if failures:
             # swap back to the previous version and reconcile
-            self.cal.remove_service(service.id)
-            self.cal.restore_service(service.id, snapshot)
+            rollback_started = time.perf_counter()
             report = DeployReport(
                 service_id=service.id, success=False, outcome="failed",
                 mapping=result, adapters=adapter_reports,
                 error=("update push failed, previous version restored: "
                        + "; ".join(f"{r.domain}: {r.error}"
                                    for r in failures)))
-            report.rollback = self.cal.push_all()
+            with obs.span("deploy/rollback", service=service.id):
+                self.cal.remove_service(service.id)
+                self.cal.restore_service(service.id, snapshot)
+                report.rollback = self.cal.push_all()
+            report.rollback_time_s = time.perf_counter() - rollback_started
             failed_rollback = report.rollback_failures()
             if failed_rollback:
                 counters.incr("resilience.rollback.failures",
@@ -306,6 +353,9 @@ class EscapeOrchestrator:
                 report.error += ("; rollback incomplete: "
                                  + "; ".join(f"{r.domain}: {r.error}"
                                              for r in failed_rollback))
+            obs.event("rollback", service=service.id,
+                      pushes=len(report.rollback),
+                      failures=len(failed_rollback))
             self.reports[service.id] = report
             return report
         if self.simulator is not None:
@@ -330,11 +380,18 @@ class EscapeOrchestrator:
         reports for everything re-mapped; a service whose relevant
         reconciliation push could not complete is marked ``degraded``.
         """
+        with obs.span("heal") as root:
+            reports = self._heal()
+            root.set(services=len(reports))
+        return reports
+
+    def _heal(self) -> dict[str, DeployReport]:
         fresh = self.cal.pristine_view()
         lost_domains = self.cal.quarantined_domains()
         if lost_domains:
             counters.incr("resilience.heal.domains_lost",
                           len(lost_domains))
+            obs.event("heal.domains_lost", domains=sorted(lost_domains))
         broken: list[str] = []
         for service_id in self.cal.deployed_services():
             _, result = self.cal.snapshot_service(service_id)
@@ -352,6 +409,7 @@ class EscapeOrchestrator:
                 broken.append(service_id)
                 if stranded:
                     counters.incr("resilience.heal.evacuations")
+                    obs.event("heal.evacuation", service=service_id)
         reports: dict[str, DeployReport] = {}
         if not broken:
             return reports
@@ -365,8 +423,9 @@ class EscapeOrchestrator:
             self.cal.remove_service(service_id)
         for service_id in broken:
             original_service, _ = snapshots[service_id]
-            view = self.cal.resource_view()
-            result = self._orchestrate(original_service, view)
+            with obs.span("heal/evacuate", service=service_id):
+                view = self.cal.resource_view()
+                result = self._orchestrate(original_service, view)
             if result.success:
                 effective = (result.service if result.service is not None
                              else original_service)

@@ -65,19 +65,25 @@ class DeployReport:
     mapping_time_s: float = 0.0
     push_time_s: float = 0.0
     activation_time_s: float = 0.0
+    #: wall-clock seconds spent undoing a half-deployed service on the
+    #: failed path (remove + reconciliation pushes); 0.0 when no
+    #: rollback ran
+    rollback_time_s: float = 0.0
     total_time_s: float = 0.0
     #: virtual milliseconds until all NFs were up (boot latency)
     activation_virtual_ms: float = 0.0
     domains_touched: int = 0
 
     def stage_timings(self) -> dict[str, float]:
-        """Per-stage wall-clock seconds, in pipeline order."""
+        """Per-stage wall-clock seconds, in pipeline order (rollback
+        last: it only runs on the failed path, after the push)."""
         return {
             "lint": self.lint_time_s,
             "view": self.view_time_s,
             "map": self.mapping_time_s,
             "push": self.push_time_s,
             "activate": self.activation_time_s,
+            "rollback": self.rollback_time_s,
         }
 
     @property

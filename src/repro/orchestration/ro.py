@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.mapping.base import Embedder, MappingResult
 from repro.mapping.decomposition import (
     DecompositionLibrary,
@@ -47,22 +48,25 @@ class ResourceOrchestrator:
         is shared across requests hitting the same substrate.
         """
         self.mappings_attempted += 1
-        if self.decomposition_library is not None:
-            result = map_with_decomposition(
-                self.embedder, service, resource_view,
-                self.decomposition_library,
-                max_options=self.max_decomposition_options,
-                path_cache=path_cache)
-        else:
-            # only forward the kwarg when set — embedder subclasses
-            # predating the path cache keep working uncached
-            kwargs = {"path_cache": path_cache} if path_cache is not None else {}
-            result = self.embedder.map(service, resource_view, **kwargs)
+        with obs.span("map/embed", embedder=self.embedder.name):
+            if self.decomposition_library is not None:
+                result = map_with_decomposition(
+                    self.embedder, service, resource_view,
+                    self.decomposition_library,
+                    max_options=self.max_decomposition_options,
+                    path_cache=path_cache)
+            else:
+                # only forward the kwarg when set — embedder subclasses
+                # predating the path cache keep working uncached
+                kwargs = {"path_cache": path_cache} \
+                    if path_cache is not None else {}
+                result = self.embedder.map(service, resource_view, **kwargs)
         if result.success and self.verify:
             effective_service = result.service if result.service is not None \
                 else service
-            problems = validate_mapping(effective_service, resource_view,
-                                        result)
+            with obs.span("map/validate"):
+                problems = validate_mapping(effective_service,
+                                            resource_view, result)
             if problems:
                 result.success = False
                 result.failure_reason = ("mapping verification failed: "

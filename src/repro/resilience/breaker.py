@@ -20,6 +20,7 @@ import enum
 import time
 from typing import Callable
 
+from repro import obs
 from repro.perf import counters
 
 
@@ -75,6 +76,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         if self._state is not BreakerState.CLOSED:
             counters.incr("resilience.breaker.close")
+            obs.event("breaker.close", breaker=self.name)
         self._state = BreakerState.CLOSED
         self.consecutive_failures = 0
 
@@ -91,10 +93,13 @@ class CircuitBreaker:
         self._opened_at = self.clock()
         self.trips += 1
         counters.incr("resilience.breaker.trip")
+        obs.event("breaker.trip", breaker=self.name,
+                  failures=self.consecutive_failures, trips=self.trips)
 
     def _half_open(self) -> None:
         self._state = BreakerState.HALF_OPEN
         counters.incr("resilience.breaker.halfopen")
+        obs.event("breaker.halfopen", breaker=self.name)
 
     def __repr__(self) -> str:
         return (f"<CircuitBreaker {self.name} {self._state.value} "

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import obs
 from repro.nffg.graph import NFFG
 from repro.orchestration.adapters import DomainAdapter
 from repro.orchestration.report import AdapterReport
@@ -222,6 +223,7 @@ class FaultPlan:
         self.history.append(_Injection(domain=domain, op=op, kind=kind))
         counters.incr("resilience.faults.injected")
         counters.incr(f"resilience.faults.{kind.value}")
+        obs.event("fault.injected", domain=domain, op=op, kind=kind.value)
 
     def netconf_hook(self, domain: str) -> Callable[[str], None]:
         """A ``NetconfClient.fault_hook`` bound to this plan: consults

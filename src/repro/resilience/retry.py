@@ -20,7 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.perf import counters
+from repro import obs
+from repro.perf import counters, observe
 from repro.sanitize import note_blocking
 from repro.sim.random import SeededRandom
 
@@ -118,9 +119,14 @@ class RetryPolicy:
                 rng = SeededRandom(self.seed)
             delay = self.backoff_for(attempt, rng)
             backoff_total += delay
-            if self.sleep is not None:
-                note_blocking(f"RetryPolicy.backoff({delay:g})")
-                self.sleep(delay)
+            observe("retry.backoff_s", delay)
+            obs.event("retry", attempt=attempt,
+                      delay_ms=round(delay * 1e3, 3),
+                      error=type(last_exc).__name__)
+            with obs.span("retry", attempt=attempt):
+                if self.sleep is not None:
+                    note_blocking(f"RetryPolicy.backoff({delay:g})")
+                    self.sleep(delay)
             counters.incr("resilience.retry.attempts")
         counters.incr("resilience.retry.giveup")
         return RetryOutcome(success=False, error=last_exc,

@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro import obs
 from repro.sanitize import make_lock
 
 
@@ -224,7 +225,25 @@ class Simulator:
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Run until the queue empties, ``until`` is reached, or
-        ``max_events`` events fired (guards against runaway loops)."""
+        ``max_events`` events fired (guards against runaway loops).
+
+        With tracing on, the whole run happens inside a ``sim/run``
+        span and the kernel's virtual clock is bound to the event log,
+        so every event emitted by a callback carries ``vtime_ms``.
+        """
+        if not obs.enabled():
+            self._run(until, max_events)
+            return
+        with obs.span("sim/run", at_ms=self.now) as span:
+            previous = obs.bind_virtual_clock(lambda: self.now)
+            try:
+                self._run(until, max_events)
+            finally:
+                obs.restore_virtual_clock(previous)
+            span.set(now_ms=self.now, events=self.events_processed)
+
+    def _run(self, until: Optional[float],
+             max_events: int) -> None:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True

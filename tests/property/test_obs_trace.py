@@ -1,0 +1,92 @@
+"""Trace-integrity properties under chaos (satellite of the
+observability layer).
+
+A seeded chaos storm — random deploy/update/teardown operations against
+a faulty domain — runs with tracing enabled.  Whatever the storm did,
+the resulting trace must be structurally sound:
+
+1. every span is closed (no leaks survive the storm);
+2. every non-root span parents onto a span in the same trace;
+3. every ``breaker.trip`` event carries the trace/span id of the
+   ``push/<domain>`` span whose failure tripped the breaker — the
+   cross-reference that lets an operator jump from the trip straight to
+   the offending push;
+4. the ring always exports valid Chrome trace JSON.
+
+``REPRO_CHAOS_SMOKE=1`` shrinks the example budget for the CI smoke
+job, same as the chaos soak.
+"""
+
+import os
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import obs
+from repro.obs.trace import validate_chrome_trace
+from repro.resilience import FaultKind, FaultPlan
+
+from tests.property.test_chaos_soak import (
+    _chaos_escape,
+    _drain,
+    _run_ops,
+    ops,
+)
+
+MAX_EXAMPLES = 6 if os.environ.get("REPRO_CHAOS_SMOKE") else 20
+
+
+@given(ops, st.integers(0, 2 ** 16))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_chaos_trace_is_closed_parented_and_cross_referenced(
+        operations, seed):
+    plan = FaultPlan.random_plan(seed, ["dom"], ops=("push",),
+                                 rate=0.3, length=60,
+                                 kinds=(FaultKind.ERROR, FaultKind.DROP,
+                                        FaultKind.FATAL))
+    previous = obs.disable()
+    state = obs.enable(fresh=True)
+    try:
+        escape, _ = _chaos_escape(plan)
+        _run_ops(escape, operations)
+        _drain(escape, plan)
+    finally:
+        obs.disable()
+        obs.restore(previous)
+
+    # 1. no span leaked open past the storm
+    assert state.tracer.open_spans() == []
+
+    spans = state.tracer.spans()
+    by_id = {span.span_id: span for span in spans}
+    assert len(by_id) == len(spans)  # span ids are unique
+
+    # 2. every span is closed and parents inside its own trace
+    for span in spans:
+        assert span.end_s is not None
+        assert span.end_s >= span.start_s
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            # a parent may only be missing if the ring evicted it
+            if parent is not None:
+                assert parent.trace_id == span.trace_id
+                assert parent.start_s <= span.start_s
+
+    # 3. breaker trips point back at the push span that tripped them
+    push_spans = {span.span_id: span for span in spans
+                  if span.name.startswith("push/")}
+    trips = [event for event in state.events.events()
+             if event["type"] == "breaker.trip"]
+    for trip in trips:
+        assert trip["span_id"] is not None
+        tripping = push_spans[trip["span_id"]]
+        assert tripping.name == f"push/{trip['breaker']}"
+        assert trip["trace_id"] == tripping.trace_id
+        # the push event on the same span reports the failure
+        push_events = [event for event in state.events.events()
+                       if event["type"] == "push"
+                       and event.get("span_id") == trip["span_id"]]
+        assert all(not event["success"] for event in push_events)
+
+    # 4. the ring always exports loadable Chrome trace JSON
+    assert validate_chrome_trace(state.tracer.export_chrome()) == []

@@ -73,3 +73,82 @@ class TestSubcommands:
         # first contact: every NETCONF domain ships the full config
         assert "push full" in out
         assert "push.full" in out
+
+
+class TestObservabilitySubcommands:
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(["trace", "--deploys", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("deploy ")
+        assert "  deploy/push" in out
+        for domain in ("emu", "sdn", "cloud", "un"):
+            assert f"push/{domain}" in out
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        from repro.obs.trace import validate_chrome_trace
+
+        target = tmp_path / "trace.json"
+        assert main(["trace", "--deploys", "1",
+                     "--chrome", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "Perfetto" in out
+        import json
+
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(data) == []
+        names = {event["name"] for event in data["traceEvents"]}
+        assert {"deploy", "deploy/push", "push/emu"} <= names
+
+    def test_trace_leaves_tracing_disabled(self):
+        from repro import obs
+
+        assert main(["trace", "--deploys", "1"]) == 0
+        assert not obs.enabled()
+
+    def test_metrics_prints_prometheus_percentiles(self, capsys):
+        assert main(["metrics", "--deploys", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_deploy_latency_s histogram" in out
+        assert 'repro_deploy_latency_s_bucket{le="+Inf"} 2' in out
+        for quantile in ("p50", "p95", "p99"):
+            assert f"repro_deploy_latency_s_{quantile} " in out
+        assert 'repro_push_latency_s_count{domain="emu"}' in out
+        assert "repro_cal_services_deployed 2" in out
+
+    def test_events_replays_jsonl(self, capsys):
+        import json
+
+        assert main(["events", "--deploys", "1"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines() if line]
+        types = {event["type"] for event in events}
+        assert "deploy" in types and "push" in types
+        assert all("seq" in event and "ts_ms" in event
+                   for event in events)
+
+    def test_events_limit(self, capsys):
+        import json
+
+        assert main(["events", "--deploys", "1", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) == 3
+        assert json.loads(lines[-1])["type"] == "deploy"
+
+    def test_events_follow_streams_live(self, capsys):
+        import json
+
+        assert main(["events", "--deploys", "1", "--follow"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines() if line]
+        assert any(event["type"] == "deploy" for event in events)
+
+    def test_events_with_faults_shows_fault_stream(self, capsys):
+        import json
+
+        assert main(["events", "--deploys", "2", "--faults",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        types = {json.loads(line)["type"]
+                 for line in out.splitlines() if line}
+        assert "fault.injected" in types

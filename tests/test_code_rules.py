@@ -303,6 +303,91 @@ class TestCC005GuardedBy:
         assert codes(diags) == []
 
 
+class TestCC006LeakedSpans:
+    def test_bare_span_call_flagged(self):
+        diags = lint("""
+            from repro import obs
+
+            def deploy(self, service):
+                obs.span("deploy", service=service.id)
+                return self._deploy(service)
+            """)
+        assert codes(diags) == ["CC006"]
+        assert "never closed" in diags[0].message
+
+    def test_assigned_but_never_closed_flagged(self):
+        diags = lint("""
+            def deploy(tracer):
+                span = tracer.start_span("deploy")
+                span.set(outcome="ok")
+            """)
+        assert codes(diags) == ["CC006"]
+
+    def test_with_statement_clean(self):
+        diags = lint("""
+            from repro import obs
+
+            def deploy(service):
+                with obs.span("deploy", service=service.id) as root:
+                    root.set(outcome="ok")
+            """)
+        assert codes(diags) == []
+
+    def test_assigned_then_with_clean(self):
+        diags = lint("""
+            def deploy(tracer):
+                span = tracer.start_span("deploy")
+                with span:
+                    pass
+            """)
+        assert codes(diags) == []
+
+    def test_assigned_then_end_in_finally_clean(self):
+        diags = lint("""
+            def deploy(tracer):
+                span = tracer.start_span("deploy")
+                try:
+                    work()
+                finally:
+                    span.end()
+            """)
+        assert codes(diags) == []
+
+    def test_returned_span_is_callers_problem(self):
+        # obs.span() itself hands the span to the caller; the opener
+        # is exempt when the call is returned directly
+        diags = lint("""
+            def span(name, **attrs):
+                current = _STATE
+                if current is None:
+                    return NOOP_SPAN
+                return current.tracer.start_span(name, attrs)
+            """)
+        assert codes(diags) == []
+
+    def test_nested_function_not_credited_with_outer_close(self):
+        # the inner function leaks its span even though the outer one
+        # closes a same-named variable
+        diags = lint("""
+            def outer(tracer):
+                span = tracer.start_span("outer")
+                span.end()
+
+                def inner():
+                    span = tracer.start_span("inner")
+            """)
+        assert codes(diags) == ["CC006"]
+
+    def test_unrelated_calls_not_flagged(self):
+        diags = lint("""
+            def work(nffg):
+                Span(tracer, "x")
+                nffg.copy()
+                lifespan("x")
+            """)
+        assert codes(diags) == []
+
+
 class TestSelfLint:
     def test_package_is_clean(self):
         # acceptance criterion: `repro check --self` reports zero

@@ -1,0 +1,154 @@
+"""Anti-drift gate for the counter catalog (observability satellite).
+
+:mod:`repro.perf`'s module docstring is the reference list of every
+counter the control plane can increment.  This test drives the stack
+hard enough to touch every counter group — traced deploys over the
+reference testbed, a chaos storm with retries/breaker trips/rollback,
+a heal — and then asserts that every counter name that actually
+incremented is documented.  Adding a counter without documenting it
+fails here, not in a code review six months later.
+"""
+
+import re
+
+from repro import obs, perf
+from repro.resilience import FaultKind, FaultPlan
+
+
+def _documented_names() -> tuple[set, set]:
+    """(exact names, wildcard prefixes) from the perf.py docstring.
+
+    Dotted names are documented literally; a ``prefix.<a|b|...>``
+    pattern documents ``prefix.a``/``prefix.b`` and — when ``...`` is
+    among the alternatives — any further name under ``prefix.``.
+    """
+    doc = perf.__doc__ or ""
+    names = set(re.findall(r"\b[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+\b", doc))
+    prefixes = set()
+    for prefix, alternatives in re.findall(
+            r"([a-z][a-z0-9_.]*\.)<([^>]+)>", doc):
+        parts = [part.strip() for part in alternatives.split("|")]
+        if "..." in parts:
+            prefixes.add(prefix)
+        names.update(prefix + part for part in parts if part != "...")
+    return names, prefixes
+
+
+def _is_documented(name: str, names: set, prefixes: set) -> bool:
+    return name in names \
+        or any(name.startswith(prefix) for prefix in prefixes)
+
+
+def _drive_the_stack():
+    """Touch every counter group: traced deploys, a chaos storm with a
+    fatal push (rollback), and reconciliation."""
+    from repro.service import ServiceRequestBuilder
+    from repro.topo import build_reference_multidomain
+
+    from tests.property.test_chaos_soak import (
+        _chaos_escape,
+        _drain,
+        _run_ops,
+    )
+
+    testbed = build_reference_multidomain()
+    for index in range(2):
+        request = (ServiceRequestBuilder(f"doc{index}")
+                   .sap("sap1").sap("sap2")
+                   .nf(f"doc{index}-fw", "firewall")
+                   .chain("sap1", f"doc{index}-fw", "sap2", bandwidth=1.0)
+                   .build())
+        assert testbed.service_layer.submit(request).success
+    testbed.escape.teardown("doc0")
+
+    plan = FaultPlan.random_plan(11, ["dom"], ops=("push",),
+                                 rate=0.5, length=60,
+                                 kinds=(FaultKind.ERROR, FaultKind.DROP,
+                                        FaultKind.FATAL))
+    escape, _ = _chaos_escape(plan)
+    _run_ops(escape, [("deploy", index) for index in range(4)]
+             + [("update", 1), ("teardown", 2), ("deploy", 2)])
+    _drain(escape, plan)
+    escape.heal()
+
+
+class TestCounterCatalog:
+    def test_every_incremented_counter_is_documented(self):
+        previous = obs.disable()
+        obs.enable(fresh=True)
+        perf.counters.reset()
+        try:
+            _drive_the_stack()
+        finally:
+            obs.disable()
+            obs.restore(previous)
+        names, prefixes = _documented_names()
+        incremented = sorted(perf.snapshot())
+        assert incremented, "the driver incremented nothing?"
+        undocumented = [name for name in incremented
+                        if not _is_documented(name, names, prefixes)]
+        assert undocumented == [], (
+            f"counters incremented at runtime but missing from the "
+            f"repro.perf docstring catalog: {undocumented}")
+
+    def test_driver_touches_every_counter_group(self):
+        """The gate above is only as good as its driver: make sure the
+        drive hits each documented group, so a counter in any group
+        would be caught if undocumented."""
+        previous = obs.disable()
+        obs.enable(fresh=True)
+        perf.counters.reset()
+        try:
+            _drive_the_stack()
+        finally:
+            obs.disable()
+            obs.restore(previous)
+        incremented = set(perf.snapshot())
+        for group in ("dov.", "nffg.", "pathcache.", "push.",
+                      "dispatch.", "resilience.", "trace.", "obs."):
+            assert any(name.startswith(group) for name in incremented), \
+                f"driver never incremented a {group}* counter"
+
+    def test_docstring_catalog_parses(self):
+        names, prefixes = _documented_names()
+        assert "dov.rebuild" in names
+        assert "trace.spans" in names
+        assert "obs.events" in names
+        assert "deploy.latency_s" in names
+        assert "resilience.faults." in prefixes
+
+    def test_histogram_and_gauge_names_are_documented(self):
+        """The metric (histogram/gauge) names recorded by a traced run
+        must be in the catalog too."""
+        previous = obs.disable()
+        obs.enable(fresh=True)
+        perf.reset()
+        try:
+            _drive_the_stack()
+        finally:
+            obs.disable()
+            obs.restore(previous)
+        names, prefixes = _documented_names()
+        recorded = sorted(perf.metrics.names())
+        assert recorded, "the driver recorded no metrics?"
+        undocumented = [name for name in recorded
+                        if not _is_documented(name, names, prefixes)]
+        assert undocumented == [], (
+            f"metrics recorded at runtime but missing from the "
+            f"repro.perf docstring catalog: {undocumented}")
+
+
+def test_snapshot_docstring_example_counters_exist():
+    """Spot-check that a handful of documented counters are real names
+    the code actually uses (guards against the docstring rotting in the
+    other direction)."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+    source = "\n".join(path.read_text(encoding="utf-8")
+                       for path in root.rglob("*.py"))
+    for name in ("dov.rebuild", "push.delta", "resilience.breaker.trip",
+                 "trace.spans", "obs.events", "deploy.latency_s",
+                 "cal.pending_reconcile"):
+        assert f'"{name}"' in source, \
+            f"documented counter {name} never referenced in src/repro"
