@@ -288,7 +288,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     print("\npush pipeline counters:")
     snapshot = perf.snapshot()
     shown = False
-    for prefix in ("push.", "dispatch."):
+    for prefix in ("push.", "dispatch.", "cal."):
         for name in sorted(name for name in snapshot if
                            name.startswith(prefix)):
             print(f"  {name:24s} {snapshot[name]:g}")

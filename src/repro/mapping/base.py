@@ -50,6 +50,10 @@ class MappingResult:
 
     success: bool
     mapped: Optional[NFFG] = None
+    #: the mapped graph restricted to the infras this mapping writes to
+    #: (NF hosts + routed BiS-BiSes): what the validator checks flow
+    #: rules against, at O(service) instead of O(substrate) cost
+    touched: Optional[NFFG] = None
     #: the (possibly decomposition-expanded) service graph that was mapped
     service: Optional[NFFG] = None
     nf_placement: dict[str, str] = field(default_factory=dict)
@@ -65,6 +69,38 @@ class MappingResult:
 
     def __bool__(self) -> bool:
         return self.success
+
+
+class _LazyMappedResult(MappingResult):
+    """A successful result whose full ``mapped`` graph is materialized
+    on first access.
+
+    The orchestration hot loop only reads ``touched`` (flow-rule
+    validation) and the placement/route tables, so the O(substrate)
+    copy behind ``mapped`` is usually never paid — callers that do ask
+    (renderers, virtualizer exports, tests) get the same graph the
+    eager commit used to produce.  Materialize promptly: the factory
+    reads the context's resource view, which the orchestrator mutates
+    between deployments."""
+
+    def __init__(self, *args, **kwargs):
+        self._mapped_factory = None
+        super().__init__(*args, **kwargs)
+
+    @property
+    def mapped(self) -> Optional[NFFG]:
+        if self._mapped is None and self._mapped_factory is not None:
+            self._mapped = self._mapped_factory()
+            self._mapped_factory = None
+        return self._mapped
+
+    @mapped.setter
+    def mapped(self, value: Optional[NFFG]) -> None:
+        self._mapped = value
+
+    def __repr__(self) -> str:  # the dataclass repr would materialize
+        return (f"<MappingResult success={self.success} "
+                f"nfs={len(self.nf_placement)} hops={len(self.hop_routes)}>")
 
 
 #: NF metadata keys understood by the placement machinery
@@ -432,10 +468,30 @@ class MappingContext:
             cost += route.bandwidth * len(route.link_ids) * 0.01
         return cost
 
-    def commit(self, mapped_id: Optional[str] = None) -> NFFG:
+    def touched_infra_ids(self) -> set[str]:
+        """The substrate infras this mapping writes to: NF hosts plus
+        every BiS-BiS traversed by a route."""
+        ids = set(self.placement.values())
+        for route in self.routes.values():
+            ids.update(route.infra_path)
+        return ids
+
+    def commit(self, mapped_id: Optional[str] = None, *,
+               touched_only: bool = False) -> NFFG:
         """Write placements, reservations and flow rules into a copy of
-        the resource view and return it."""
-        mapped = self.resource.copy(mapped_id or f"{self.resource.id}-mapped")
+        the resource view and return it.
+
+        With ``touched_only`` the copy is restricted to the infras the
+        mapping actually writes to (O(service), not O(substrate)) — the
+        validator checks flow rules against it, and the full mapped
+        graph is only materialized if someone asks for it."""
+        if touched_only:
+            mapped = self.resource.copy_subgraph(
+                mapped_id or f"{self.resource.id}-mapped",
+                self.touched_infra_ids())
+        else:
+            mapped = self.resource.copy(
+                mapped_id or f"{self.resource.id}-mapped")
         for nf_id, infra_id in self.placement.items():
             nf = self.service.nf(nf_id)
             if not mapped.has_node(nf_id):
@@ -493,13 +549,15 @@ class MappingContext:
                                  runtime_s=runtime_s, service=self.service,
                                  nodes_examined=self.nodes_examined,
                                  backtracks=self.backtracks)
-        mapped = self.commit(mapped_id)
-        return MappingResult(
-            success=True, mapped=mapped, service=self.service,
+        result = _LazyMappedResult(
+            success=True, service=self.service,
+            touched=self.commit(mapped_id, touched_only=True),
             nf_placement=dict(self.placement),
             hop_routes=dict(self.routes), decompositions=dict(self.decompositions),
             cost=self.total_cost(), runtime_s=runtime_s,
             nodes_examined=self.nodes_examined, backtracks=self.backtracks)
+        result._mapped_factory = lambda: self.commit(mapped_id)
+        return result
 
 
 class Embedder(abc.ABC):

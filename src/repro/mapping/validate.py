@@ -206,7 +206,10 @@ def _check_flowrules(service: NFFG,
                      result: MappingResult) -> list[Diagnostic]:
     """Every routed hop must have one flow rule per traversed BiS-BiS."""
     problems = []
-    mapped = result.mapped
+    # the touched-subgraph commit carries every installed flow rule
+    # (rules only land on touched infras) at O(service) size; fall
+    # back to the full mapped graph for hand-built results
+    mapped = result.touched if result.touched is not None else result.mapped
     if mapped is None:
         return [_diag(MP_FLOWRULES, "mapped NFFG missing")]
     rules_per_hop: dict[str, int] = {}

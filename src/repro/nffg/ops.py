@@ -25,7 +25,8 @@ from repro.nffg.model import (
 )
 
 
-def merge_nffgs(views: Iterable[NFFG], merged_id: str = "global-view") -> NFFG:
+def merge_nffgs(views: Iterable[NFFG], merged_id: str = "global-view", *,
+                stitch: bool = True) -> NFFG:
     """Merge domain views into a single global resource view.
 
     Node ids must be globally unique across domains (domain managers
@@ -34,6 +35,12 @@ def merge_nffgs(views: Iterable[NFFG], merged_id: str = "global-view") -> NFFG:
     ``sap_tag`` on *different* nodes are connected with an inter-domain
     link of zero cost; the tag is treated as the physical hand-off
     between providers.
+
+    With ``stitch=False`` the tag pairing is skipped: the merge is a
+    pure union and tagged ports stay open.  The sharded CAL merges each
+    shard's member views this way — a tag pair may span two shards, so
+    only the final shard-of-shards merge is allowed to stitch (pairing
+    twice would mint duplicate ``interdomain-*`` link ids).
     """
     merged = NFFG(id=merged_id, name="merged global view")
     tag_endpoints: dict[str, list[tuple[str, str]]] = {}
@@ -55,7 +62,7 @@ def merge_nffgs(views: Iterable[NFFG], merged_id: str = "global-view") -> NFFG:
                 if port.sap_tag is not None:
                     tag_endpoints.setdefault(port.sap_tag, []).append(
                         (infra.id, port.id))
-    for tag, endpoints in sorted(tag_endpoints.items()):
+    for tag, endpoints in sorted(tag_endpoints.items()) if stitch else ():
         if len(endpoints) < 2:
             continue
         if len(endpoints) > 2:

@@ -98,6 +98,16 @@ class DomainAdapter(abc.ABC):
     def get_view(self) -> NFFG:
         """The domain's pristine resource view (capacity, topology)."""
 
+    def own_infra_ids(self) -> frozenset[str]:
+        """The ids of the infras this adapter owns.
+
+        The CAL asks for this on every install slice; the default
+        derives it from :meth:`get_view`, adapters that hold a live
+        view override it to skip the full-graph copy ``get_view``
+        usually implies.
+        """
+        return frozenset(infra.id for infra in self.get_view().infras)
+
     @abc.abstractmethod
     def _push(self, install: NFFG) -> None:
         """Push a (cumulative) install graph in full; raise on failure."""
@@ -440,6 +450,10 @@ class DirectDomainAdapter(DomainAdapter):
 
     def get_view(self) -> NFFG:
         return self._view.copy()
+
+    def own_infra_ids(self) -> frozenset[str]:
+        # the live view is at hand: no need for the get_view() copy
+        return frozenset(infra.id for infra in self._view.infras)
 
     def _push(self, install: NFFG) -> None:
         self.installed.append(install)

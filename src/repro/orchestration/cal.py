@@ -17,21 +17,40 @@ registration, :meth:`mark_stale` after link failures) and drives
 path-cache invalidation upstream.  :meth:`rebuild` is the explicit
 escape hatch back to a from-scratch merge.
 
-Adapter fan-out is **concurrent**: ``push_all``/``reconcile``/
-``pristine_view`` hand their per-adapter operations to a
+The registry is **sharded**: adapters are partitioned into
+:class:`CALShard` buckets (explicit shard map, else a stable hash of
+the adapter name), each shard caches its own merged sub-view with a
+per-shard generation counter, and the global DoV is a lazy stitched
+view — a rebuild refetches only the shards marked stale and re-merges
+the cached sub-views of the rest, so view maintenance is proportional
+to what actually changed, not to the number of registered domains.
+Sub-views are merged *unstitched*; sap-tag pairs are only fused at the
+final shard-of-shards stitch (a pair may span two shards).
+
+Push fan-out is **planned**: ``commit_mapping``/``remove_service``/
+``restore_service`` record the touched-domain set of the mapping they
+applied, and :meth:`push_planned` submits dispatcher ops only for
+those domains (plus any queued reconciliations whose breaker admits a
+push again) — per-deploy push work is proportional to the domains a
+service touches.  :meth:`push_all` keeps the full fan-out for
+operator-driven reconciliation and remains the idempotent baseline.
+
+Adapter fan-out is **concurrent**: ``push_all``/``push_planned``/
+``reconcile``/``pristine_view`` hand their per-adapter operations to a
 :class:`~repro.orchestration.dispatch.DomainDispatcher`, which runs
 distinct domains in parallel while keeping per-domain operations
 strictly serial (one in-flight op per adapter).  Shared bookkeeping
-(the reconciliation queue, perf counters, fault plans) is locked;
-breakers and adapter delta state are only ever touched by their own
-domain's single in-flight operation.
+(the per-shard reconciliation queues, perf counters, fault plans) is
+locked; breakers and adapter delta state are only ever touched by
+their own domain's single in-flight operation.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro import obs
 from repro.mapping.base import (
@@ -39,10 +58,10 @@ from repro.mapping.base import (
     build_sap_attachments,
     install_hop_flowrules,
 )
-from repro.nffg.graph import NFFG
-from repro.nffg.model import DomainType, NodeNF
+from repro.nffg.graph import NFFG, NFFGError
+from repro.nffg.model import DomainType, NodeNF, NodeSAP, ResourceVector
 from repro.orchestration.adapters import DomainAdapter
-from repro.nffg.ops import merge_nffgs, remaining_nffg, split_per_domain
+from repro.nffg.ops import merge_nffgs, remaining_nffg
 from repro.orchestration.dispatch import DEFAULT_MAX_WORKERS, DomainDispatcher
 from repro.orchestration.report import AdapterReport
 from repro.perf import counters, observe, set_gauge
@@ -71,23 +90,81 @@ class _ServiceDelta:
     hop_ids: set[str] = field(default_factory=set)
 
 
+class CALShard:
+    """One partition of the adapter registry.
+
+    Holds the shard's member adapters (registration order), its cached
+    merged sub-view (*unstitched*: sap-tag pairs stay open until the
+    global stitch — a pair may span two shards) and the per-shard
+    resilience bookkeeping.  ``generation`` counts sub-view refreshes;
+    ``stale`` marks the sub-view for a refetch at the next stitch.
+    Only complete sub-views are cached: a shard whose fetch lost a
+    member stays stale so every later stitch retries the domain.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: member adapter names in registration order
+        self.adapter_names: list[str] = []
+        #: cached merged sub-view (None until first refresh, or when
+        #: every member view was unavailable)
+        self.view: Optional[NFFG] = None
+        #: sub-view version: bumped on every refresh
+        self.generation = 0
+        #: the cached sub-view no longer reflects the member domains
+        self.stale = True
+        #: members excluded from the cached sub-view (breaker open, or
+        #: fetch failed after retries)
+        self.view_failures: set[str] = set()
+        #: infra id -> owning member adapter, from the latest refresh
+        self.owners: dict[str, str] = {}
+        #: members holding stale configuration (push skipped/failed),
+        #: replayed by reconcile; mutated by concurrent ``_push_one``
+        #: calls on dispatcher workers, hence the per-shard lock
+        self.pending: set[str] = set()  # guarded-by: lock
+        self.lock = make_lock(f"cal.shard{index}.pending")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<CALShard {self.index}: {len(self.adapter_names)} "
+                f"adapters{' stale' if self.stale else ''}>")
+
+
 class ControllerAdaptationLayer:
     """Adapter registry + incremental DoV maintenance + install fan-out."""
 
     def __init__(self, *, breaker_failure_threshold: int = 3,
                  breaker_recovery_s: float = 30.0,
                  breaker_clock: Callable[[], float] = time.monotonic,
-                 push_workers: int = DEFAULT_MAX_WORKERS) -> None:
+                 push_workers: int = DEFAULT_MAX_WORKERS,
+                 shards: int = 1,
+                 shard_map: Optional[dict[str, int]] = None) -> None:
         self.adapters: dict[str, DomainAdapter] = {}
         #: concurrent per-domain fan-out; ``push_workers <= 1`` degrades
         #: to strictly serial pushes on the caller's thread
         self.dispatcher = DomainDispatcher(push_workers,
                                            serial=push_workers <= 1)
+        #: adapter partition; ``shard_map`` pins adapter names to shard
+        #: indexes, everything else hashes on the name (stable across
+        #: runs and registration orders)
+        count = max(1, int(shards))
+        if shard_map:
+            count = max(count, max(shard_map.values()) + 1)
+        self.shards: list[CALShard] = [CALShard(i) for i in range(count)]
+        self._shard_map = dict(shard_map or {})
+        self._shard_of: dict[str, CALShard] = {}
+        #: adapters grouped by DomainType, maintained at register time
+        #: so ``adapters_for`` never scans the registry
+        self._adapters_by_type: dict[DomainType, list[DomainAdapter]] = {}
         self._dov: Optional[NFFG] = None
         #: deployed services: service id -> (service graph, mapping result)
         self._deployed: dict[str, tuple[NFFG, MappingResult]] = {}
         #: per-service inverse records, valid for the *live* ``_dov`` only
         self._deltas: dict[str, _ServiceDelta] = {}
+        #: cached northbound remaining-capacity view, maintained
+        #: incrementally by commit/remove; generation-tagged so any
+        #: unmaintained DoV mutation forces a re-derivation
+        self._remaining: Optional[NFFG] = None
+        self._remaining_generation = -1
         #: DoV content version: bumped on every apply/remove/rebuild
         self.generation = 0
         #: substrate topology version: bumped when domain views change
@@ -97,13 +174,13 @@ class ControllerAdaptationLayer:
         self.breaker_failure_threshold = breaker_failure_threshold
         self.breaker_recovery_s = breaker_recovery_s
         self.breaker_clock = breaker_clock
-        #: domains whose cumulative config is stale (push skipped or
-        #: failed) and must be replayed once they accept pushes again;
-        #: mutated by concurrent ``_push_one`` calls, hence the lock
-        self._pending_reconcile: set[str] = set()  # guarded-by: _pending_lock
-        self._pending_lock = make_lock("cal.pending")
-        #: per-adapter own-infra-id cache for ``_slice_for``, valid for
-        #: one substrate topology generation
+        #: domains whose cumulative configuration changed since the
+        #: last planned push; consumed by :meth:`push_planned`.  Only
+        #: mutated on the orchestrator's thread (commit/remove/restore
+        #: and rebuilds happen before any fan-out starts).
+        self._dirty: set[str] = set()
+        #: per-adapter own-infra-id cache for ``_install_for``, valid
+        #: for one substrate topology generation
         self._own_infra_cache: dict[str, tuple[int, frozenset[str]]] = {}
         #: domains whose view could not enter the latest pristine merge
         #: (breaker open, or fetch failed after retries)
@@ -121,22 +198,56 @@ class ControllerAdaptationLayer:
         if adapter.name in self.adapters:
             raise ValueError(f"duplicate adapter {adapter.name!r}")
         self.adapters[adapter.name] = adapter
+        self._adapters_by_type.setdefault(
+            adapter.domain_type, []).append(adapter)
+        shard = self.shards[self._shard_index(adapter.name)]
+        shard.adapter_names.append(adapter.name)
+        self._shard_of[adapter.name] = shard
         self.breakers[adapter.name] = CircuitBreaker(
             adapter.name,
             failure_threshold=self.breaker_failure_threshold,
             recovery_time_s=self.breaker_recovery_s,
             clock=self.breaker_clock)
-        self.mark_stale()  # topology changed, rebuild lazily
+        # topology changed, but only the new adapter's shard needs a
+        # refetch — the other sub-views are still current
+        self.mark_stale(domains=(adapter.name,))
         return adapter
 
+    def _shard_index(self, name: str) -> int:
+        explicit = self._shard_map.get(name)
+        if explicit is not None:
+            if not 0 <= explicit < len(self.shards):
+                raise ValueError(
+                    f"shard_map pins {name!r} to shard {explicit}, but "
+                    f"only shards 0..{len(self.shards) - 1} exist")
+            return explicit
+        return zlib.crc32(name.encode("utf-8")) % len(self.shards)
+
+    def shard_of(self, name: str) -> int:
+        """The shard index an adapter name lives in (registered or not)."""
+        shard = self._shard_of.get(name)
+        return shard.index if shard is not None else self._shard_index(name)
+
     def adapters_for(self, domain_type: DomainType) -> list[DomainAdapter]:
-        return [adapter for adapter in self.adapters.values()
-                if adapter.domain_type == domain_type]
+        return list(self._adapters_by_type.get(domain_type, ()))
 
     # -- global view --------------------------------------------------------------
 
-    def pristine_view(self) -> NFFG:
+    def pristine_view(self, *, refresh: bool = True) -> NFFG:
         """Merge of all current adapter views (no deployment state).
+
+        The merge is shard-wise: every *stale* shard refetches its
+        member views (one concurrent dispatcher batch across all stale
+        shards) and re-merges its cached sub-view; fresh shards are
+        reused as-is.  The global view is then stitched from the
+        sub-views (sap-tag pairs fused here, and only here).
+
+        With ``refresh`` (the default) every shard is marked stale
+        first: callers asking for the pristine view directly —
+        ``heal()`` probing for outages — expect current domain truth,
+        not caches.  The incremental-DoV rebuild path passes
+        ``refresh=False`` and pays only for shards something
+        invalidated.
 
         Degrades gracefully: a domain whose breaker is open is not even
         asked (it is quarantined), and a domain whose view fetch fails
@@ -144,45 +255,93 @@ class ControllerAdaptationLayer:
         :attr:`last_view_failures` so ``heal()`` can evacuate their
         services.
         """
-        def fetch(adapter: DomainAdapter) -> Optional[NFFG]:
-            with obs.span(f"view/{adapter.name}", domain=adapter.name):
-                breaker = self.breakers.get(adapter.name)
-                if breaker is not None and \
-                        breaker.state is BreakerState.OPEN:
-                    counters.incr("resilience.view.quarantined")
-                    return None
-                try:
-                    view = adapter.fetch_view()
-                except Exception:  # noqa: BLE001 - degrade, don't abort
-                    counters.incr("resilience.view.unreachable")
-                    if breaker is not None:
-                        breaker.record_failure()
-                    return None
-                if breaker is not None and \
-                        breaker.state is BreakerState.HALF_OPEN:
-                    # the fetch was the probe: the domain answered
-                    breaker.record_success()
-                return view
-
-        adapters = list(self.adapters.values())
-        fetched = self.dispatcher.run(
-            (adapter.name, lambda adapter=adapter: fetch(adapter))
-            for adapter in adapters)
+        if refresh:
+            for shard in self.shards:
+                shard.stale = True
+        populated = [shard for shard in self.shards if shard.adapter_names]
+        stale = [shard for shard in populated if shard.stale]
+        if stale:
+            counters.incr("cal.shard.refresh", len(stale))
+        if len(populated) > len(stale):
+            counters.incr("cal.shard.reuse", len(populated) - len(stale))
+        self._refresh_shards(stale)
         views: list[NFFG] = []
         owners: dict[str, str] = {}
         failures: set[str] = set()
-        for adapter, view in zip(adapters, fetched):
-            if view is None:
-                failures.add(adapter.name)
-                continue
-            for infra in view.infras:
-                owners[infra.id] = adapter.name
-            views.append(view)
+        for shard in populated:
+            if shard.view is not None:
+                views.append(shard.view)
+            owners.update(shard.owners)
+            failures |= shard.view_failures
         self.last_view_failures = failures
         self._infra_owner = owners
         if not views:
             return NFFG(id="dov-empty")
-        return merge_nffgs(views, merged_id="dov")
+        started = time.perf_counter()
+        counters.incr("cal.shard.stitch")
+        merged = merge_nffgs(views, merged_id="dov")
+        observe("cal.shard.stitch_s", time.perf_counter() - started)
+        return merged
+
+    def _fetch_view(self, adapter: DomainAdapter) -> Optional[NFFG]:
+        """One domain's view fetch with breaker quarantine/probing."""
+        with obs.span(f"view/{adapter.name}", domain=adapter.name):
+            breaker = self.breakers.get(adapter.name)
+            if breaker is not None and \
+                    breaker.state is BreakerState.OPEN:
+                counters.incr("resilience.view.quarantined")
+                return None
+            try:
+                view = adapter.fetch_view()
+            except Exception:  # noqa: BLE001 - degrade, don't abort
+                counters.incr("resilience.view.unreachable")
+                if breaker is not None:
+                    breaker.record_failure()
+                return None
+            if breaker is not None and \
+                    breaker.state is BreakerState.HALF_OPEN:
+                # the fetch was the probe: the domain answered
+                breaker.record_success()
+            return view
+
+    def _refresh_shards(self, shards: list[CALShard]) -> None:
+        """Refetch the member views of the given shards (one dispatcher
+        batch spanning all of them, so distinct domains still fan out
+        in parallel) and re-merge each sub-view.  A shard that lost a
+        member stays stale — only complete sub-views are cached, so
+        the next stitch retries the missing domain."""
+        pairs = [(shard, self.adapters[name])
+                 for shard in shards for name in shard.adapter_names]
+        if not pairs:
+            for shard in shards:
+                shard.stale = False  # nothing to fetch
+            return
+        fetched = self.dispatcher.run(
+            (adapter.name,
+             lambda adapter=adapter: self._fetch_view(adapter))
+            for _, adapter in pairs)
+        by_shard: dict[int, list[tuple[DomainAdapter, Optional[NFFG]]]] = {}
+        for (shard, adapter), view in zip(pairs, fetched):
+            by_shard.setdefault(shard.index, []).append((adapter, view))
+        for shard in shards:
+            with obs.span(f"merge/shard{shard.index}", shard=shard.index):
+                views: list[NFFG] = []
+                shard.owners = {}
+                shard.view_failures = set()
+                for adapter, view in by_shard.get(shard.index, []):
+                    if view is None:
+                        shard.view_failures.add(adapter.name)
+                        continue
+                    for infra in view.infras:
+                        shard.owners[infra.id] = adapter.name
+                    views.append(view)
+                # unstitched: tag pairs may span shards, the global
+                # stitch in pristine_view fuses them exactly once
+                shard.view = merge_nffgs(
+                    views, merged_id=f"dov-shard{shard.index}",
+                    stitch=False) if views else None
+            shard.generation += 1
+            shard.stale = bool(shard.view_failures)
 
     @property
     def dov(self) -> NFFG:
@@ -191,19 +350,40 @@ class ControllerAdaptationLayer:
             self._dov = self._rebuild_dov()
         return self._dov
 
-    def mark_stale(self) -> None:
+    def mark_stale(self, domains: Optional[Iterable[str]] = None) -> None:
         """Declare the substrate topology changed (adapter added, link
         failure observed): drop the live DoV and its deltas so the next
-        access re-merges fresh domain views."""
+        access re-merges fresh domain views.
+
+        ``domains`` narrows the refetch to the shards owning the named
+        domains — the other shards' cached sub-views are reused at the
+        next stitch.  ``None`` (the location of the change is unknown)
+        stales every shard.  An *empty* iterable invalidates the DoV,
+        deltas and path caches without staling any shard: used when
+        the domain views were just refetched and only the derived
+        state must go.
+        """
+        if domains is None:
+            for shard in self.shards:
+                shard.stale = True
+        else:
+            for name in domains:
+                shard = self._shard_of.get(name)
+                if shard is not None:
+                    shard.stale = True
         self._dov = None
         self._deltas.clear()
+        self._remaining = None
         self.generation += 1
         self.topology_generation += 1
 
     def rebuild(self) -> NFFG:
         """Explicit escape hatch: force a from-scratch re-merge now."""
+        for shard in self.shards:
+            shard.stale = True
         self._dov = None
         self._deltas.clear()
+        self._remaining = None
         self.generation += 1
         return self.dov
 
@@ -211,7 +391,7 @@ class ControllerAdaptationLayer:
         counters.incr("dov.rebuild")
         started = time.perf_counter()
         with obs.span("dov/rebuild"):
-            dov = self.pristine_view()
+            dov = self.pristine_view(refresh=False)
             self._degraded_view = bool(self.last_view_failures)
             self._deltas = {}
             for service_id, (service, result) in self._deployed.items():
@@ -226,6 +406,10 @@ class ControllerAdaptationLayer:
                     continue
                 self._deltas[service_id] = _apply_inplace(
                     dov, service, result)
+        # after a rebuild the per-domain desired configs may all have
+        # shifted (deferred replays re-entered, substrate came back):
+        # the planner falls back to a full fan-out once
+        self._dirty.update(self.adapters)
         observe("dov.rebuild_s", time.perf_counter() - started)
         return dov
 
@@ -237,15 +421,74 @@ class ControllerAdaptationLayer:
             self._degraded_view
             or any(delta is None for delta in self._deltas.values()))
 
-    def resource_view(self) -> NFFG:
+    def resource_view(self, *, copy: bool = True) -> NFFG:
         """What the RO should map against: the substrate with remaining
         resources.  Deployed NFs are netted out of the capacities but
         not advertised themselves — the northbound view stays
-        substrate-sized no matter how much is deployed."""
-        return remaining_nffg(self.dov, new_id="dov-remaining",
-                              include_deployed=False)
+        substrate-sized no matter how much is deployed.
+
+        The view is cached between calls and maintained incrementally:
+        commits and removals adjust only the touched infras and route
+        links (O(service), not O(substrate)); every other DoV mutation
+        falls back to a full re-derivation via the generation tag.
+        ``copy=False`` hands out the live cached view — the deploy hot
+        loop uses it to stay O(touched); such callers must treat the
+        graph as read-only (embedders do: reservations live in the
+        mapping ledger, never in the input view)."""
+        dov = self.dov   # may rebuild and bump the generation: read first
+        if self._remaining is None \
+                or self._remaining_generation != self.generation:
+            self._remaining = remaining_nffg(dov, new_id="dov-remaining",
+                                             include_deployed=False)
+            self._remaining_generation = self.generation
+            counters.incr("cal.remaining.rebuild")
+        else:
+            counters.incr("cal.remaining.reuse")
+        if copy:
+            return self._remaining.copy("dov-remaining")
+        return self._remaining
+
+    def _update_remaining(self, service: NFFG, result: MappingResult,
+                          sign: float) -> None:
+        """Fold a mapping just applied to (``sign=1``) or removed from
+        (``sign=-1``) the DoV into the cached remaining view, touching
+        only the placed infras and routed links.  Call *after* bumping
+        ``generation``; any inconsistency drops the cache instead of
+        serving a wrong capacity."""
+        remaining = self._remaining
+        if remaining is None:
+            return
+        try:
+            for nf_id, infra_id in result.nf_placement.items():
+                infra = remaining.infra(infra_id)
+                demand = service.nf(nf_id).resources
+                free = infra.resources
+                infra.resources = ResourceVector(
+                    cpu=max(free.cpu - sign * demand.cpu, 0.0),
+                    mem=max(free.mem - sign * demand.mem, 0.0),
+                    storage=max(free.storage - sign * demand.storage, 0.0),
+                    bandwidth=free.bandwidth, delay=free.delay)
+            for route in result.hop_routes.values():
+                for link_id in route.link_ids:
+                    link = remaining.edge(link_id)
+                    link.bandwidth = max(
+                        link.bandwidth - sign * route.bandwidth, 0.0)
+        except (KeyError, NFFGError):
+            # a placement or route no longer resolves in the cached
+            # substrate (topology moved underneath): re-derive lazily
+            self._remaining = None
+            return
+        self._remaining_generation = self.generation
 
     # -- deployment ---------------------------------------------------------------------
+
+    def _mark_dirty(self, result: MappingResult) -> None:
+        """Record a mapping's touched domains for the push planner; a
+        mapping whose owners cannot be resolved (ownership map not
+        built yet, foreign replay) dirties everything — correctness
+        over planning."""
+        touched = self.adapter_names_for(result)
+        self._dirty.update(touched if touched else self.adapters)
 
     def commit_mapping(self, service_id: str, service: NFFG,
                        result: MappingResult) -> None:
@@ -253,28 +496,37 @@ class ControllerAdaptationLayer:
         dov = self.dov
         self._deltas[service_id] = _apply_inplace(dov, service, result)
         self._deployed[service_id] = (service, result)
+        self._mark_dirty(result)
         self.generation += 1
+        self._update_remaining(service, result, 1.0)
         counters.incr("dov.apply_inplace")
         set_gauge("cal.services_deployed", len(self._deployed))
 
     def remove_service(self, service_id: str) -> bool:
         if service_id not in self._deployed:
             return False
+        removed_service, removed_result = self._deployed[service_id]
+        self._mark_dirty(removed_result)
         del self._deployed[service_id]
         had_delta = service_id in self._deltas
         delta = self._deltas.pop(service_id, None)
+        self.generation += 1
         if had_delta and delta is None:
-            pass  # replay was skipped: never entered the live view
+            # replay was skipped: never entered the live view, so the
+            # cached remaining capacities are untouched
+            if self._remaining is not None:
+                self._remaining_generation = self.generation
         elif self._dov is not None and delta is not None:
             _remove_inplace(self._dov, delta)
+            self._update_remaining(removed_service, removed_result, -1.0)
             counters.incr("dov.remove_inplace")
         else:
             # no live view (or no delta for it): fall back to a lazy
             # from-scratch rebuild on next access
             self._dov = None
             self._deltas.clear()
+            self._remaining = None
             counters.incr("dov.fallback")
-        self.generation += 1
         set_gauge("cal.services_deployed", len(self._deployed))
         return True
 
@@ -286,18 +538,23 @@ class ControllerAdaptationLayer:
                         snapshot: tuple[NFFG, MappingResult]) -> None:
         """Put a previously snapshotted service back (rollback path)."""
         self._deployed[service_id] = snapshot
+        self._mark_dirty(snapshot[1])
+        self.generation += 1
         if self._dov is not None:
             service, result = snapshot
             if _replayable(self._dov, result):
                 self._deltas[service_id] = _apply_inplace(
                     self._dov, service, result)
+                self._update_remaining(service, result, 1.0)
                 counters.incr("dov.apply_inplace")
             else:
                 # restoring onto a degraded view whose substrate is
                 # gone: book it, defer the replay to the next refresh
+                # (the cached remaining capacities are untouched)
                 self._deltas[service_id] = None
+                if self._remaining is not None:
+                    self._remaining_generation = self.generation
                 counters.incr("dov.replay_skipped")
-        self.generation += 1
         set_gauge("cal.services_deployed", len(self._deployed))
 
     def deployed_services(self) -> list[str]:
@@ -316,18 +573,67 @@ class ControllerAdaptationLayer:
         next :meth:`push_all` once the breaker half-opens).
 
         Pushes toward distinct domains run concurrently through the
-        dispatcher; the report list keeps registration order.
+        dispatcher; the report list keeps registration order.  The
+        service lifecycle uses the planned variant
+        (:meth:`push_planned`); the full fan-out stays the baseline for
+        operator-driven reconciliation, rollback and state import.
         """
-        if self._needs_refresh():
-            self.rebuild()
-        per_domain = split_per_domain(self.dov)
+        self._prepare_push()
+        self._dirty.clear()  # the full fan-out covers every planned target
         return self.dispatcher.run(
-            (adapter.name,
-             lambda adapter=adapter: self._push_one(adapter, per_domain))
+            (adapter.name, lambda adapter=adapter: self._push_one(adapter))
             for adapter in self.adapters.values())
 
-    def _push_one(self, adapter: DomainAdapter,
-                  per_domain: dict[DomainType, NFFG], *,
+    def push_planned(self) -> list[AdapterReport]:
+        """Push only the domains whose configuration may have changed.
+
+        The planner unions the touched-domain sets recorded by
+        ``commit_mapping``/``remove_service``/``restore_service`` since
+        the last push with the queued reconciliations whose breaker
+        admits a push again, and submits dispatcher ops for exactly
+        those domains — per-deploy push work is proportional to the
+        domains a service touches, not to the number registered.  An
+        untouched domain is not contacted at all: its cumulative
+        configuration cannot have changed, so a push could only confirm
+        a no-op.
+
+        Reports come back in registration order, like :meth:`push_all`,
+        but cover only the planned domains.
+        """
+        self._prepare_push()  # a forced rebuild marks every domain dirty
+        targets = set(self._dirty)
+        for shard in self.shards:
+            with shard.lock:
+                queued = set(shard.pending)
+            for name in queued:
+                breaker = self.breakers.get(name)
+                if breaker is None or breaker.allow():
+                    targets.add(name)
+        planned = [adapter for name, adapter in self.adapters.items()
+                   if name in targets]
+        counters.incr("cal.push.planned", len(planned))
+        skipped = len(self.adapters) - len(planned)
+        if skipped:
+            counters.incr("cal.push.skipped", skipped)
+        self._dirty.difference_update(adapter.name for adapter in planned)
+        if not planned:
+            return []
+        return self.dispatcher.run(
+            (adapter.name, lambda adapter=adapter: self._push_one(adapter))
+            for adapter in planned)
+
+    def _prepare_push(self) -> None:
+        """Materialize (and, when degraded, refresh) the DoV on the
+        caller's thread before any fan-out: ``_install_for`` runs on
+        dispatcher workers and must only *read* the live view — a lazy
+        rebuild there would re-enter the dispatcher while the worker
+        holds its domain's FIFO mutex."""
+        if self._needs_refresh():
+            self.rebuild()
+        elif self._dov is None:
+            self._dov = self._rebuild_dov()
+
+    def _push_one(self, adapter: DomainAdapter, *,
                   force_full: bool = False) -> AdapterReport:
         """One domain's push, traced: the ``push/<domain>`` span covers
         the whole attempt *including* the breaker bookkeeping, so a
@@ -336,8 +642,7 @@ class ControllerAdaptationLayer:
         domain's FIFO mutex (context copied over when tracing is on)."""
         with obs.span(f"push/{adapter.name}",
                       domain=adapter.name) as span:
-            report = self._push_one_traced(adapter, per_domain,
-                                           force_full=force_full)
+            report = self._push_one_traced(adapter, force_full=force_full)
             span.set(outcome=("skipped" if report.skipped
                               else "ok" if report.success else "failed"),
                      delta=report.delta, attempts=report.attempts)
@@ -350,32 +655,30 @@ class ControllerAdaptationLayer:
                     domain=adapter.name)
         return report
 
-    def _push_one_traced(self, adapter: DomainAdapter,
-                         per_domain: dict[DomainType, NFFG], *,
+    def _push_one_traced(self, adapter: DomainAdapter, *,
                          force_full: bool = False) -> AdapterReport:
+        shard = self._shard_of[adapter.name]
         breaker = self.breakers.get(adapter.name)
         if breaker is not None and not breaker.allow():
             counters.incr("resilience.breaker.skip")
-            with self._pending_lock:
-                self._pending_reconcile.add(adapter.name)
-                pending_count = len(self._pending_reconcile)
-            set_gauge("cal.pending_reconcile", pending_count)
+            with shard.lock:
+                shard.pending.add(adapter.name)
+            set_gauge("cal.pending_reconcile", self._pending_total())
             return AdapterReport(
                 domain=adapter.name, success=False, skipped=True,
                 error=(f"circuit open after "
                        f"{breaker.consecutive_failures} consecutive "
                        "failures; push queued for reconciliation"))
-        with self._pending_lock:
-            was_pending = adapter.name in self._pending_reconcile
+        with shard.lock:
+            was_pending = adapter.name in shard.pending
         # delta pushes need an agreed base: after a skipped/failed push
         # or on a breaker's half-open probe the domain's state is not
         # trusted, so the cumulative config goes out in full
         force_full = (force_full or was_pending
                       or (breaker is not None
                           and breaker.state is BreakerState.HALF_OPEN))
-        install = per_domain.get(adapter.domain_type)
         try:
-            install = self._slice_for(adapter, install)
+            install = self._install_for(adapter)
         except Exception as exc:  # noqa: BLE001 - slicing needs the view
             report = AdapterReport(
                 domain=adapter.name, success=False,
@@ -384,20 +687,25 @@ class ControllerAdaptationLayer:
             report = adapter.install(install, force_full=force_full)
         if breaker is not None:
             breaker.record(report.success)
-        with self._pending_lock:
+        with shard.lock:
             if report.success:
-                self._pending_reconcile.discard(adapter.name)
+                shard.pending.discard(adapter.name)
                 if was_pending:
                     counters.incr("resilience.breaker.reconcile")
             else:
-                self._pending_reconcile.add(adapter.name)
-            pending_count = len(self._pending_reconcile)
-        set_gauge("cal.pending_reconcile", pending_count)
+                shard.pending.add(adapter.name)
+        set_gauge("cal.pending_reconcile", self._pending_total())
         if not report.success:
             # server state unknown: never diff against it again until a
             # full push re-establishes the base
             adapter.reset_delta_state()
         return report
+
+    def _pending_total(self) -> int:
+        """Advisory queue depth for the gauge; per-shard sizes are read
+        without the shard locks (a len() is atomic, and the gauge may
+        lag a concurrent settle by one push anyway)."""
+        return sum(len(shard.pending) for shard in self.shards)
 
     def reconcile(self, *, force_probe: bool = False) -> list[AdapterReport]:
         """Replay the cumulative configuration to every domain whose
@@ -419,33 +727,35 @@ class ControllerAdaptationLayer:
             # the queued domains — the refresh below is the probe
             for breaker in self.breakers.values():
                 breaker.force_half_open()
-        if self._needs_refresh():
-            self.rebuild()
-        # snapshot the queue before iterating: _push_one (possibly on a
-        # dispatcher worker) mutates the live set as pushes settle
+        self._prepare_push()
+        # snapshot the queues before iterating: _push_one (possibly on
+        # a dispatcher worker) mutates the live sets as pushes settle
         pending = sorted(self.pending_reconciliation())
         if not pending:
             return []
-        per_domain = split_per_domain(self.dov)
         ops = []
         for name in pending:
             adapter = self.adapters.get(name)
             if adapter is None:
-                with self._pending_lock:
-                    self._pending_reconcile.discard(name)
+                for shard in self.shards:
+                    with shard.lock:
+                        shard.pending.discard(name)
                 continue
             breaker = self.breakers.get(name)
             if breaker is not None and not breaker.allow():
                 continue
             # replays re-establish the delta base with a full push
             ops.append((name, lambda adapter=adapter: self._push_one(
-                adapter, per_domain, force_full=True)))
+                adapter, force_full=True)))
         return self.dispatcher.run(ops)
 
     def pending_reconciliation(self) -> set[str]:
         """Domains holding stale configuration (push skipped/failed)."""
-        with self._pending_lock:
-            return set(self._pending_reconcile)
+        queued: set[str] = set()
+        for shard in self.shards:
+            with shard.lock:
+                queued |= shard.pending
+        return queued
 
     def quarantined_domains(self) -> set[str]:
         """Domains currently unusable: breaker open, or excluded from
@@ -465,32 +775,59 @@ class ControllerAdaptationLayer:
 
     def _own_infra_ids(self, adapter: DomainAdapter) -> frozenset[str]:
         """The adapter's own infra ids, cached per substrate topology
-        generation — ``_slice_for`` runs on every push and must not pay
-        for a full ``get_view()`` copy each time."""
+        generation — ``_install_for`` runs on every push and must not
+        pay for a full ``get_view()`` copy each time."""
         cached = self._own_infra_cache.get(adapter.name)
         if cached is not None and cached[0] == self.topology_generation:
             return cached[1]
-        ids = frozenset(infra.id for infra in adapter.get_view().infras)
+        ids = adapter.own_infra_ids()
         self._own_infra_cache[adapter.name] = (self.topology_generation, ids)
         return ids
 
-    def _slice_for(self, adapter: DomainAdapter,
-                   install: Optional[NFFG]) -> NFFG:
-        """Restrict a domain-type slice to the adapter's own nodes
-        (two adapters may share a DomainType)."""
-        if install is None:
-            return NFFG(id=f"{adapter.name}-empty")
+    def _install_for(self, adapter: DomainAdapter) -> NFFG:
+        """The adapter's install slice, computed directly from the DoV.
+
+        Members are the adapter's own infras, the NFs placed on them
+        and the SAPs attached via its own sap-tagged ports; links
+        survive exactly when both endpoints are members, so
+        inter-domain stitches, SG hops and requirements never enter an
+        install view.  Unlike a whole-view ``split_per_domain`` pass
+        this costs one id-membership sweep plus O(domain) node copies
+        per push — not a full per-type materialization of the global
+        view on every fan-out.
+
+        The install graph id is deterministic per adapter so the delta
+        machinery diffs against a stable base: ``<dov>@<type>`` for a
+        DomainType with one adapter, suffixed ``@<name>`` when the type
+        is shared.
+        """
+        dov = self.dov
         own_nodes = self._own_infra_ids(adapter)
-        foreign = [infra.id for infra in install.infras
-                   if infra.id not in own_nodes]
-        if not foreign:
-            return install
-        sliced = install.copy(f"{install.id}@{adapter.name}")
-        for infra_id in foreign:
-            for nf in sliced.nfs_on(infra_id):
-                sliced.remove_node(nf.id)
-            sliced.remove_node(infra_id)
-        return sliced
+        own_present = [infra.id for infra in dov.infras
+                       if infra.id in own_nodes]
+        if not own_present:
+            return NFFG(id=f"{adapter.name}-empty")
+        members: list[str] = list(own_present)
+        for infra_id in own_present:
+            for nf in dov.nfs_on(infra_id):
+                members.append(nf.id)
+        seen_tags: set[str] = set()
+        for infra_id in own_present:
+            infra = dov.infra(infra_id)
+            for port in infra.ports.values():
+                tag = port.sap_tag
+                if (tag is not None and tag not in seen_tags
+                        and dov.has_node(tag)
+                        and isinstance(dov.node(tag), NodeSAP)):
+                    seen_tags.add(tag)
+                    members.append(tag)
+        domain = adapter.domain_type.value
+        shared_type = len(self._adapters_by_type.get(
+            adapter.domain_type, ())) > 1
+        install_id = (f"{dov.id}@{domain}@{adapter.name}" if shared_type
+                      else f"{dov.id}@{domain}")
+        return dov.copy_subgraph(install_id, members,
+                                 name=f"install view for {domain}")
 
     def ready(self) -> bool:
         return all(adapter.ready() for adapter in self.adapters.values())

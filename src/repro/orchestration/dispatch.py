@@ -52,6 +52,7 @@ class DomainDispatcher:
         self.serial = serial
         self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _guard
         self._domain_locks: dict[str, object] = {}  # guarded-by: _guard
+        self._closed = False  # guarded-by: _guard
         self._guard = make_lock("dispatch.guard")
 
     # -- plumbing ----------------------------------------------------------
@@ -76,8 +77,13 @@ class DomainDispatcher:
             return self._executor
 
     def shutdown(self) -> None:
-        """Tear the worker pool down (it is rebuilt on next use)."""
+        """Tear the worker pool down.  Idempotent — calling it again
+        (or on a dispatcher that never ran anything) is a no-op.  A
+        shut-down dispatcher is terminal: later :meth:`run` calls raise
+        :class:`RuntimeError` instead of silently rebuilding a pool the
+        caller believed was gone."""
         with self._guard:
+            self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
@@ -86,6 +92,11 @@ class DomainDispatcher:
 
     def run(self, ops: Iterable[DomainOp]) -> list[Any]:
         """Run ``(domain, thunk)`` pairs; results in submission order."""
+        with self._guard:
+            if self._closed:
+                raise RuntimeError(
+                    "DomainDispatcher.run() called after shutdown(); "
+                    "shutdown is terminal — create a new dispatcher")
         ops = list(ops)
         if not ops:
             return []

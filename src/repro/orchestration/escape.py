@@ -35,14 +35,24 @@ class EscapeOrchestrator:
                  decomposition_library: Optional[DecompositionLibrary] = None,
                  simulator: Optional[Simulator] = None,
                  lint_gate: Optional[Severity] = Severity.ERROR,
-                 push_workers: Optional[int] = None):
+                 push_workers: Optional[int] = None,
+                 cal_shards: Optional[int] = None,
+                 cal_shard_map: Optional[dict[str, int]] = None):
         self.name = name
         self.ro = ResourceOrchestrator(
             embedder=embedder, decomposition_library=decomposition_library)
         # push_workers bounds the CAL's concurrent domain fan-out;
-        # 1 (or 0) forces strictly serial pushes on the caller's thread
-        self.cal = ControllerAdaptationLayer() if push_workers is None \
-            else ControllerAdaptationLayer(push_workers=push_workers)
+        # 1 (or 0) forces strictly serial pushes on the caller's thread.
+        # cal_shards/cal_shard_map partition the adapter registry so
+        # view refreshes touch only the shards something invalidated.
+        cal_kwargs: dict = {}
+        if push_workers is not None:
+            cal_kwargs["push_workers"] = push_workers
+        if cal_shards is not None:
+            cal_kwargs["shards"] = cal_shards
+        if cal_shard_map is not None:
+            cal_kwargs["shard_map"] = cal_shard_map
+        self.cal = ControllerAdaptationLayer(**cal_kwargs)
         #: substrate path memo shared across all mapping requests;
         #: invalidated whenever the CAL's topology generation moves
         self.path_cache = PathCache()
@@ -130,7 +140,8 @@ class EscapeOrchestrator:
 
         view_started = time.perf_counter()
         with obs.span("deploy/view"):
-            view = self.cal.resource_view()
+            # the live cached view: embedders never mutate their input
+            view = self.cal.resource_view(copy=False)
         report.view_time_s = time.perf_counter() - view_started
 
         with obs.span("deploy/map"):
@@ -147,8 +158,10 @@ class EscapeOrchestrator:
             else service
         self.cal.commit_mapping(service.id, effective_service, result)
         push_started = time.perf_counter()
+        # planned push: only the domains the mapping touched (plus any
+        # queued reconciliations) are contacted
         with obs.span("deploy/push"):
-            adapter_reports = self.cal.push_all()
+            adapter_reports = self.cal.push_planned()
         report.push_time_s = time.perf_counter() - push_started
         report.adapters = adapter_reports
         report.domains_touched = len(
@@ -258,7 +271,7 @@ class EscapeOrchestrator:
         if not self.cal.remove_service(service_id):
             report.error = f"unknown service {service_id!r}"
             return report
-        adapter_reports = self.cal.push_all()
+        adapter_reports = self.cal.push_planned()
         report.adapters = adapter_reports
         failures = [r for r in adapter_reports
                     if not r.success and not r.skipped]
@@ -317,7 +330,7 @@ class EscapeOrchestrator:
         # (capacity may have drifted) instead of trusting the live DoV
         self.cal.mark_stale()
         self.cal.remove_service(service.id)
-        view = self.cal.resource_view()
+        view = self.cal.resource_view(copy=False)
         result = self._orchestrate(service, view)
         if not result.success:
             self.cal.restore_service(service.id, snapshot)
@@ -329,7 +342,7 @@ class EscapeOrchestrator:
             return report
         effective = result.service if result.service is not None else service
         self.cal.commit_mapping(service.id, effective, result)
-        adapter_reports = self.cal.push_all()
+        adapter_reports = self.cal.push_planned()
         failures = [r for r in adapter_reports
                     if not r.success and not r.skipped]
         if failures:
@@ -417,14 +430,17 @@ class EscapeOrchestrator:
                      for service_id in broken}
         # the substrate topology changed under us: invalidate the live
         # DoV (and, via topology generation, the path cache) *before*
-        # removing services, so the rebuild uses fresh adapter views
-        self.cal.mark_stale()
+        # removing services.  The pristine_view() above already
+        # refetched every shard, so only the derived state must go —
+        # domains=() keeps the fresh sub-views instead of fetching the
+        # whole substrate a second time.
+        self.cal.mark_stale(domains=())
         for service_id in broken:
             self.cal.remove_service(service_id)
         for service_id in broken:
             original_service, _ = snapshots[service_id]
             with obs.span("heal/evacuate", service=service_id):
-                view = self.cal.resource_view()
+                view = self.cal.resource_view(copy=False)
                 result = self._orchestrate(original_service, view)
             if result.success:
                 effective = (result.service if result.service is not None
@@ -436,7 +452,7 @@ class EscapeOrchestrator:
                 reports[service_id] = DeployReport(
                     service_id=service_id, success=False, mapping=result,
                     error=f"heal failed: {result.failure_reason}")
-        adapter_reports = self.cal.push_all()
+        adapter_reports = self.cal.push_planned()
         by_domain = {r.domain: r for r in adapter_reports}
         for report in reports.values():
             if not report.success:

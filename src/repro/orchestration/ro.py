@@ -20,6 +20,7 @@ from repro.mapping.decomposition import (
 from repro.mapping.greedy import GreedyEmbedder
 from repro.mapping.validate import validate_mapping
 from repro.nffg.graph import NFFG
+from repro.perf import observe
 
 
 class ResourceOrchestrator:
@@ -73,6 +74,8 @@ class ResourceOrchestrator:
                                          + "; ".join(problems.as_strings()))
         if result.success:
             self.mappings_succeeded += 1
+        observe("map.latency_s", result.runtime_s,
+                embedder=self.embedder.name)
         return result
 
     @property

@@ -35,6 +35,21 @@ Push-pipeline counters (concurrent delta-based domain programming)::
     dispatch.inline          dispatcher batches run on the caller thread
                              (single op, or serial mode)
 
+Sharded-CAL counters (scale-aware view maintenance + push planning)::
+
+    cal.shard.refresh        shard sub-views refetched and re-merged
+                             (the shard was stale at a stitch)
+    cal.shard.reuse          shard sub-views served from the cache at a
+                             stitch (no member refetched)
+    cal.shard.stitch         global DoV stitches from shard sub-views
+    cal.push.planned         domain pushes submitted by the push planner
+    cal.push.skipped         registered domains the planner did not
+                             contact (their config cannot have changed)
+    cal.remaining.rebuild    northbound remaining-capacity views derived
+                             from scratch off the DoV
+    cal.remaining.reuse      resource_view() calls served from the
+                             incrementally maintained cache
+
 Resilience counters (all zero on a fault-free run)::
 
     resilience.faults.injected    faults fired by a FaultPlan (+ per-kind
@@ -71,6 +86,10 @@ registry and — like the counters — stay enabled everywhere (an
                              {domain=...} (histogram)
     retry.backoff_s          per-retry backoff delay (histogram)
     dov.rebuild_s            from-scratch DoV merge time (histogram)
+    map.latency_s            RO orchestrate() wall clock, labelled by
+                             {embedder=...} (histogram)
+    cal.shard.stitch_s       global stitch time over shard sub-views
+                             (histogram)
     cal.services_deployed    services currently booked in the CAL (gauge)
     cal.pending_reconcile    domains holding stale config (gauge)
 

@@ -1,0 +1,301 @@
+"""Tests for the sharded CAL: registry partitioning, per-shard
+staleness/refresh, two-level stitching, touched-set push planning and
+the per-adapter install caches that keep pushes O(domain)."""
+
+import zlib
+
+import pytest
+
+from repro.nffg import NFFG, ResourceVector
+from repro.nffg.model import DomainType
+from repro.orchestration.adapters import DirectDomainAdapter
+from repro.orchestration.cal import ControllerAdaptationLayer
+from repro.orchestration.escape import EscapeOrchestrator
+from repro.perf import counters
+from repro.resilience.retry import RetryPolicy
+from repro.service import ServiceRequestBuilder
+
+
+def domain_view(name, *, peer_tag=None):
+    """A one-infra domain view whose node/sap ids are all prefixed by
+    the domain name, so any number of them merge without collisions."""
+    view = NFFG(id=name)
+    infra = view.add_infra(
+        f"{name}-bb0",
+        resources=ResourceVector(cpu=8.0, mem=8192.0, storage=64.0,
+                                 bandwidth=10_000.0, delay=0.1),
+        supported_types=["firewall"])
+    for sap_id in (f"{name}-sap1", f"{name}-sap2"):
+        sap = view.add_sap(sap_id)
+        port = infra.add_port(f"to-{sap_id}", sap_tag=sap_id)
+        view.add_link(sap_id, next(iter(sap.ports)), infra.id, port.id,
+                      bandwidth=1_000.0, delay=0.0)
+    if peer_tag is not None:
+        infra.add_port(f"peer-{peer_tag}", sap_tag=peer_tag)
+    return view
+
+
+class CountingAdapter(DirectDomainAdapter):
+    """Counts view fetches and own-infra lookups; optionally breakable."""
+
+    retry_policy = RetryPolicy(max_attempts=1)
+
+    def __init__(self, name, view):
+        super().__init__(name, view)
+        self.view_fetches = 0
+        self.own_id_calls = 0
+        self.broken = False
+
+    def get_view(self):
+        self.view_fetches += 1
+        return super().get_view()
+
+    def own_infra_ids(self):
+        self.own_id_calls += 1
+        return super().own_infra_ids()
+
+    def _push(self, install):
+        if self.broken:
+            raise RuntimeError(f"{self.name} down")
+        super()._push(install)
+
+
+def _cal(names, **kwargs):
+    cal = ControllerAdaptationLayer(**kwargs)
+    adapters = {name: cal.register(CountingAdapter(name, domain_view(name)))
+                for name in names}
+    return cal, adapters
+
+
+def _pinned_service(index, domain):
+    """A sap-nf-sap chain pinned entirely inside one domain."""
+    return (ServiceRequestBuilder(f"s{index}")
+            .sap(f"{domain}-sap1").sap(f"{domain}-sap2")
+            .nf(f"s{index}-fw", "firewall", cpu=0.5, mem=32.0,
+                pin_to=f"{domain}-bb0")
+            .chain(f"{domain}-sap1", f"s{index}-fw", f"{domain}-sap2",
+                   bandwidth=1.0)
+            .build().sg)
+
+
+class TestShardAssignment:
+    def test_hash_sharding_partitions_the_registry(self):
+        names = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        cal, _ = _cal(names, shards=3)
+        for name in names:
+            assert cal.shard_of(name) == zlib.crc32(
+                name.encode("utf-8")) % 3
+        members = [set(shard.adapter_names) for shard in cal.shards]
+        assert set().union(*members) == set(names)
+        # partition: no adapter lives in two shards
+        assert sum(len(m) for m in members) == len(names)
+
+    def test_hash_is_stable_across_registration_order(self):
+        names = ["alpha", "beta", "gamma", "delta"]
+        forward, _ = _cal(names, shards=4)
+        backward, _ = _cal(list(reversed(names)), shards=4)
+        assert {n: forward.shard_of(n) for n in names} \
+            == {n: backward.shard_of(n) for n in names}
+
+    def test_explicit_shard_map_pins_adapters(self):
+        cal, _ = _cal(["a", "b", "c"], shards=2,
+                      shard_map={"a": 1, "b": 0})
+        assert cal.shard_of("a") == 1
+        assert cal.shard_of("b") == 0
+        assert 0 <= cal.shard_of("c") < 2     # unpinned names still hash
+
+    def test_shard_map_grows_the_shard_count(self):
+        cal, _ = _cal(["a"], shards=1, shard_map={"a": 3})
+        assert len(cal.shards) == 4
+        assert cal.shard_of("a") == 3
+
+    def test_negative_shard_map_entry_is_rejected(self):
+        cal = ControllerAdaptationLayer(shards=2, shard_map={"bad": -1})
+        with pytest.raises(ValueError, match="shard_map"):
+            cal.register(CountingAdapter("bad", domain_view("bad")))
+
+
+class TestShardStaleness:
+    def test_mark_stale_refreshes_only_the_owning_shard(self):
+        cal, adapters = _cal(["a", "b"], shards=2,
+                             shard_map={"a": 0, "b": 1})
+        cal.dov                               # first merge fetches both
+        base = {n: a.view_fetches for n, a in adapters.items()}
+        cal.mark_stale(domains=["a"])
+        cal.dov
+        assert adapters["a"].view_fetches == base["a"] + 1
+        assert adapters["b"].view_fetches == base["b"]
+
+    def test_fresh_shards_are_reused_between_rebuilds(self):
+        cal, _ = _cal(["a", "b"], shards=2, shard_map={"a": 0, "b": 1})
+        cal.dov
+        before = counters.snapshot("cal.shard.")
+        cal.mark_stale(domains=["b"])
+        cal.dov
+        after = counters.snapshot("cal.shard.")
+        assert after.get("cal.shard.refresh", 0) \
+            - before.get("cal.shard.refresh", 0) == 1
+        assert after.get("cal.shard.reuse", 0) \
+            - before.get("cal.shard.reuse", 0) == 1
+
+    def test_pristine_view_refetches_every_shard(self):
+        cal, adapters = _cal(["a", "b"], shards=2,
+                             shard_map={"a": 0, "b": 1})
+        cal.dov
+        base = {n: a.view_fetches for n, a in adapters.items()}
+        cal.pristine_view()                   # heal semantics: all fresh
+        assert all(a.view_fetches == base[n] + 1
+                   for n, a in adapters.items())
+
+    def test_failed_fetch_keeps_the_shard_stale(self):
+        cal, adapters = _cal(["a", "b"], shards=2,
+                             shard_map={"a": 0, "b": 1})
+        original = adapters["a"].get_view
+
+        def boom():
+            raise RuntimeError("view unavailable")
+        adapters["a"].get_view = boom
+        cal.rebuild()
+        assert cal.last_view_failures == {"a"}
+        assert cal.shards[0].stale            # retried at next stitch
+        assert not cal.shards[1].stale
+        adapters["a"].get_view = original
+        cal.rebuild()
+        assert cal.last_view_failures == set()
+        assert not cal.shards[0].stale
+
+
+class TestStitching:
+    def test_cross_shard_sap_tag_pairs_stitch_once(self):
+        cal = ControllerAdaptationLayer(shards=2,
+                                        shard_map={"a": 0, "b": 1})
+        cal.register(CountingAdapter("a", domain_view("a", peer_tag="ab")))
+        cal.register(CountingAdapter("b", domain_view("b", peer_tag="ab")))
+        dov = cal.dov
+        stitched = [edge for edge in dov.links
+                    if edge.id == "interdomain-ab"]
+        assert len(stitched) == 1
+        # the unstitched sub-views must not have consumed the pair
+        for shard in cal.shards:
+            if shard.view is not None:
+                assert not any(edge.id.startswith("interdomain-")
+                               for edge in shard.view.links)
+
+    def test_sharded_dov_matches_single_shard_dov(self):
+        names = ["a", "b", "c", "d"]
+        sharded = ControllerAdaptationLayer(shards=3)
+        flat = ControllerAdaptationLayer()
+        for name in names:
+            sharded.register(
+                CountingAdapter(name, domain_view(name, peer_tag="x"
+                                if name in ("a", "b") else None)))
+            flat.register(
+                CountingAdapter(name, domain_view(name, peer_tag="x"
+                                if name in ("a", "b") else None)))
+
+        from tests.property.test_incremental_dov import canonical
+        assert canonical(sharded.dov) == canonical(flat.dov)
+
+
+class TestPushPlanning:
+    def _escape(self):
+        escape = EscapeOrchestrator("planner", cal_shards=2,
+                                    cal_shard_map={"dom-a": 0, "dom-b": 1})
+        adapters = {}
+        for name in ("dom-a", "dom-b"):
+            adapters[name] = CountingAdapter(name, domain_view(name))
+            escape.add_domain(adapters[name])
+        return escape, adapters
+
+    def test_planned_push_targets_only_touched_domains(self):
+        escape, adapters = self._escape()
+        first = escape.deploy(_pinned_service(0, "dom-a"),
+                              wait_activation=False)
+        assert first, first.error
+        # first deploy rides a full rebuild: everything is dirty
+        assert {r.domain for r in first.adapters} == {"dom-a", "dom-b"}
+        pushes_b = len(adapters["dom-b"].installed)
+
+        before = counters.snapshot("cal.push.")
+        second = escape.deploy(_pinned_service(1, "dom-a"),
+                               wait_activation=False)
+        assert second, second.error
+        assert [r.domain for r in second.adapters] == ["dom-a"]
+        assert len(adapters["dom-b"].installed) == pushes_b
+        after = counters.snapshot("cal.push.")
+        assert after.get("cal.push.planned", 0) \
+            - before.get("cal.push.planned", 0) == 1
+        assert after.get("cal.push.skipped", 0) \
+            - before.get("cal.push.skipped", 0) == 1
+
+    def test_teardown_pushes_only_the_touched_domain(self):
+        escape, adapters = self._escape()
+        escape.deploy(_pinned_service(0, "dom-a"), wait_activation=False)
+        escape.deploy(_pinned_service(1, "dom-b"), wait_activation=False)
+        pushes_a = len(adapters["dom-a"].installed)
+        report = escape.teardown("s1")
+        assert report, report.error
+        assert [r.domain for r in report.adapters] == ["dom-b"]
+        assert len(adapters["dom-a"].installed) == pushes_a
+
+    def test_pending_domain_joins_the_next_planned_push(self):
+        escape, adapters = self._escape()
+        escape.deploy(_pinned_service(0, "dom-b"), wait_activation=False)
+        adapters["dom-b"].broken = True
+        failed = escape.deploy(_pinned_service(1, "dom-b"),
+                               wait_activation=False)
+        assert not failed
+        assert "dom-b" in escape.cal.pending_reconciliation()
+
+        adapters["dom-b"].broken = False
+        report = escape.deploy(_pinned_service(2, "dom-a"),
+                               wait_activation=False)
+        assert report, report.error
+        # the planner folds the queued replay into the same fan-out
+        assert {r.domain for r in report.adapters} == {"dom-a", "dom-b"}
+        assert escape.cal.pending_reconciliation() == set()
+
+    def test_push_all_still_fans_out_everywhere(self):
+        escape, adapters = self._escape()
+        escape.deploy(_pinned_service(0, "dom-a"), wait_activation=False)
+        reports = escape.cal.push_all()
+        assert {r.domain for r in reports} == {"dom-a", "dom-b"}
+
+
+class TestInstallCaches:
+    def test_adapters_for_uses_the_type_index(self):
+        cal = ControllerAdaptationLayer()
+        internal = CountingAdapter("int-a", domain_view("int-a"))
+        sdn = DirectDomainAdapter("sdn-a", domain_view("sdn-a"),
+                                  domain_type=DomainType.SDN)
+        cal.register(internal)
+        cal.register(sdn)
+        assert cal.adapters_for(DomainType.INTERNAL) == [internal]
+        assert cal.adapters_for(DomainType.SDN) == [sdn]
+        assert cal.adapters_for(DomainType.UNIFY) == []
+
+    def test_own_infra_ids_cached_per_topology_generation(self):
+        cal, adapters = _cal(["a"])
+        cal.push_all()
+        cal.push_all()
+        assert adapters["a"].own_id_calls == 1
+        cal.mark_stale(domains=["a"])         # topology bump
+        cal.push_all()
+        assert adapters["a"].own_id_calls == 2
+
+    def test_install_slices_carry_only_own_nodes(self):
+        escape, adapters = self._escape_pair()
+        escape.deploy(_pinned_service(0, "dom-a"), wait_activation=False)
+        escape.deploy(_pinned_service(1, "dom-b"), wait_activation=False)
+        for name, adapter in adapters.items():
+            last = adapter.installed[-1]
+            assert {infra.id for infra in last.infras} == {f"{name}-bb0"}
+            assert all(nf.id.endswith("-fw") for nf in last.nfs)
+
+    def _escape_pair(self):
+        escape = EscapeOrchestrator("slices", cal_shards=2)
+        adapters = {}
+        for name in ("dom-a", "dom-b"):
+            adapters[name] = CountingAdapter(name, domain_view(name))
+            escape.add_domain(adapters[name])
+        return escape, adapters

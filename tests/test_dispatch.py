@@ -273,3 +273,28 @@ class TestErrorPathsMidFanout:
         assert order == {"a": [0, 1, 2, 3], "b": [0, 1, 2, 3]}
         assert results == ["a0", "b0", "a1", "b1", "a2", "b2", "a3", "b3"]
         assert plan.virtual_delay_s == pytest.approx(0.04)
+
+
+class TestShutdownLifecycle:
+    """Regression: ``shutdown()`` is idempotent and terminal — a batch
+    submitted afterwards must fail loudly instead of hanging on a
+    drained worker pool."""
+
+    def test_shutdown_is_idempotent(self):
+        dispatcher = DomainDispatcher(2)
+        assert dispatcher.run([("a", lambda: 1), ("b", lambda: 2)]) \
+            == [1, 2]
+        dispatcher.shutdown()
+        dispatcher.shutdown()          # second call is a no-op
+
+    def test_run_after_shutdown_raises(self):
+        dispatcher = DomainDispatcher(2)
+        dispatcher.shutdown()
+        with pytest.raises(RuntimeError, match="after shutdown"):
+            dispatcher.run([("a", lambda: 1)])
+
+    def test_serial_run_after_shutdown_raises(self):
+        dispatcher = DomainDispatcher(1, serial=True)
+        dispatcher.shutdown()
+        with pytest.raises(RuntimeError, match="after shutdown"):
+            dispatcher.run([("a", lambda: 1)])
