@@ -5,9 +5,11 @@ heal) and its past defects cluster around a handful of mechanical
 patterns: sleeping while holding a lock (the PR 4 ``FaultPlan`` delay
 bug), mutating a dict while iterating it (the PR 4 ``CAL.reconcile``
 bug), acquiring the same two locks in opposite orders, mutable default
-arguments, writes to lock-guarded state outside the owning lock, and
+arguments, writes to lock-guarded state outside the owning lock,
 tracing spans opened without a close path (which orphan every later
-span in the trace tree).
+span in the trace tree), and desired-state writes the write-ahead
+intent journal never saw (which crash recovery can neither replay nor
+roll back).
 Each pattern is an AST rule here, registered into the normal lint
 registry under the ``code`` scope, so ``repro check --self`` gates the
 orchestrator's source with the same machinery that gates NFFGs.
@@ -427,3 +429,142 @@ def check_leaked_spans(ctx: LintContext) -> Iterator[Finding]:
                 f"{function.name}: {name}(...) opens a span that is "
                 "never closed — wrap it in `with`, or assign it and "
                 "call .end() in a finally", line=node.lineno)
+
+
+# ----------------------------------------------------------------------
+# CC007 — journaled desired state mutated outside an intent scope
+# ----------------------------------------------------------------------
+
+#: the desired-state mutator methods the write-ahead journal protects;
+#: calls to these on another object must run under an open intent
+_JOURNALED_MUTATORS = frozenset({
+    "commit_mapping", "remove_service", "restore_service",
+})
+
+
+def _journaled_attrs(cls: ast.ClassDef,
+                     journaled_lines: dict[int, tuple[str, ...]],
+                     ) -> dict[str, tuple[str, ...]]:
+    """attr name -> allowed mutator methods, from ``# journaled:``
+    comments on ``self.<attr> = ...`` statements in the class."""
+    journaled: dict[str, tuple[str, ...]] = {}
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        allowed = None
+        for lineno in range(node.lineno,
+                            (node.end_lineno or node.lineno) + 1):
+            if lineno in journaled_lines:
+                allowed = journaled_lines[lineno]
+                break
+        if allowed is None:
+            continue
+        for target in targets:
+            attr = self_attr(target)
+            if attr is not None:
+                journaled[attr] = allowed
+    return journaled
+
+
+def _walk_intent(node: ast.AST, inside: bool,
+                 ) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield ``(node, inside an intent scope)`` for every node lexically
+    inside ``node``, skipping nested function/lambda/class bodies and
+    entering scope through ``with <...>.intent(...)`` items."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda, ast.ClassDef)):
+        return
+    yield node, inside
+    if isinstance(node, ast.With):
+        opened = inside
+        for item in node.items:
+            yield from _walk_intent(item.context_expr, inside)
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                name = dotted_name(expr.func)
+                if name is not None \
+                        and name.rsplit(".", 1)[-1] == "intent":
+                    opened = True
+        for stmt in node.body:
+            yield from _walk_intent(stmt, opened)
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_intent(child, inside)
+
+
+def _has_intent_param(function: ast.FunctionDef) -> bool:
+    args = function.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return "intent" in names
+
+
+@rule("CC007", "journaled desired state mutated outside an intent scope",
+      severity=Severity.ERROR, category="code", scope="code")
+def check_journaled_writes(ctx: LintContext) -> Iterator[Finding]:
+    """The write-ahead intent journal only protects desired state that
+    is mutated under an open intent: a write the journal never saw is
+    a write recovery cannot replay or roll back.
+
+    Two disciplines, driven by ``# journaled:`` annotations (see
+    :mod:`repro.lint.codescope`):
+
+    - inside the declaring class, only ``__init__`` and the methods the
+      annotation names may write the attribute;
+    - calls to the canonical mutator methods on *another* object
+      (``self.cal.remove_service(...)``) must be lexically inside a
+      ``with <journal>.intent(...):`` block, or in a function that
+      takes the open scope as an ``intent`` parameter, or carry their
+      own ``# journaled:`` line as an explicit exemption.
+    """
+    module = ctx.module
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        journaled = _journaled_attrs(cls, module.journaled_lines)
+        if not journaled:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction precedes any journaled intent
+            allowed_here = {attr for attr, methods in journaled.items()
+                            if method.name in methods}
+            for node in iter_body_nodes(method.body):
+                for attr, kind in _written_attrs(node):
+                    if attr not in journaled or attr in allowed_here:
+                        continue
+                    if node.lineno in module.journaled_lines:
+                        continue  # a (re)declaration, not a write
+                    yield Finding(
+                        f"{cls.name}.{method.name}: self.{attr} {kind} "
+                        f"but only {list(journaled[attr])} may mutate "
+                        "it (declared # journaled:)", line=node.lineno)
+    for function in _functions(module.tree):
+        if _has_intent_param(function):
+            continue  # runs under the caller's open intent scope
+        for stmt in function.body:
+            for node, inside in _walk_intent(stmt, False):
+                if inside or not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute) \
+                        or func.attr not in _JOURNALED_MUTATORS:
+                    continue
+                receiver = dotted_name(func.value)
+                if receiver is None or receiver == "self":
+                    continue  # the declaring class's own primitives
+                if node.lineno in module.journaled_lines:
+                    continue  # explicitly exempted call site
+                yield Finding(
+                    f"{function.name}: {receiver}.{func.attr}(...) "
+                    "mutates journaled desired state outside a "
+                    "`with journal.intent(...)` scope — a crash here "
+                    "leaves a write the journal cannot replay or roll "
+                    "back", line=node.lineno)

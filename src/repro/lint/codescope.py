@@ -22,6 +22,22 @@ lock owns that attribute::
 Rule CC005 then requires every *write* to ``self._pending_reconcile``
 outside ``__init__`` to happen lexically inside a
 ``with self._pending_lock:`` block.
+
+Journaled annotations
+---------------------
+
+A trailing comment on an instance-attribute assignment declares that
+the attribute is write-ahead-journaled desired state and names its
+only legitimate mutator methods::
+
+    self._deployed: dict[...] = (
+        {}  # journaled: commit_mapping remove_service restore_service
+    )
+
+Rule CC007 then (a) flags writes to the attribute from any method not
+in that list, and (b) flags calls to the listed mutators on *other*
+objects (``self.cal.remove_service(...)``) outside a
+``with <journal>.intent(...):`` scope.
 """
 
 from __future__ import annotations
@@ -37,6 +53,9 @@ _LOCK_NAME_HINTS = ("lock", "guard", "mutex")
 
 _GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
 
+_JOURNALED_RE = re.compile(
+    r"#\s*journaled:\s*([A-Za-z_][A-Za-z0-9_]*(?:\s+[A-Za-z_][A-Za-z0-9_]*)*)")
+
 
 @dataclass
 class CodeModule:
@@ -47,12 +66,15 @@ class CodeModule:
     tree: ast.Module
     #: source line number -> lock attribute named by a guarded-by comment
     guarded_lines: dict[int, str] = field(default_factory=dict)
+    #: source line number -> mutator names from a ``# journaled:`` comment
+    journaled_lines: dict[int, tuple[str, ...]] = field(default_factory=dict)
 
     @classmethod
     def from_source(cls, source: str, path: str = "<memory>") -> "CodeModule":
         return cls(path=path, source=source,
                    tree=ast.parse(source, filename=path),
-                   guarded_lines=scan_guarded_by(source))
+                   guarded_lines=scan_guarded_by(source),
+                   journaled_lines=scan_journaled(source))
 
     @classmethod
     def from_file(cls, path: str | Path) -> "CodeModule":
@@ -68,6 +90,17 @@ def scan_guarded_by(source: str) -> dict[int, str]:
         if match:
             guarded[lineno] = match.group(1)
     return guarded
+
+
+def scan_journaled(source: str) -> dict[int, tuple[str, ...]]:
+    """Map 1-based line numbers to the mutator names listed by a
+    ``# journaled:`` comment."""
+    journaled: dict[int, tuple[str, ...]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _JOURNALED_RE.search(line)
+        if match:
+            journaled[lineno] = tuple(match.group(1).split())
+    return journaled
 
 
 def package_root() -> Path:

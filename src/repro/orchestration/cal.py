@@ -156,8 +156,14 @@ class ControllerAdaptationLayer:
         #: so ``adapters_for`` never scans the registry
         self._adapters_by_type: dict[DomainType, list[DomainAdapter]] = {}
         self._dov: Optional[NFFG] = None
-        #: deployed services: service id -> (service graph, mapping result)
-        self._deployed: dict[str, tuple[NFFG, MappingResult]] = {}
+        #: deployed services: service id -> (service graph, mapping
+        #: result).  This map IS the desired state the write-ahead
+        #: intent journal protects — only the annotated mutators may
+        #: write it, and their callers must hold an open intent scope
+        #: (lint rule CC007).
+        self._deployed: dict[str, tuple[NFFG, MappingResult]] = (
+            {}  # journaled: commit_mapping remove_service restore_service
+        )
         #: per-service inverse records, valid for the *live* ``_dov`` only
         self._deltas: dict[str, _ServiceDelta] = {}
         #: cached northbound remaining-capacity view, maintained
@@ -763,6 +769,45 @@ class ControllerAdaptationLayer:
         quarantined = {name for name, breaker in self.breakers.items()
                        if breaker.state is BreakerState.OPEN}
         return quarantined | set(self.last_view_failures)
+
+    # -- resilience state persistence ---------------------------------------
+
+    def export_resilience(self) -> dict:
+        """Serializable breaker + pending-replay state.
+
+        A snapshot taken mid-storm must not forget which domains hold
+        stale configuration awaiting replay, nor reset tripped
+        breakers — an importer would otherwise hammer a domain the
+        exporter had already quarantined.
+        """
+        return {
+            "breakers": {name: breaker.export_state()
+                         for name, breaker in self.breakers.items()},
+            "pending": sorted(self.pending_reconciliation()),
+        }
+
+    def import_resilience(self, data: dict) -> None:
+        """Restore :meth:`export_resilience` state onto the registered
+        adapters.  Entries naming adapters this CAL does not have are
+        skipped — a failover successor may front a subset (or renamed
+        set) of the exporter's domains."""
+        if not data:
+            return
+        for name, record in (data.get("breakers") or {}).items():
+            breaker = self.breakers.get(name)
+            if breaker is not None:
+                breaker.import_state(record)
+        restored = 0
+        for name in data.get("pending") or ():
+            shard = self._shard_of.get(name)
+            if shard is None:
+                continue
+            with shard.lock:
+                shard.pending.add(name)
+            restored += 1
+        if restored:
+            counters.incr("recovery.pending.restored", restored)
+        set_gauge("cal.pending_reconcile", self._pending_total())
 
     def adapter_names_for(self, result: MappingResult) -> set[str]:
         """The adapters whose substrate a mapping actually touches

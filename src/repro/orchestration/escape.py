@@ -10,6 +10,7 @@ stack recursively.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Optional
 
@@ -24,6 +25,7 @@ from repro.orchestration.adapters import DomainAdapter
 from repro.orchestration.report import DeployReport
 from repro.orchestration.ro import ResourceOrchestrator
 from repro.perf import counters, observe
+from repro.recovery.journal import IntentJournal, IntentScope
 from repro.sim.kernel import Simulator
 
 
@@ -37,7 +39,9 @@ class EscapeOrchestrator:
                  lint_gate: Optional[Severity] = Severity.ERROR,
                  push_workers: Optional[int] = None,
                  cal_shards: Optional[int] = None,
-                 cal_shard_map: Optional[dict[str, int]] = None):
+                 cal_shard_map: Optional[dict[str, int]] = None,
+                 journal: Optional[IntentJournal] = None,
+                 journal_path: Optional[str] = None):
         self.name = name
         self.ro = ResourceOrchestrator(
             embedder=embedder, decomposition_library=decomposition_library)
@@ -61,6 +65,14 @@ class EscapeOrchestrator:
         #: refuses a service graph; None disables the gate entirely
         self.lint_gate = lint_gate
         self.reports: dict[str, DeployReport] = {}
+        #: write-ahead intent journal (see :mod:`repro.recovery`):
+        #: every lifecycle operation books two-phase records here, and
+        #: checkpoints fold our export_state() back into the log
+        if journal is None:
+            journal = IntentJournal(
+                journal_path or os.environ.get("REPRO_JOURNAL") or None)
+        self.journal = journal
+        self.journal.state_provider = self.export_state
 
     # -- domain management ---------------------------------------------------
 
@@ -144,58 +156,68 @@ class EscapeOrchestrator:
             view = self.cal.resource_view(copy=False)
         report.view_time_s = time.perf_counter() - view_started
 
-        with obs.span("deploy/map"):
-            result = self._orchestrate(service, view)
-        report.mapping = result
-        report.mapping_time_s = result.runtime_s
-        if not result.success:
-            report.error = f"mapping failed: {result.failure_reason}"
-            report.total_time_s = time.perf_counter() - started
-            self.reports[service.id] = report
-            return report
+        from repro.nffg.serialize import nffg_to_dict
 
-        effective_service = result.service if result.service is not None \
-            else service
-        self.cal.commit_mapping(service.id, effective_service, result)
-        push_started = time.perf_counter()
-        # planned push: only the domains the mapping touched (plus any
-        # queued reconciliations) are contacted
-        with obs.span("deploy/push"):
-            adapter_reports = self.cal.push_planned()
-        report.push_time_s = time.perf_counter() - push_started
-        report.adapters = adapter_reports
-        report.domains_touched = len(
-            {self.cal.dov.infra(infra_id).domain
-             for infra_id in result.nf_placement.values()})
-        failures = [r for r in adapter_reports
-                    if not r.success and not r.skipped]
-        if failures:
-            self._rollback(service.id, report)
-            report.error = "; ".join(f"{r.domain}: {r.error}"
-                                     for r in failures)
-            rollback_failed = report.rollback_failures()
-            if rollback_failed:
-                report.error += ("; rollback incomplete: "
-                                 + "; ".join(f"{r.domain}: {r.error}"
-                                             for r in rollback_failed))
-            report.total_time_s = time.perf_counter() - started
-            self.reports[service.id] = report
-            return report
+        with self.journal.intent(
+                "deploy", service.id,
+                payload={"service": nffg_to_dict(service)}) as intent:
+            with obs.span("deploy/map"):
+                result = self._orchestrate(service, view)
+            report.mapping = result
+            report.mapping_time_s = result.runtime_s
+            if not result.success:
+                report.error = f"mapping failed: {result.failure_reason}"
+                intent.abort(report.error)
+                report.total_time_s = time.perf_counter() - started
+                self.reports[service.id] = report
+                return report
 
-        if wait_activation:
-            activation_started = time.perf_counter()
-            with obs.span("deploy/activate"):
-                report.activation_virtual_ms = self._wait_activation(
-                    max_activation_ms)
-            report.activation_time_s = (time.perf_counter()
-                                        - activation_started)
-        report.success = True
-        report.outcome = self._classify_push(result, adapter_reports)
+            effective_service = result.service if result.service is not None \
+                else service
+            self.cal.commit_mapping(service.id, effective_service, result)
+            push_started = time.perf_counter()
+            # planned push: only the domains the mapping touched (plus
+            # any queued reconciliations) are contacted
+            with obs.span("deploy/push"):
+                adapter_reports = self.cal.push_planned()
+            report.push_time_s = time.perf_counter() - push_started
+            report.adapters = adapter_reports
+            intent.record_pushes(adapter_reports)
+            report.domains_touched = len(
+                {self.cal.dov.infra(infra_id).domain
+                 for infra_id in result.nf_placement.values()})
+            failures = [r for r in adapter_reports
+                        if not r.success and not r.skipped]
+            if failures:
+                self._rollback(service.id, report, intent)
+                report.error = "; ".join(f"{r.domain}: {r.error}"
+                                         for r in failures)
+                rollback_failed = report.rollback_failures()
+                if rollback_failed:
+                    report.error += ("; rollback incomplete: "
+                                     + "; ".join(f"{r.domain}: {r.error}"
+                                                 for r in rollback_failed))
+                intent.abort(report.error)
+                report.total_time_s = time.perf_counter() - started
+                self.reports[service.id] = report
+                return report
+
+            if wait_activation:
+                activation_started = time.perf_counter()
+                with obs.span("deploy/activate"):
+                    report.activation_virtual_ms = self._wait_activation(
+                        max_activation_ms)
+                report.activation_time_s = (time.perf_counter()
+                                            - activation_started)
+            report.success = True
+            report.outcome = self._classify_push(result, adapter_reports)
+            intent.commit({service.id: self._service_record(service.id)})
         report.total_time_s = time.perf_counter() - started
         self.reports[service.id] = report
         return report
 
-    def _rollback(self, service_id: str, report: DeployReport) -> None:
+    def _rollback(self, service_id: str, report: DeployReport,
+                  intent: Optional[IntentScope] = None) -> None:
         """Undo a half-deployed service and record how the
         reconciliation pushes went (satellite of the failure model:
         silently diverging rollbacks are themselves failures)."""
@@ -203,6 +225,8 @@ class EscapeOrchestrator:
         with obs.span("deploy/rollback", service=service_id):
             self.cal.remove_service(service_id)
             report.rollback = self.cal.push_all()
+        if intent is not None:
+            intent.record_pushes(report.rollback, stage="rollback")
         report.rollback_time_s = time.perf_counter() - rollback_started
         report.outcome = "failed"
         failed = report.rollback_failures()
@@ -268,24 +292,30 @@ class EscapeOrchestrator:
 
     def _teardown(self, service_id: str) -> DeployReport:
         report = DeployReport(service_id=service_id, success=False)
-        if not self.cal.remove_service(service_id):
+        if service_id not in self.cal.deployed_services():
             report.error = f"unknown service {service_id!r}"
             return report
-        adapter_reports = self.cal.push_planned()
-        report.adapters = adapter_reports
-        failures = [r for r in adapter_reports
-                    if not r.success and not r.skipped]
-        skipped = [r for r in adapter_reports if r.skipped]
-        report.success = not failures
-        if failures:
-            report.outcome = "failed"
-            report.error = ("stale state left in: "
-                            + "; ".join(f"{r.domain}: {r.error}"
-                                        for r in failures))
-        elif skipped:
-            report.outcome = "degraded"
-        else:
-            report.outcome = "success"
+        with self.journal.intent("teardown", service_id) as intent:
+            self.cal.remove_service(service_id)
+            adapter_reports = self.cal.push_planned()
+            report.adapters = adapter_reports
+            intent.record_pushes(adapter_reports)
+            failures = [r for r in adapter_reports
+                        if not r.success and not r.skipped]
+            skipped = [r for r in adapter_reports if r.skipped]
+            report.success = not failures
+            if failures:
+                report.outcome = "failed"
+                report.error = ("stale state left in: "
+                                + "; ".join(f"{r.domain}: {r.error}"
+                                            for r in failures))
+            elif skipped:
+                report.outcome = "degraded"
+            else:
+                report.outcome = "success"
+            # the books say removed even when a domain kept stale state
+            # (it stays pending for replay): commit the removal
+            intent.commit({service_id: None})
         if self.simulator is not None:
             self.simulator.run()
         self.reports.pop(service_id, None)
@@ -325,57 +355,70 @@ class EscapeOrchestrator:
                                         for d in blocking))
             self.reports[service.id] = report
             return report
-        snapshot = self.cal.snapshot_service(service.id)
-        # an update is a reconciliation point: re-fetch the domain views
-        # (capacity may have drifted) instead of trusting the live DoV
-        self.cal.mark_stale()
-        self.cal.remove_service(service.id)
-        view = self.cal.resource_view(copy=False)
-        result = self._orchestrate(service, view)
-        if not result.success:
-            self.cal.restore_service(service.id, snapshot)
-            report = DeployReport(
-                service_id=service.id, success=False,
-                mapping=result,
-                error=(f"update rejected, previous version kept: "
-                       f"{result.failure_reason}"))
-            return report
-        effective = result.service if result.service is not None else service
-        self.cal.commit_mapping(service.id, effective, result)
-        adapter_reports = self.cal.push_planned()
-        failures = [r for r in adapter_reports
-                    if not r.success and not r.skipped]
-        if failures:
-            # swap back to the previous version and reconcile
-            rollback_started = time.perf_counter()
-            report = DeployReport(
-                service_id=service.id, success=False, outcome="failed",
-                mapping=result, adapters=adapter_reports,
-                error=("update push failed, previous version restored: "
-                       + "; ".join(f"{r.domain}: {r.error}"
-                                   for r in failures)))
-            with obs.span("deploy/rollback", service=service.id):
-                self.cal.remove_service(service.id)
+        from repro.nffg.serialize import nffg_to_dict
+
+        with self.journal.intent(
+                "update", service.id,
+                payload={"service": nffg_to_dict(service)}) as intent:
+            snapshot = self.cal.snapshot_service(service.id)
+            # an update is a reconciliation point: re-fetch the domain
+            # views (capacity may have drifted) instead of trusting the
+            # live DoV
+            self.cal.mark_stale()
+            self.cal.remove_service(service.id)
+            view = self.cal.resource_view(copy=False)
+            result = self._orchestrate(service, view)
+            if not result.success:
                 self.cal.restore_service(service.id, snapshot)
-                report.rollback = self.cal.push_all()
-            report.rollback_time_s = time.perf_counter() - rollback_started
-            failed_rollback = report.rollback_failures()
-            if failed_rollback:
-                counters.incr("resilience.rollback.failures",
-                              len(failed_rollback))
-                report.error += ("; rollback incomplete: "
-                                 + "; ".join(f"{r.domain}: {r.error}"
-                                             for r in failed_rollback))
-            obs.event("rollback", service=service.id,
-                      pushes=len(report.rollback),
-                      failures=len(failed_rollback))
-            self.reports[service.id] = report
-            return report
-        if self.simulator is not None:
-            self._wait_activation(60_000.0)
-        report = DeployReport(service_id=service.id, success=True,
-                              mapping=result, adapters=adapter_reports)
-        report.outcome = self._classify_push(result, adapter_reports)
+                report = DeployReport(
+                    service_id=service.id, success=False,
+                    mapping=result,
+                    error=(f"update rejected, previous version kept: "
+                           f"{result.failure_reason}"))
+                intent.abort(report.error)
+                return report
+            effective = (result.service if result.service is not None
+                         else service)
+            self.cal.commit_mapping(service.id, effective, result)
+            adapter_reports = self.cal.push_planned()
+            intent.record_pushes(adapter_reports)
+            failures = [r for r in adapter_reports
+                        if not r.success and not r.skipped]
+            if failures:
+                # swap back to the previous version and reconcile
+                rollback_started = time.perf_counter()
+                report = DeployReport(
+                    service_id=service.id, success=False, outcome="failed",
+                    mapping=result, adapters=adapter_reports,
+                    error=("update push failed, previous version restored: "
+                           + "; ".join(f"{r.domain}: {r.error}"
+                                       for r in failures)))
+                with obs.span("deploy/rollback", service=service.id):
+                    self.cal.remove_service(service.id)
+                    self.cal.restore_service(service.id, snapshot)
+                    report.rollback = self.cal.push_all()
+                intent.record_pushes(report.rollback, stage="rollback")
+                report.rollback_time_s = (time.perf_counter()
+                                          - rollback_started)
+                failed_rollback = report.rollback_failures()
+                if failed_rollback:
+                    counters.incr("resilience.rollback.failures",
+                                  len(failed_rollback))
+                    report.error += ("; rollback incomplete: "
+                                     + "; ".join(f"{r.domain}: {r.error}"
+                                                 for r in failed_rollback))
+                obs.event("rollback", service=service.id,
+                          pushes=len(report.rollback),
+                          failures=len(failed_rollback))
+                intent.abort(report.error)
+                self.reports[service.id] = report
+                return report
+            if self.simulator is not None:
+                self._wait_activation(60_000.0)
+            report = DeployReport(service_id=service.id, success=True,
+                                  mapping=result, adapters=adapter_reports)
+            report.outcome = self._classify_push(result, adapter_reports)
+            intent.commit({service.id: self._service_record(service.id)})
         self.reports[service.id] = report
         return report
 
@@ -426,106 +469,159 @@ class EscapeOrchestrator:
         reports: dict[str, DeployReport] = {}
         if not broken:
             return reports
-        snapshots = {service_id: self.cal.snapshot_service(service_id)
-                     for service_id in broken}
-        # the substrate topology changed under us: invalidate the live
-        # DoV (and, via topology generation, the path cache) *before*
-        # removing services.  The pristine_view() above already
-        # refetched every shard, so only the derived state must go —
-        # domains=() keeps the fresh sub-views instead of fetching the
-        # whole substrate a second time.
-        self.cal.mark_stale(domains=())
-        for service_id in broken:
-            self.cal.remove_service(service_id)
-        for service_id in broken:
-            original_service, _ = snapshots[service_id]
-            with obs.span("heal/evacuate", service=service_id):
-                view = self.cal.resource_view(copy=False)
-                result = self._orchestrate(original_service, view)
-            if result.success:
-                effective = (result.service if result.service is not None
-                             else original_service)
-                self.cal.commit_mapping(service_id, effective, result)
-                reports[service_id] = DeployReport(
-                    service_id=service_id, success=True, mapping=result)
-            else:
-                reports[service_id] = DeployReport(
-                    service_id=service_id, success=False, mapping=result,
-                    error=f"heal failed: {result.failure_reason}")
-        adapter_reports = self.cal.push_planned()
-        by_domain = {r.domain: r for r in adapter_reports}
-        for report in reports.values():
-            if not report.success:
-                continue  # never pushed: no adapter reports apply
-            relevant = self.cal.adapter_names_for(report.mapping)
-            report.adapters = [by_domain[name]
-                               for name in sorted(relevant)
-                               if name in by_domain]
-            report.outcome = self._classify_push(report.mapping,
-                                                 report.adapters)
+        with self.journal.intent(
+                "heal", None, payload={"services": sorted(broken)}) as intent:
+            snapshots = {service_id: self.cal.snapshot_service(service_id)
+                         for service_id in broken}
+            # the substrate topology changed under us: invalidate the
+            # live DoV (and, via topology generation, the path cache)
+            # *before* removing services.  The pristine_view() above
+            # already refetched every shard, so only the derived state
+            # must go — domains=() keeps the fresh sub-views instead of
+            # fetching the whole substrate a second time.
+            self.cal.mark_stale(domains=())
+            for service_id in broken:
+                self.cal.remove_service(service_id)
+            for service_id in broken:
+                original_service, _ = snapshots[service_id]
+                with obs.span("heal/evacuate", service=service_id):
+                    view = self.cal.resource_view(copy=False)
+                    result = self._orchestrate(original_service, view)
+                if result.success:
+                    effective = (result.service if result.service is not None
+                                 else original_service)
+                    self.cal.commit_mapping(service_id, effective, result)
+                    reports[service_id] = DeployReport(
+                        service_id=service_id, success=True, mapping=result)
+                else:
+                    reports[service_id] = DeployReport(
+                        service_id=service_id, success=False, mapping=result,
+                        error=f"heal failed: {result.failure_reason}")
+            adapter_reports = self.cal.push_planned()
+            intent.record_pushes(adapter_reports)
+            by_domain = {r.domain: r for r in adapter_reports}
+            for report in reports.values():
+                if not report.success:
+                    continue  # never pushed: no adapter reports apply
+                relevant = self.cal.adapter_names_for(report.mapping)
+                report.adapters = [by_domain[name]
+                                   for name in sorted(relevant)
+                                   if name in by_domain]
+                report.outcome = self._classify_push(report.mapping,
+                                                     report.adapters)
+            # one commit settles every broken service: re-embedded ones
+            # carry their new records, failed evacuations are removals
+            intent.commit({
+                service_id: (self._service_record(service_id)
+                             if reports[service_id].success else None)
+                for service_id in broken})
         if self.simulator is not None:
             self._wait_activation(60_000.0)
         return reports
 
     # -- state persistence (controller restart / failover) -----------------
 
+    def _service_record(self, service_id: str) -> dict:
+        """Export-schema record of one deployed service — the shape
+        journal commits and ``export_state()`` share."""
+        from repro.nffg.serialize import nffg_to_dict
+
+        service, result = self.cal.snapshot_service(service_id)
+        return {
+            "service": nffg_to_dict(service),
+            "placement": dict(result.nf_placement),
+            "routes": {hop_id: {
+                "infra_path": list(route.infra_path),
+                "link_ids": list(route.link_ids),
+                "delay": route.delay,
+                "bandwidth": route.bandwidth,
+            } for hop_id, route in result.hop_routes.items()},
+            "decompositions": dict(result.decompositions),
+        }
+
     def export_state(self) -> dict:
         """Serialize deployed-service state (JSON-compatible).
 
         Captures each service's graph, NF placements and hop routes —
         everything a fresh controller instance needs to resume
-        ownership of the same domains without re-planning.
+        ownership of the same domains without re-planning — plus the
+        CAL's resilience state (circuit breakers, domains with queued
+        replays), so a snapshot taken mid-storm does not lose the
+        pending reconciliation work.
         """
-        from repro.nffg.serialize import nffg_to_dict
+        services = {service_id: self._service_record(service_id)
+                    for service_id in self.cal.deployed_services()}
+        return {"orchestrator": self.name, "services": services,
+                "resilience": self.cal.export_resilience()}
 
-        services = {}
-        for service_id in self.cal.deployed_services():
-            service, result = self.cal.snapshot_service(service_id)
-            services[service_id] = {
-                "service": nffg_to_dict(service),
-                "placement": dict(result.nf_placement),
-                "routes": {hop_id: {
-                    "infra_path": list(route.infra_path),
-                    "link_ids": list(route.link_ids),
-                    "delay": route.delay,
-                    "bandwidth": route.bandwidth,
-                } for hop_id, route in result.hop_routes.items()},
-                "decompositions": dict(result.decompositions),
-            }
-        return {"orchestrator": self.name, "services": services}
-
-    def import_state(self, state: dict, *, push: bool = True) -> list[str]:
-        """Restore exported state into this (empty) orchestrator.
+    def import_state(self, state: dict, *, push: bool = True,
+                     reconcile: bool = False) -> list[str]:
+        """Restore exported state into this orchestrator.
 
         Placements and routes are replayed verbatim (no re-mapping);
         with ``push`` the domains are reconciled immediately, which is
-        a no-op on domains that still hold the configuration.
+        a no-op on domains that still hold the configuration.  Breaker
+        and pending-replay state ride along under ``"resilience"``.
+
+        By default the orchestrator must be empty.  With
+        ``reconcile=True`` a non-empty orchestrator diffs instead of
+        refusing: services absent from ``state`` are removed,
+        identical ones are kept untouched, and changed or new ones are
+        (re)committed — the same anti-entropy shape ``recover()`` uses.
         """
         from repro.mapping.base import HopRoute, MappingResult
         from repro.nffg.serialize import nffg_from_dict
 
-        if self.cal.deployed_services():
-            raise RuntimeError("import_state requires an empty orchestrator")
-        restored: list[str] = []
-        for service_id, data in state.get("services", {}).items():
-            service = nffg_from_dict(data["service"])
-            routes = {hop_id: HopRoute(hop_id=hop_id,
-                                       infra_path=list(r["infra_path"]),
-                                       link_ids=list(r["link_ids"]),
-                                       delay=float(r["delay"]),
-                                       bandwidth=float(r["bandwidth"]))
-                      for hop_id, r in data.get("routes", {}).items()}
-            result = MappingResult(
-                success=True, service=service,
-                nf_placement=dict(data.get("placement", {})),
-                hop_routes=routes,
-                decompositions=dict(data.get("decompositions", {})))
-            self.cal.commit_mapping(service_id, service, result)
-            restored.append(service_id)
-        if push and restored:
-            self.cal.push_all()
-            if self.simulator is not None:
-                self._wait_activation(60_000.0)
+        current = set(self.cal.deployed_services())
+        if current and not reconcile:
+            raise RuntimeError(
+                "import_state requires an empty orchestrator "
+                "(pass reconcile=True to diff against the running state)")
+        incoming: dict = state.get("services", {})
+        with self.journal.intent(
+                "import", None,
+                payload={"services": sorted(incoming)}) as intent:
+            removed = sorted(current - set(incoming))
+            for service_id in removed:
+                self.cal.remove_service(service_id)
+            restored: list[str] = []
+            kept = 0
+            for service_id, data in incoming.items():
+                if service_id in current:
+                    if self._service_record(service_id) == data:
+                        kept += 1
+                        continue
+                    self.cal.remove_service(service_id)
+                service = nffg_from_dict(data["service"])
+                routes = {hop_id: HopRoute(hop_id=hop_id,
+                                           infra_path=list(r["infra_path"]),
+                                           link_ids=list(r["link_ids"]),
+                                           delay=float(r["delay"]),
+                                           bandwidth=float(r["bandwidth"]))
+                          for hop_id, r in data.get("routes", {}).items()}
+                result = MappingResult(
+                    success=True, service=service,
+                    nf_placement=dict(data.get("placement", {})),
+                    hop_routes=routes,
+                    decompositions=dict(data.get("decompositions", {})))
+                self.cal.commit_mapping(service_id, service, result)
+                restored.append(service_id)
+            if reconcile:
+                counters.incr("recovery.reconcile.removed", len(removed))
+                counters.incr("recovery.reconcile.replaced",
+                              sum(1 for s in restored if s in current))
+                counters.incr("recovery.reconcile.kept", kept)
+            self.cal.import_resilience(state.get("resilience", {}))
+            if push and (restored or removed):
+                pushes = self.cal.push_all()
+                intent.record_pushes(pushes)
+                if self.simulator is not None:
+                    self._wait_activation(60_000.0)
+            # books == desired state regardless of push outcomes (a
+            # failed domain stays pending for replay): commit
+            intent.commit(
+                {service_id: incoming[service_id] for service_id in restored}
+                | {service_id: None for service_id in removed})
         return restored
 
     def service_flow_stats(self, service_id: str) -> dict[str, dict[str, int]]:

@@ -69,6 +69,27 @@ Resilience counters (all zero on a fault-free run)::
     resilience.heal.domains_lost  domains absent when heal() ran
     resilience.heal.evacuations   services evacuated off a lost domain
 
+Recovery counters (write-ahead intent journal + crash recovery; the
+``recovery.journal.*`` and ``recovery.intent.*`` names tick on every
+lifecycle operation, the rest only when crashes are injected or
+``recover()`` runs)::
+
+    recovery.journal.appends      records appended to the intent journal
+    recovery.journal.checkpoints  checkpoints folded into the journal
+    recovery.journal.truncated    journal records dropped by checkpoints
+    recovery.journal.loaded       journal files re-opened for recovery
+    recovery.intent.committed     intents that reached their commit record
+    recovery.intent.aborted       intents closed by an abort record
+    recovery.crash.injected       seeded CrashPlan kills between appends
+    recovery.runs                 recover() invocations (plus
+                                  recovery.runs.dry for --dry-run passes)
+    recovery.restored             services rebuilt from checkpoint+replay
+    recovery.inflight.rolled_back in-flight intents discarded by replay
+    recovery.pending.restored     pending-replay domains re-queued by a
+                                  resilience-state import
+    recovery.reconcile.<removed|replaced|kept>
+                                  import_state(reconcile=True) diff fates
+
 Observability counters (``repro.obs``; all zero unless tracing is
 enabled via ``REPRO_OBS=1`` or ``obs.enable()``)::
 
@@ -90,6 +111,7 @@ registry and — like the counters — stay enabled everywhere (an
                              {embedder=...} (histogram)
     cal.shard.stitch_s       global stitch time over shard sub-views
                              (histogram)
+    recovery.latency_s       recover() end-to-end wall clock (histogram)
     cal.services_deployed    services currently booked in the CAL (gauge)
     cal.pending_reconcile    domains holding stale config (gauge)
 

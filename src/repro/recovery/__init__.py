@@ -1,0 +1,40 @@
+"""Crash-consistent control plane: write-ahead intent journal,
+checkpoints, and recovery reconciliation.
+
+The orchestrator is a long-lived controller of record; losing its
+process must not lose the network.  This package provides the three
+pieces that make that true:
+
+``journal``
+    :class:`IntentJournal` — an append-only JSONL log of two-phase
+    intent records (intent → per-domain push outcomes → commit/abort)
+    with periodic checkpoints that fold committed state into an
+    ``export_state()`` snapshot and truncate the log.
+
+``crash``
+    :class:`CrashPlan` — a seeded fault injector that kills the
+    orchestrator (raises :class:`OrchestratorCrash`) between any two
+    journal appends, so every crash window is testable.
+
+``recover``
+    :func:`recover` — rebuild a fresh orchestrator from checkpoint +
+    replay, then run an anti-entropy reconciliation pass against the
+    live domains: re-assert committed desired state, roll back
+    in-flight intents, and sweep orphaned NFs no committed service
+    owns.
+"""
+
+from repro.recovery.crash import CrashPlan, OrchestratorCrash
+from repro.recovery.journal import IntentJournal, IntentScope, JournalError
+from repro.recovery.recover import DomainDiff, RecoveryReport, recover
+
+__all__ = [
+    "CrashPlan",
+    "DomainDiff",
+    "IntentJournal",
+    "IntentScope",
+    "JournalError",
+    "OrchestratorCrash",
+    "RecoveryReport",
+    "recover",
+]

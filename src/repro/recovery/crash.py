@@ -1,0 +1,64 @@
+"""Seeded orchestrator-crash injection between journal appends.
+
+The resilience package's :class:`FaultPlan` kills *adapters*; a
+:class:`CrashPlan` kills the *orchestrator itself* — it arms the
+journal so that the append at a chosen index raises
+:class:`OrchestratorCrash` before the record is written.  The journal
+is therefore left exactly as a real process death would leave it:
+every record before the crash durable, nothing after.
+
+``OrchestratorCrash`` derives from ``BaseException`` on purpose: a
+dead process is not a handled error, so the broad ``except Exception``
+recovery paths in the control plane must not swallow it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+from repro.perf import counters
+from repro.sim.random import SeededRandom
+
+
+class OrchestratorCrash(BaseException):
+    """The orchestrator process died (simulated) mid-operation."""
+
+
+class CrashPlan:
+    """Crash the orchestrator before the ``at``-th journal append.
+
+    Indices are zero-based and count *attempted* appends, so a plan
+    armed at ``k`` leaves exactly ``k`` records in the journal.  A plan
+    fires at most once; ``at=None`` (or an index past the end of the
+    run) never fires.
+    """
+
+    def __init__(self, at: Optional[int] = None, *, label: str = "") -> None:
+        self.at = at
+        self.label = label
+        self.appends = 0
+        self.fired = False
+
+    @classmethod
+    def random_plan(cls, seed: int, *, horizon: int = 24) -> "CrashPlan":
+        """A seeded plan crashing somewhere in ``[0, horizon]``."""
+        rng = SeededRandom(seed).fork("crash-plan")
+        return cls(at=rng.randint(0, horizon), label=f"seed={seed}")
+
+    def on_append(self) -> None:
+        """Journal hook: called before every append."""
+        index = self.appends
+        self.appends += 1
+        if self.fired or self.at is None or index != self.at:
+            return
+        self.fired = True
+        counters.incr("recovery.crash.injected")
+        obs.event("crash.injected", append_index=index, label=self.label)
+        raise OrchestratorCrash(
+            f"injected crash before journal append #{index}"
+            + (f" ({self.label})" if self.label else ""))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CrashPlan(at={self.at}, fired={self.fired}, "
+                f"appends={self.appends})")

@@ -101,6 +101,38 @@ class CircuitBreaker:
         counters.incr("resilience.breaker.halfopen")
         obs.event("breaker.halfopen", breaker=self.name)
 
+    # -- state persistence --------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of the state machine.
+
+        An open breaker exports the *remaining* recovery time rather
+        than its ``_opened_at`` instant: monotonic clocks are not
+        comparable across processes, so the importer re-anchors the
+        window against its own clock.
+        """
+        record = {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+        }
+        if self._state is BreakerState.OPEN:
+            elapsed = self.clock() - self._opened_at
+            record["open_remaining_s"] = max(
+                0.0, self.recovery_time_s - elapsed)
+        return record
+
+    def import_state(self, record: dict) -> None:
+        """Restore an :meth:`export_state` snapshot."""
+        self._state = BreakerState(record.get("state", "closed"))
+        self.consecutive_failures = int(
+            record.get("consecutive_failures", 0))
+        self.trips = int(record.get("trips", 0))
+        if self._state is BreakerState.OPEN:
+            remaining = float(record.get("open_remaining_s", 0.0))
+            self._opened_at = self.clock() - (self.recovery_time_s
+                                              - remaining)
+
     def __repr__(self) -> str:
         return (f"<CircuitBreaker {self.name} {self._state.value} "
                 f"failures={self.consecutive_failures} trips={self.trips}>")

@@ -25,6 +25,12 @@ from hypothesis import given, settings
 from repro import perf
 from repro.nffg.builder import mesh_substrate
 from repro.orchestration import DirectDomainAdapter, EscapeOrchestrator
+from repro.recovery import (
+    CrashPlan,
+    IntentJournal,
+    OrchestratorCrash,
+    recover,
+)
 from repro.resilience import BreakerState, FaultKind, FaultPlan, FaultyAdapter
 from repro.service import ServiceRequestBuilder
 
@@ -43,12 +49,12 @@ def _chain_service(index: int, length: int = 1):
     return builder.build().sg
 
 
-def _chaos_escape(plan: FaultPlan):
+def _chaos_escape(plan: FaultPlan, journal: IntentJournal | None = None):
     # REPRO_CHAOS_SHARDS runs the same storm over a sharded CAL (the
     # CI chaos-smoke job sets 4): the invariants must hold regardless
     # of how the registry is partitioned
     shards = int(os.environ.get("REPRO_CHAOS_SHARDS", "1"))
-    escape = EscapeOrchestrator("chaos", cal_shards=shards)
+    escape = EscapeOrchestrator("chaos", cal_shards=shards, journal=journal)
     escape.cal.breaker_failure_threshold = 2
     inner = DirectDomainAdapter(
         "dom", view=mesh_substrate(12, degree=3, seed=5,
@@ -144,6 +150,42 @@ def test_chaos_soak_with_mid_storm_outage(operations, seed, crash_at):
         booked_nfs = {nf_id
                       for service_id in deployed
                       for nf_id in escape.cal.snapshot_service(
+                          service_id)[1].nf_placement}
+        assert {nf.id for nf in inner.installed[-1].nfs} == booked_nfs
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_CHAOS_CRASH"),
+                    reason="REPRO_CHAOS_CRASH not set (CI recovery leg)")
+@given(ops, st.integers(0, 2 ** 16))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_chaos_soak_with_crash_recovery(operations, seed):
+    """The storm plus a process crash: the orchestrator dies between
+    two seeded journal appends while pushes are randomly failing, a
+    successor recovers from the journal *under the same storm*, and
+    after the weather clears the usual convergence invariants hold on
+    the successor."""
+    plan = FaultPlan.random_plan(seed, ["dom"], ops=("push",),
+                                 rate=0.25, length=60)
+    journal = IntentJournal()
+    journal.crash_plan = CrashPlan.random_plan(
+        seed, horizon=3 * len(operations) + 2)
+    escape, inner = _chaos_escape(plan, journal=journal)
+    try:
+        _run_ops(escape, operations)
+    except OrchestratorCrash:
+        pass
+
+    report = recover(journal, list(escape.cal.adapters.values()),
+                     name="chaos-successor")
+    successor = report.orchestrator
+    _drain(successor, plan)
+
+    assert canonical(successor.cal.dov) == canonical(successor.cal.rebuild())
+    deployed = set(successor.cal.deployed_services())
+    if inner.installed:
+        booked_nfs = {nf_id
+                      for service_id in deployed
+                      for nf_id in successor.cal.snapshot_service(
                           service_id)[1].nf_placement}
         assert {nf.id for nf in inner.installed[-1].nfs} == booked_nfs
 

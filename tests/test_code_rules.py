@@ -388,6 +388,99 @@ class TestCC006LeakedSpans:
         assert codes(diags) == []
 
 
+class TestCC007JournaledWrites:
+    def test_rogue_method_write_flagged(self):
+        diags = lint("""
+            class Books:
+                def __init__(self):
+                    self._deployed = {}  # journaled: commit_mapping remove_service
+
+                def commit_mapping(self, sid, data):
+                    self._deployed[sid] = data
+
+                def sneaky_drop(self, sid):
+                    self._deployed.pop(sid, None)
+            """)
+        assert codes(diags) == ["CC007"]
+        assert "sneaky_drop" in diags[0].message
+
+    def test_listed_mutators_are_clean(self):
+        diags = lint("""
+            class Books:
+                def __init__(self):
+                    self._deployed = {}  # journaled: commit_mapping remove_service
+
+                def commit_mapping(self, sid, data):
+                    self._deployed[sid] = data
+
+                def remove_service(self, sid):
+                    self._deployed.pop(sid, None)
+            """)
+        assert codes(diags) == []
+
+    def test_unscoped_mutator_call_flagged(self):
+        diags = lint("""
+            class Orchestrator:
+                def teardown(self, sid):
+                    self.cal.remove_service(sid)
+            """)
+        assert codes(diags) == ["CC007"]
+        assert "remove_service" in diags[0].message
+
+    def test_call_inside_intent_scope_clean(self):
+        diags = lint("""
+            class Orchestrator:
+                def teardown(self, sid):
+                    with self.journal.intent("teardown", sid) as intent:
+                        self.cal.remove_service(sid)
+                        intent.commit({sid: None})
+            """)
+        assert codes(diags) == []
+
+    def test_intent_parameter_exempts_helper(self):
+        # helpers receiving the open scope as a parameter are running
+        # inside the caller's intent — cross-function analysis is out
+        # of scope for a lexical rule, the parameter is the contract
+        diags = lint("""
+            class Orchestrator:
+                def _rollback(self, sid, intent):
+                    self.cal.remove_service(sid)
+            """)
+        assert codes(diags) == []
+
+    def test_journaled_comment_exempts_call_line(self):
+        diags = lint("""
+            class Orchestrator:
+                def emergency_purge(self, sid):
+                    self.cal.remove_service(sid)  # journaled: remove_service
+            """)
+        assert codes(diags) == []
+
+    def test_self_receiver_calls_are_clean(self):
+        # calling the mutator on *self* is the mutator's own class —
+        # part (a) already polices writes inside it
+        diags = lint("""
+            class Registry:
+                def restore_service(self, sid, data):
+                    self._apply(sid, data)
+
+                def import_state(self, state):
+                    for sid, data in state.items():
+                        self.restore_service(sid, data)
+            """)
+        assert codes(diags) == []
+
+    def test_call_outside_with_body_flagged(self):
+        diags = lint("""
+            class Orchestrator:
+                def teardown(self, sid):
+                    with self.journal.intent("teardown", sid):
+                        pass
+                    self.cal.remove_service(sid)
+            """)
+        assert codes(diags) == ["CC007"]
+
+
 class TestSelfLint:
     def test_package_is_clean(self):
         # acceptance criterion: `repro check --self` reports zero

@@ -105,7 +105,8 @@ class TestCounterCatalog:
             obs.restore(previous)
         incremented = set(perf.snapshot())
         for group in ("dov.", "nffg.", "pathcache.", "push.",
-                      "dispatch.", "resilience.", "trace.", "obs."):
+                      "dispatch.", "resilience.", "recovery.",
+                      "trace.", "obs."):
             assert any(name.startswith(group) for name in incremented), \
                 f"driver never incremented a {group}* counter"
 

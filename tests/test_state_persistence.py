@@ -50,6 +50,14 @@ class TestExport:
         escape = EscapeOrchestrator("empty", simulator=net.simulator)
         assert escape.export_state()["services"] == {}
 
+    def test_state_carries_resilience_section(self, running):
+        _, _, escape = running
+        state = escape.export_state()
+        assert set(state["resilience"]) == {"breakers", "pending"}
+        assert "emu" in state["resilience"]["breakers"]
+        assert state["resilience"]["breakers"]["emu"]["state"] == "closed"
+        assert state["resilience"]["pending"] == []
+
 
 class TestImport:
     def test_failover_controller_takes_over(self, running):
@@ -96,6 +104,18 @@ class TestImport:
         state = escape.export_state()
         with pytest.raises(RuntimeError):
             escape.import_state(state)
+
+    def test_reconcile_import_into_running_controller(self, running):
+        # reconcile=True diffs instead of raising: importing our own
+        # export is a no-op that keeps the service running
+        net, emu, escape = running
+        state = json.loads(json.dumps(escape.export_state()))
+        escape.import_state(state, reconcile=True)
+        assert escape.deployed_services() == ["persist"]
+        h1, h2 = emu.sap_hosts["sap1"], emu.sap_hosts["sap2"]
+        h1.send(tcp_packet(h1.ip, h2.ip, tp_dst=80))
+        net.run()
+        assert len(h2.received) == 1
 
     def test_roundtrip_state_stable(self, running):
         net, emu, escape = running
