@@ -267,6 +267,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro import perf
     from repro.cli.render import render_deploy_report
+    from repro.mapping.registry import make_embedder
     from repro.service import ServiceRequestBuilder
     from repro.topo import build_reference_multidomain
 
@@ -278,7 +279,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 .chain("sap1", f"svc{index}-fw", f"svc{index}-nat", "sap2",
                        bandwidth=2.0).build())
 
-    testbed = build_reference_multidomain()
+    testbed = build_reference_multidomain(
+        embedder=make_embedder(args.embedder))
     perf.reset()
     report = None
     for index in range(args.deploys):
@@ -288,12 +290,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
     assert report is not None
+    print(f"embedder: {args.embedder}")
     print(f"last deploy ({args.deploys} total):")
     print(render_deploy_report(report))
-    print("\npush pipeline counters:")
+    index_stats = testbed.escape.cal.substrate_index.stats()
+    print("\nsubstrate index: "
+          f"{index_stats['infras']} infras / {index_stats['types']} typed "
+          f"candidate sets, {index_stats['applies']} incremental applies, "
+          f"{index_stats['rebuilds']} rebuilds")
+    print("\ncontrol-plane counters:")
     snapshot = perf.snapshot()
     shown = False
-    for prefix in ("push.", "dispatch.", "cal."):
+    for prefix in ("push.", "dispatch.", "cal.", "mapping."):
         for name in sorted(name for name in snapshot if
                            name.startswith(prefix)):
             print(f"  {name:24s} {snapshot[name]:g}")
@@ -505,6 +513,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         ("EXT-2", "control-channel overhead",
          "test_bench_control_plane.py"),
         ("EXT-3", "dataplane behaviour", "test_bench_dataplane.py"),
+        ("EXT-3m", "mapping quality x speed matrix",
+         "test_bench_mapping_matrix.py"),
         ("EXT-4", "service churn", "test_bench_churn.py"),
         ("EXT-5", "elastic scaling", "test_bench_elastic.py"),
         ("ABL-1", "view-policy ablation", "test_bench_view_ablation.py"),
@@ -573,10 +583,14 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--max-level", type=int, default=3)
     scale.set_defaults(func=_cmd_scale)
 
+    from repro.mapping.registry import embedder_names
     perf = sub.add_parser(
-        "perf", help="print push-pipeline counters for a deploy run")
+        "perf", help="print control-plane counters for a deploy run")
     perf.add_argument("--deploys", type=int, default=3,
                       help="number of services to deploy (default 3)")
+    perf.add_argument("--embedder", choices=embedder_names(),
+                      default="greedy",
+                      help="embedding algorithm (default greedy)")
     perf.set_defaults(func=_cmd_perf)
 
     trace = sub.add_parser(

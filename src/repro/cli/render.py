@@ -61,8 +61,9 @@ def render_mapping(result: MappingResult) -> str:
     if result.decompositions:
         for nf_id, rule in sorted(result.decompositions.items()):
             lines.append(f"  decomposition: {nf_id} via {rule}")
+    via = f" embedder={result.embedder}" if result.embedder else ""
     lines.append(f"  cost={result.cost:.2f} examined={result.nodes_examined} "
-                 f"backtracks={result.backtracks}")
+                 f"backtracks={result.backtracks}{via}")
     return "\n".join(lines)
 
 
@@ -120,6 +121,13 @@ def render_deploy_report(report: DeployReport) -> str:
         lines.append("  stages: " + "  ".join(
             f"{stage} {seconds * 1e3:.1f} ms"
             for stage, seconds in stages.items()))
+    if report.mapping is not None and report.mapping.success:
+        mapping = report.mapping
+        lines.append(
+            f"  mapping: {mapping.embedder or 'custom'} "
+            f"cost={mapping.cost:.2f} "
+            f"examined={mapping.nodes_examined} nodes "
+            f"backtracks={mapping.backtracks}")
     for adapter_report in report.adapters:
         lines.append("  " + _adapter_line(adapter_report))
     if report.rollback:

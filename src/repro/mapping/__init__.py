@@ -25,6 +25,18 @@ from repro.mapping.base import (
 from repro.mapping.greedy import GreedyEmbedder
 from repro.mapping.backtrack import BacktrackingEmbedder
 from repro.mapping.delay_aware import DelayAwareEmbedder
+from repro.mapping.allocators import (
+    BalancedAllocator,
+    HybridAllocator,
+    WeightedAllocator,
+)
+from repro.mapping.index import SubstrateIndex
+from repro.mapping.registry import (
+    EMBEDDERS,
+    embedder_names,
+    make_embedder,
+    register_embedder,
+)
 from repro.mapping.decomposition import (
     Decomposition,
     DecompositionLibrary,
@@ -43,6 +55,14 @@ __all__ = [
     "GreedyEmbedder",
     "BacktrackingEmbedder",
     "DelayAwareEmbedder",
+    "BalancedAllocator",
+    "WeightedAllocator",
+    "HybridAllocator",
+    "SubstrateIndex",
+    "EMBEDDERS",
+    "embedder_names",
+    "make_embedder",
+    "register_embedder",
     "Decomposition",
     "DecompositionLibrary",
     "DecompositionRule",

@@ -1,0 +1,287 @@
+"""Index-backed allocators ported from the AccaSim designs.
+
+AccaSim's advanced allocators improve on first-come/cheapest-first
+dispatching with two ideas this module transplants to NF embedding:
+
+- **balanced** — protect scarce capabilities.  Hosts that only offer
+  common functional types are consumed first; hosts specialized in a
+  *scarce* type (few supporters substrate-wide) are grouped by their
+  scarcest specialization and interleaved last, so a firewall never
+  burns the last DPI-capable box while plain boxes sit idle.
+- **weighted** — best-fit on a weighted residual.  Each consumable
+  dimension gets a weight from the service's average demand and the
+  substrate's current load; the chosen host minimizes the
+  post-allocation weighted residual, packing small NFs onto small
+  hosts and preserving large hosts for large NFs.
+- **hybrid** — balanced grouping with weighted ordering inside each
+  group: scarce pools are protected first, and within a pool the
+  best-fitting host wins.
+
+All three reuse the greedy chain-order walk (place in SG order, route
+each hop as soon as both endpoints resolve) and the
+:meth:`MappingContext.candidates` front door, so they are pruned by the
+substrate index when one is attached and fall back to full scans —
+never losing acceptance to pruning — when it is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mapping.base import (Embedder, MappingContext, MappingError,
+                                placement_allowed)
+from repro.mapping.greedy import anchor_infra, route_ready_hops, service_order
+from repro.nffg.model import InfraType, NodeNF
+from repro.perf import counters
+
+#: consumable dimensions considered by the weighted residual
+_DIMS = ("cpu", "mem", "storage")
+
+
+class _SubstrateProfile:
+    """Per-run snapshot of substrate-wide facts the allocators score
+    against: which functional types are scarce, which hosts specialize
+    in them, and per-dimension capacity/load totals."""
+
+    def __init__(self, scarce: frozenset[str],
+                 specializations: dict[str, frozenset[str]],
+                 capacity: dict[str, float], free: dict[str, float]):
+        self.scarce = scarce
+        self._specializations = specializations
+        self.capacity = capacity
+        self.free = free
+
+    def specializations_of(self, infra_id: str) -> frozenset[str]:
+        return self._specializations.get(infra_id, frozenset())
+
+
+def _profile_from_index(ctx: MappingContext,
+                        scarce_ratio: float) -> _SubstrateProfile:
+    index = ctx.index
+    hosts, explicit_counts, wildcard = index.support_census()
+    hosts = max(1, hosts)
+    scarce = frozenset(
+        functional_type for functional_type, count in explicit_counts.items()
+        if count + wildcard <= scarce_ratio * hosts)
+    specializations: dict[str, frozenset[str]] = {}
+    for functional_type in scarce:
+        for infra_id in index.explicit_members(functional_type):
+            merged = specializations.get(infra_id, frozenset())
+            specializations[infra_id] = merged | {functional_type}
+    return _SubstrateProfile(scarce, specializations,
+                             dict(index.capacity_totals),
+                             dict(index.free_totals))
+
+
+def _profile_from_scan(ctx: MappingContext,
+                       scarce_ratio: float) -> _SubstrateProfile:
+    supporters: dict[str, int] = {}
+    explicit: dict[str, frozenset[str]] = {}
+    capacity = {dim: 0.0 for dim in _DIMS}
+    free = {dim: 0.0 for dim in _DIMS}
+    hosts = 0
+    for infra in ctx.resource.infras:
+        if infra.infra_type == InfraType.SDN_SWITCH:
+            continue
+        hosts += 1
+        for dim in _DIMS:
+            capacity[dim] += getattr(infra.resources, dim)
+            free[dim] += getattr(ctx.ledger.free(infra.id), dim)
+        if infra.supported_types:
+            explicit[infra.id] = frozenset(infra.supported_types)
+        for functional_type in infra.supported_types:
+            supporters[functional_type] = \
+                supporters.get(functional_type, 0) + 1
+    wildcard = hosts - len(explicit)
+    scarce = frozenset(
+        functional_type for functional_type, count in supporters.items()
+        if count + wildcard <= scarce_ratio * max(1, hosts))
+    specializations = {infra_id: types & scarce
+                       for infra_id, types in explicit.items()
+                       if types & scarce}
+    return _SubstrateProfile(scarce, specializations, capacity, free)
+
+
+class _ChainAllocator(Embedder):
+    """Shared chain-order skeleton: the subclasses only decide the
+    candidate *ordering/choice* for one NF."""
+
+    #: pruned candidate-set size per NF when an index is attached
+    candidate_k = 48
+    #: a functional type is scarce when its supporter share is below this
+    scarce_ratio = 0.25
+
+    def _run(self, ctx: MappingContext) -> None:
+        profile = self._profile(ctx)
+        routed: set[str] = set()
+        for nf_id in service_order(ctx.service):
+            nf = ctx.service.nf(nf_id)
+            anchor = anchor_infra(ctx, nf_id)
+            host = self._choose(
+                ctx, nf, anchor,
+                ctx.candidates(nf, self.candidate_k, anchor=anchor), profile)
+            if host is None and ctx.index is not None:
+                counters.incr("mapping.index.fallback")
+                host = self._choose(ctx, nf, anchor, ctx.candidates(nf),
+                                    profile)
+            if host is None:
+                raise MappingError(
+                    f"{self.name}: no feasible host for NF {nf_id!r} "
+                    f"(type {nf.functional_type!r})")
+            ctx.place(nf_id, host)
+            route_ready_hops(ctx, routed, around=nf_id)
+        route_ready_hops(ctx, routed)
+        unrouted = [hop.id for hop in ctx.sg_hop_list()
+                    if hop.id not in routed]
+        if unrouted:
+            raise MappingError(f"{self.name}: unrouted SG hops {unrouted}")
+
+    def _profile(self, ctx: MappingContext) -> _SubstrateProfile:
+        if ctx.index is not None:
+            return _profile_from_index(ctx, self.scarce_ratio)
+        return _profile_from_scan(ctx, self.scarce_ratio)
+
+    def _feasible(self, ctx: MappingContext, nf: NodeNF, infra_id: str,
+                  anchor: Optional[str]) -> bool:
+        infra = ctx.resource.infra(infra_id)
+        ctx.nodes_examined += 1
+        if not ctx.ledger.can_host(nf, infra):
+            return False
+        if not placement_allowed(ctx, nf, infra):
+            return False
+        if anchor is not None \
+                and ctx.delay_estimate(anchor, infra_id) == float("inf"):
+            return False
+        return True
+
+    def _choose(self, ctx: MappingContext, nf: NodeNF,
+                anchor: Optional[str], candidate_ids: list[str],
+                profile: _SubstrateProfile) -> Optional[str]:
+        raise NotImplementedError
+
+    # -- shared scoring/grouping helpers ----------------------------------
+
+    def _weights(self, ctx: MappingContext,
+                 profile: _SubstrateProfile) -> dict[str, float]:
+        """Per-dimension criticality: how much of the substrate an
+        average NF of this service consumes, amplified by current
+        load.  Dimensions the service never asks for weigh nothing."""
+        nfs = list(ctx.service.nfs)
+        count = max(1, len(nfs))
+        weights: dict[str, float] = {}
+        for dim in _DIMS:
+            requested = sum(getattr(nf.resources, dim) for nf in nfs) / count
+            total = profile.capacity.get(dim, 0.0)
+            if requested <= 0.0 or total <= 0.0:
+                weights[dim] = 0.0
+                continue
+            load = 1.0 - profile.free.get(dim, total) / total
+            weights[dim] = (requested / total) * (1.0 + load)
+        return weights
+
+    def _residual_score(self, ctx: MappingContext, nf: NodeNF,
+                        infra_id: str, weights: dict[str, float]) -> float:
+        free = ctx.ledger.free(infra_id)
+        score = 0.0
+        for dim, weight in weights.items():
+            if weight:
+                score += weight * (getattr(free, dim)
+                                   - getattr(nf.resources, dim))
+        return score
+
+    def _grouped(self, nf: NodeNF, candidate_ids: list[str],
+                 profile: _SubstrateProfile
+                 ) -> tuple[list[str], list[list[str]]]:
+        """Split candidates into a generic pool and one pool per scarce
+        specialization (a host burning other scarce types than the NF's
+        own is deferred), keyed deterministically."""
+        own = {nf.functional_type}
+        generic: list[str] = []
+        pools: dict[str, list[str]] = {}
+        for infra_id in candidate_ids:
+            burns = profile.specializations_of(infra_id) - own
+            if not burns:
+                generic.append(infra_id)
+            else:
+                pools.setdefault(min(burns), []).append(infra_id)
+        return generic, [pools[key] for key in sorted(pools)]
+
+    @staticmethod
+    def _interleave(pools: list[list[str]]) -> list[str]:
+        """Round-robin across pools so no single scarce capability is
+        exhausted before its peers."""
+        out: list[str] = []
+        depth = 0
+        while True:
+            emitted = False
+            for pool in pools:
+                if depth < len(pool):
+                    out.append(pool[depth])
+                    emitted = True
+            if not emitted:
+                return out
+            depth += 1
+
+
+class BalancedAllocator(_ChainAllocator):
+    """First fit over scarce-aware ordering: generic hosts first, then
+    scarce pools interleaved (the AccaSim ``balanced`` dispatcher)."""
+
+    name = "balanced"
+
+    def _choose(self, ctx: MappingContext, nf: NodeNF,
+                anchor: Optional[str], candidate_ids: list[str],
+                profile: _SubstrateProfile) -> Optional[str]:
+        generic, pools = self._grouped(nf, candidate_ids, profile)
+        for infra_id in generic + self._interleave(pools):
+            if self._feasible(ctx, nf, infra_id, anchor):
+                return infra_id
+        return None
+
+
+class WeightedAllocator(_ChainAllocator):
+    """Best fit on the weighted post-allocation residual (the AccaSim
+    ``weighted`` dispatcher): smallest leftover wins, preserving big
+    hosts for big NFs."""
+
+    name = "weighted"
+
+    def _choose(self, ctx: MappingContext, nf: NodeNF,
+                anchor: Optional[str], candidate_ids: list[str],
+                profile: _SubstrateProfile) -> Optional[str]:
+        weights = self._weights(ctx, profile)
+        best = None
+        best_key: Optional[tuple[float, str]] = None
+        for infra_id in candidate_ids:
+            if not self._feasible(ctx, nf, infra_id, anchor):
+                continue
+            key = (self._residual_score(ctx, nf, infra_id, weights),
+                   infra_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = infra_id
+        return best
+
+
+class HybridAllocator(_ChainAllocator):
+    """Balanced grouping, weighted ordering within each group: protect
+    scarce pools first, best-fit inside a pool."""
+
+    name = "hybrid"
+
+    def _choose(self, ctx: MappingContext, nf: NodeNF,
+                anchor: Optional[str], candidate_ids: list[str],
+                profile: _SubstrateProfile) -> Optional[str]:
+        weights = self._weights(ctx, profile)
+
+        def by_residual(pool: list[str]) -> list[str]:
+            return sorted(pool, key=lambda infra_id: (
+                self._residual_score(ctx, nf, infra_id, weights), infra_id))
+
+        generic, pools = self._grouped(nf, candidate_ids, profile)
+        ordered = by_residual(generic) + self._interleave(
+            [by_residual(pool) for pool in pools])
+        for infra_id in ordered:
+            if self._feasible(ctx, nf, infra_id, anchor):
+                return infra_id
+        return None

@@ -13,6 +13,7 @@ from repro.mapping.base import (Embedder, MappingContext, MappingError,
                                 placement_allowed)
 from repro.mapping.greedy import hop_delay_budget, service_order
 from repro.nffg.model import NodeNF
+from repro.perf import counters
 
 
 class BacktrackingEmbedder(Embedder):
@@ -64,13 +65,24 @@ class BacktrackingEmbedder(Embedder):
 
     def _candidates(self, ctx: MappingContext, nf: NodeNF) -> list[str]:
         anchor = None
-        for hop in ctx.service.sg_hops:
-            if hop.dst_node == nf.id:
-                anchor = ctx.endpoint_infra(hop.src_node)
-                if anchor:
-                    break
+        for hop in ctx.in_hops(nf.id):
+            anchor = ctx.endpoint_infra(hop.src_node)
+            if anchor:
+                break
+        # with an index, score a pruned pool a few times the branching
+        # factor wide; widen to the full supporting set if it's barren
+        pool = ctx.candidates(nf, 4 * self.candidates_per_nf, anchor=anchor)
+        ranked = self._rank(ctx, nf, anchor, pool)
+        if not ranked and ctx.index is not None:
+            counters.incr("mapping.index.fallback")
+            ranked = self._rank(ctx, nf, anchor, ctx.candidates(nf))
+        return ranked[:self.candidates_per_nf]
+
+    def _rank(self, ctx: MappingContext, nf: NodeNF,
+              anchor, candidate_ids: list[str]) -> list[str]:
         scored: list[tuple[float, str]] = []
-        for infra in ctx.resource.infras:
+        for infra_id in candidate_ids:
+            infra = ctx.resource.infra(infra_id)
             if not ctx.ledger.can_host(nf, infra):
                 continue
             if not placement_allowed(ctx, nf, infra):
@@ -83,7 +95,7 @@ class BacktrackingEmbedder(Embedder):
                 score += detour
             scored.append((score, infra.id))
         scored.sort()
-        return [infra_id for _, infra_id in scored[:self.candidates_per_nf]]
+        return [infra_id for _, infra_id in scored]
 
     # -- routing ------------------------------------------------------------
 
@@ -91,10 +103,8 @@ class BacktrackingEmbedder(Embedder):
         """Route every hop that just became routable; None on failure
         (with everything rolled back)."""
         routed_now: list[str] = []
-        for hop in ctx.service.sg_hops:
+        for hop in ctx.hops_touching(nf_id):
             if hop.id in ctx.routes:
-                continue
-            if nf_id not in (hop.src_node, hop.dst_node):
                 continue
             src = ctx.endpoint_infra(hop.src_node)
             dst = ctx.endpoint_infra(hop.dst_node)
@@ -113,7 +123,7 @@ class BacktrackingEmbedder(Embedder):
         return routed_now
 
     def _route_remaining(self, ctx: MappingContext) -> None:
-        for hop in ctx.service.sg_hops:
+        for hop in ctx.sg_hop_list():
             if hop.id in ctx.routes:
                 continue
             src = ctx.endpoint_infra(hop.src_node)

@@ -9,12 +9,16 @@ and only :meth:`MappingContext.commit` materializes the winning solution
 from __future__ import annotations
 
 import abc
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mapping.index import SubstrateIndex
     from repro.mapping.pathcache import PathCache
+
+from repro.perf import counters
 
 from repro.nffg.graph import NFFG
 from repro.nffg.model import (
@@ -66,6 +70,8 @@ class MappingResult:
     #: search effort metrics
     nodes_examined: int = 0
     backtracks: int = 0
+    #: name of the embedder that produced this result
+    embedder: str = ""
 
     def __bool__(self) -> bool:
         return self.success
@@ -135,6 +141,39 @@ def placement_allowed(ctx: "MappingContext", nf: NodeNF,
     return True
 
 
+class _CowMap:
+    """Copy-on-write overlay over a shared base dict.
+
+    A seeded :class:`ResourceLedger` reads through to the substrate
+    index's free maps and keeps its tentative allocations in a small
+    private overlay — O(service) memory, O(1) construction, and the
+    shared base is never written."""
+
+    __slots__ = ("_base", "_over")
+
+    def __init__(self, base: dict):
+        self._base = base
+        self._over: dict = {}
+
+    def __getitem__(self, key):
+        over = self._over
+        if key in over:
+            return over[key]
+        return self._base[key]
+
+    def get(self, key, default=None):
+        over = self._over
+        if key in over:
+            return over[key]
+        return self._base.get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        self._over[key] = value
+
+    def __contains__(self, key) -> bool:
+        return key in self._over or key in self._base
+
+
 class ResourceLedger:
     """Tentative compute + bandwidth accounting over a resource view.
 
@@ -144,15 +183,23 @@ class ResourceLedger:
     this ledger state.
     """
 
-    _seq = 0
+    #: atomic under the GIL — ledgers may be built off the orchestrator
+    #: thread (dispatcher workers, tests), so no read-modify-write races
+    _seq = itertools.count(1)
 
-    def __init__(self, resource: NFFG):
+    def __init__(self, resource: NFFG, seed: Optional[tuple] = None):
         self.resource = resource
+        self._instance = next(ResourceLedger._seq)
+        self.generation = 0
+        if seed is not None:
+            # free maps provided by the substrate index: overlay them
+            # copy-on-write instead of rescanning the whole view
+            free_base, link_base = seed
+            self._free = _CowMap(free_base)
+            self._link_free = _CowMap(link_base)
+            return
         self._free: dict[str, ResourceVector] = {}
         self._link_free: dict[str, float] = {}
-        ResourceLedger._seq += 1
-        self._instance = ResourceLedger._seq
-        self.generation = 0
         # one pass over the edge table for all placements instead of a
         # per-infra nfs_on scan (a ledger is built for every mapping run)
         consumed: dict[str, ResourceVector] = {}
@@ -302,20 +349,96 @@ class MappingContext:
     """
 
     def __init__(self, service: NFFG, resource: NFFG,
-                 path_cache: Optional["PathCache"] = None):
+                 path_cache: Optional["PathCache"] = None,
+                 index: Optional["SubstrateIndex"] = None):
         self.service = service
         self.resource = resource
-        self.ledger = ResourceLedger(resource)
+        if index is not None and not index.covers(resource):
+            # offered an index built over a different view object (a
+            # copy, or a stale one): fall back to the full rescan path
+            counters.incr("mapping.index.skip")
+            index = None
+        self.index = index
         self.path_cache = path_cache
         self.placement: dict[str, str] = {}
         self.routes: dict[str, HopRoute] = {}
         self.decompositions: dict[str, str] = {}
         self.nodes_examined = 0
         self.backtracks = 0
-        self._sap_attach = self._build_sap_attachments()
-        self._adjacency: Optional[dict[str, list[EdgeLink]]] = None
-        self._node_delays: Optional[dict[str, float]] = None
-        self._delay_from: dict[str, dict[str, float]] = {}
+        self._sg_hops: Optional[list[EdgeSGHop]] = None
+        self._hops_in: Optional[dict[str, list[EdgeSGHop]]] = None
+        self._hops_out: Optional[dict[str, list[EdgeSGHop]]] = None
+        if index is not None:
+            counters.incr("mapping.index.hit")
+            self.ledger = ResourceLedger(resource, seed=index.ledger_seed())
+            self._sap_attach = index.sap_attachments()
+            self._adjacency = index.adjacency()
+            self._node_delays = index.node_delays()
+            # topology-only Dijkstra memo shared across runs
+            self._delay_from = index.delay_memo
+        else:
+            self.ledger = ResourceLedger(resource)
+            self._sap_attach = self._build_sap_attachments()
+            self._adjacency: Optional[dict[str, list[EdgeLink]]] = None
+            self._node_delays: Optional[dict[str, float]] = None
+            self._delay_from: dict[str, dict[str, float]] = {}
+
+    # -- service-graph hop index (built once per run) ---------------------
+
+    def sg_hop_list(self) -> list[EdgeSGHop]:
+        """The service's SG hops as a cached list (the ``sg_hops``
+        property rebuilds it on every access)."""
+        if self._sg_hops is None:
+            self._sg_hops = list(self.service.sg_hops)
+        return self._sg_hops
+
+    def _build_hop_index(self) -> None:
+        hops_in: dict[str, list[EdgeSGHop]] = {}
+        hops_out: dict[str, list[EdgeSGHop]] = {}
+        for hop in self.sg_hop_list():
+            hops_out.setdefault(hop.src_node, []).append(hop)
+            hops_in.setdefault(hop.dst_node, []).append(hop)
+        self._hops_in = hops_in
+        self._hops_out = hops_out
+
+    def in_hops(self, node_id: str) -> list[EdgeSGHop]:
+        """SG hops entering a service node (indexed once per run)."""
+        if self._hops_in is None:
+            self._build_hop_index()
+        return self._hops_in.get(node_id, [])
+
+    def out_hops(self, node_id: str) -> list[EdgeSGHop]:
+        """SG hops leaving a service node (indexed once per run)."""
+        if self._hops_out is None:
+            self._build_hop_index()
+        return self._hops_out.get(node_id, [])
+
+    def hops_touching(self, node_id: str) -> list[EdgeSGHop]:
+        """SG hops with this service node as either endpoint."""
+        return self.in_hops(node_id) + self.out_hops(node_id)
+
+    # -- candidate selection (index-backed front door) --------------------
+
+    def candidates(self, nf: NodeNF, k: Optional[int] = None, *,
+                   anchor: Optional[str] = None) -> list[str]:
+        """Candidate host ids for an NF.
+
+        With a substrate index attached this is a pruned top-K query
+        (capacity buckets + anchor neighbourhood); without one it
+        returns every infra id, preserving the full-scan behaviour.
+        A pinned NF always resolves to exactly its pinned host."""
+        pinned = nf.metadata.get(CONSTRAINT_INFRA)
+        if pinned is not None:
+            if (self.resource.has_node(pinned)
+                    and isinstance(self.resource.node(pinned), NodeInfra)):
+                return [pinned]
+            return []
+        if self.index is not None:
+            return self.index.candidate_ids(
+                nf.functional_type,
+                domain=nf.metadata.get(CONSTRAINT_DOMAIN),
+                k=k, min_cpu=nf.resources.cpu, near=anchor)
+        return [infra.id for infra in self.resource.infras]
 
     # -- cached topology helpers (hot path of every embedder) -----------
 
@@ -571,13 +694,26 @@ class Embedder(abc.ABC):
 
     def map(self, service: NFFG, resource: NFFG,
             mapped_id: Optional[str] = None,
-            path_cache: Optional["PathCache"] = None) -> MappingResult:
+            path_cache: Optional["PathCache"] = None,
+            index: Optional["SubstrateIndex"] = None) -> MappingResult:
         """Embed ``service`` into ``resource``; never raises on mapping
         failure — inspect :attr:`MappingResult.success`.  ``path_cache``
         (shared across requests by the orchestrator) memoizes substrate
-        path searches."""
+        path searches; ``index`` (the CAL's :class:`SubstrateIndex`)
+        seeds the run's ledger and candidate sets when it covers
+        ``resource``."""
+        result = self._map(service, resource, mapped_id=mapped_id,
+                           path_cache=path_cache, index=index)
+        result.embedder = self.name
+        return result
+
+    def _map(self, service: NFFG, resource: NFFG,
+             mapped_id: Optional[str],
+             path_cache: Optional["PathCache"],
+             index: Optional["SubstrateIndex"]) -> MappingResult:
         started = time.perf_counter()
-        ctx = MappingContext(service, resource, path_cache=path_cache)
+        ctx = MappingContext(service, resource, path_cache=path_cache,
+                             index=index)
         try:
             self._run(ctx)
             violations = ctx.requirement_violations()

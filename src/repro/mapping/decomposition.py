@@ -180,21 +180,23 @@ def iter_decompositions(service: NFFG,
 def map_with_decomposition(embedder: Embedder, service: NFFG, resource: NFFG,
                            library: DecompositionLibrary,
                            max_options: int = 16,
-                           path_cache=None) -> MappingResult:
+                           path_cache=None, index=None) -> MappingResult:
     """Try decomposition options cheapest-first until one embeds.
 
     Returns the first successful :class:`MappingResult` with
     ``decompositions`` describing the winning choice, or the last
     failure when no option embeds.  ``path_cache`` is forwarded to every
     embedding attempt (option candidates share the substrate, so memoized
-    paths carry across attempts).
+    paths carry across attempts), as is ``index`` (the CAL's
+    :class:`~repro.mapping.index.SubstrateIndex`).
     """
     last: Optional[MappingResult] = None
-    for index, decomposition in enumerate(iter_decompositions(service, library)):
-        if index >= max_options:
+    for option, decomposition in enumerate(iter_decompositions(service, library)):
+        if option >= max_options:
             break
         candidate = expand_service(service, decomposition)
-        result = embedder.map(candidate, resource, path_cache=path_cache)
+        result = embedder.map(candidate, resource, path_cache=path_cache,
+                              index=index)
         if result.success:
             result.decompositions = decomposition.describe()
             return result

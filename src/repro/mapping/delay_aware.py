@@ -14,10 +14,13 @@ option loop lives in the orchestrator so the embedder stays pluggable).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.mapping.base import (Embedder, MappingContext, MappingError,
                                 placement_allowed)
 from repro.mapping.greedy import hop_delay_budget, service_order
 from repro.nffg.model import NodeNF
+from repro.perf import counters
 
 
 class DelayAwareEmbedder(Embedder):
@@ -43,35 +46,13 @@ class DelayAwareEmbedder(Embedder):
             nf = ctx.service.nf(nf_id)
             upstream = self._neighbour_infra(ctx, nf_id, incoming=True)
             downstream = self._neighbour_infra(ctx, nf_id, incoming=False)
-            best = None
-            best_score = float("inf")
-            examined = 0
-            for infra in ctx.resource.infras:
-                if examined >= self.candidates_per_nf and best is not None:
-                    break
-                ctx.nodes_examined += 1
-                if not ctx.ledger.can_host(nf, infra):
-                    continue
-                if not placement_allowed(ctx, nf, infra):
-                    continue
-                examined += 1
-                delay_term = 0.0
-                reachable = True
-                for anchor in (upstream, downstream):
-                    if anchor is None:
-                        continue
-                    detour = ctx.delay_estimate(anchor, infra.id)
-                    if detour == float("inf"):
-                        reachable = False
-                        break
-                    delay_term += detour
-                if not reachable:
-                    continue
-                resource_term = nf.resources.cpu * infra.cost_per_cpu
-                score = self.alpha * resource_term + self.beta * delay_term
-                if score < best_score:
-                    best_score = score
-                    best = infra.id
+            pruned = ctx.candidates(nf, self.candidates_per_nf,
+                                    anchor=upstream or downstream)
+            best = self._best_host(ctx, nf, upstream, downstream, pruned)
+            if best is None and ctx.index is not None:
+                counters.incr("mapping.index.fallback")
+                best = self._best_host(ctx, nf, upstream, downstream,
+                                       ctx.candidates(nf))
             if best is None:
                 raise MappingError(
                     f"delay-aware: no feasible host for {nf_id!r} "
@@ -79,28 +60,65 @@ class DelayAwareEmbedder(Embedder):
             ctx.place(nf_id, best)
             self._route_ready(ctx, routed)
         self._route_ready(ctx, routed)
-        missing = [hop.id for hop in ctx.service.sg_hops if hop.id not in routed]
+        missing = [hop.id for hop in ctx.sg_hop_list()
+                   if hop.id not in routed]
         if missing:
             raise MappingError(f"delay-aware: unrouted hops {missing}")
 
+    def _best_host(self, ctx: MappingContext, nf: NodeNF,
+                   upstream: Optional[str], downstream: Optional[str],
+                   candidate_ids: list[str]) -> Optional[str]:
+        best = None
+        best_score = float("inf")
+        examined = 0
+        for infra_id in candidate_ids:
+            if examined >= self.candidates_per_nf and best is not None:
+                break
+            infra = ctx.resource.infra(infra_id)
+            ctx.nodes_examined += 1
+            if not ctx.ledger.can_host(nf, infra):
+                continue
+            if not placement_allowed(ctx, nf, infra):
+                continue
+            examined += 1
+            delay_term = 0.0
+            reachable = True
+            for anchor in (upstream, downstream):
+                if anchor is None:
+                    continue
+                detour = ctx.delay_estimate(anchor, infra.id)
+                if detour == float("inf"):
+                    reachable = False
+                    break
+                delay_term += detour
+            if not reachable:
+                continue
+            resource_term = nf.resources.cpu * infra.cost_per_cpu
+            score = self.alpha * resource_term + self.beta * delay_term
+            if score < best_score:
+                best_score = score
+                best = infra.id
+        return best
+
     def _neighbour_infra(self, ctx: MappingContext, nf_id: str,
                          incoming: bool):
-        for hop in ctx.service.sg_hops:
-            if incoming and hop.dst_node == nf_id:
+        if incoming:
+            for hop in ctx.in_hops(nf_id):
                 infra = ctx.endpoint_infra(hop.src_node)
                 if infra is not None:
                     return infra
-            if not incoming and hop.src_node == nf_id:
-                other = ctx.service.node(hop.dst_node)
-                if not isinstance(other, NodeNF):
-                    return ctx.endpoint_infra(hop.dst_node)
-                infra = ctx.placement.get(hop.dst_node)
-                if infra is not None:
-                    return infra
+            return None
+        for hop in ctx.out_hops(nf_id):
+            other = ctx.service.node(hop.dst_node)
+            if not isinstance(other, NodeNF):
+                return ctx.endpoint_infra(hop.dst_node)
+            infra = ctx.placement.get(hop.dst_node)
+            if infra is not None:
+                return infra
         return None
 
     def _route_ready(self, ctx: MappingContext, routed: set[str]) -> None:
-        for hop in ctx.service.sg_hops:
+        for hop in ctx.sg_hop_list():
             if hop.id in routed:
                 continue
             src = ctx.endpoint_infra(hop.src_node)

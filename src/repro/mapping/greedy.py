@@ -5,16 +5,24 @@ places each NF on the feasible BiS-BiS that minimizes a local score
 (placement cost + delay detour from the previous element), routing each
 SG hop as soon as both endpoints are fixed.  Fast, no backtracking —
 the default ESCAPE-style baseline.
+
+With a :class:`~repro.mapping.index.SubstrateIndex` attached to the
+context the per-NF host scan runs over a pruned candidate set instead
+of the whole substrate; when the pruned set yields no feasible host the
+scan widens to the full supporting set, so pruning never costs
+acceptance.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections import deque
+from typing import Iterable, Optional
 
 from repro.mapping.base import (Embedder, MappingContext, MappingError,
                                 placement_allowed)
 from repro.nffg.graph import NFFG
 from repro.nffg.model import NodeNF
+from repro.perf import counters
 
 
 def service_order(service: NFFG) -> list[str]:
@@ -23,15 +31,16 @@ def service_order(service: NFFG) -> list[str]:
     Falls back to insertion order for NFs unreachable from any SAP
     (isolated fragments still get mapped).
     """
+    out_hops: dict[str, list] = {}
+    for hop in service.sg_hops:
+        out_hops.setdefault(hop.src_node, []).append(hop)
     order: list[str] = []
     seen: set[str] = set()
-    frontier: list[str] = [sap.id for sap in service.saps]
+    frontier: deque[str] = deque(sap.id for sap in service.saps)
     visited_nodes: set[str] = set(frontier)
     while frontier:
-        current = frontier.pop(0)
-        for hop in service.sg_hops:
-            if hop.src_node != current:
-                continue
+        current = frontier.popleft()
+        for hop in out_hops.get(current, ()):
             dst = hop.dst_node
             if dst in visited_nodes:
                 continue
@@ -50,7 +59,7 @@ def service_order(service: NFFG) -> list[str]:
 def hops_ready(service: NFFG, ctx: MappingContext,
                routed: set[str]) -> Iterable:
     """SG hops whose both endpoints are resolvable and not yet routed."""
-    for hop in service.sg_hops:
+    for hop in ctx.sg_hop_list():
         if hop.id in routed:
             continue
         src = ctx.endpoint_infra(hop.src_node)
@@ -76,69 +85,108 @@ def hop_delay_budget(service: NFFG, ctx: MappingContext, hop_id: str) -> float:
     return budget
 
 
+def anchor_infra(ctx: MappingContext, nf_id: str) -> Optional[str]:
+    """Infra of the closest already-resolved neighbour in the SG."""
+    for hop in ctx.in_hops(nf_id):
+        infra = ctx.endpoint_infra(hop.src_node)
+        if infra is not None:
+            return infra
+    for hop in ctx.out_hops(nf_id):
+        infra = ctx.endpoint_infra(hop.dst_node)
+        if infra is not None:
+            return infra
+    return None
+
+
+def route_ready_hops(ctx: MappingContext, routed: set[str],
+                     around: Optional[str] = None) -> None:
+    """Route every not-yet-routed hop whose endpoints are resolved.
+
+    A hop only becomes ready when its last unresolved endpoint is
+    placed, so after placing one NF only the hops touching it
+    (``around``) need checking — O(degree), not O(hops)."""
+    hops = ctx.hops_touching(around) if around is not None \
+        else ctx.sg_hop_list()
+    for hop in hops:
+        if hop.id in routed:
+            continue
+        src = ctx.endpoint_infra(hop.src_node)
+        dst = ctx.endpoint_infra(hop.dst_node)
+        if src is None or dst is None:
+            continue
+        budget = hop_delay_budget(ctx.service, ctx, hop.id)
+        route = ctx.find_route(hop.id, src, dst,
+                               bandwidth=hop.bandwidth, max_delay=budget)
+        ctx.record_route(route)
+        routed.add(hop.id)
+
+
 class GreedyEmbedder(Embedder):
     """Place NFs chain-first on locally cheapest feasible hosts."""
 
     name = "greedy"
 
     def __init__(self, bandwidth_weight: float = 0.01,
-                 delay_weight: float = 1.0, cost_weight: float = 1.0):
+                 delay_weight: float = 1.0, cost_weight: float = 1.0,
+                 candidate_k: int = 32):
         self.bandwidth_weight = bandwidth_weight
         self.delay_weight = delay_weight
         self.cost_weight = cost_weight
+        #: pruned candidate-set size per NF when an index is attached
+        self.candidate_k = candidate_k
 
     def _run(self, ctx: MappingContext) -> None:
-        service, resource = ctx.service, ctx.resource
+        service = ctx.service
         routed: set[str] = set()
         for nf_id in service_order(service):
             nf = service.nf(nf_id)
             anchor = self._anchor_infra(ctx, nf_id)
-            best_host = None
-            best_score = float("inf")
-            for infra in resource.infras:
-                ctx.nodes_examined += 1
-                if not ctx.ledger.can_host(nf, infra):
-                    continue
-                if not placement_allowed(ctx, nf, infra):
-                    continue
-                score = self.cost_weight * nf.resources.cpu * infra.cost_per_cpu
-                if anchor is not None:
-                    detour = ctx.delay_estimate(anchor, infra.id)
-                    if detour == float("inf"):
-                        continue
-                    score += self.delay_weight * detour
-                if score < best_score:
-                    best_score = score
-                    best_host = infra.id
+            pruned = ctx.candidates(nf, self.candidate_k, anchor=anchor)
+            best_host = self._best_host(ctx, nf, anchor, pruned)
+            if best_host is None and ctx.index is not None:
+                # pruned set infeasible: widen to the full supporting set
+                counters.incr("mapping.index.fallback")
+                best_host = self._best_host(ctx, nf, anchor,
+                                            ctx.candidates(nf))
             if best_host is None:
                 raise MappingError(
                     f"no feasible host for NF {nf_id!r} "
                     f"(type {nf.functional_type!r})")
             ctx.place(nf_id, best_host)
-            self._route_ready_hops(ctx, routed)
+            self._route_ready_hops(ctx, routed, around=nf_id)
         self._route_ready_hops(ctx, routed)
-        unrouted = [hop.id for hop in service.sg_hops if hop.id not in routed]
+        unrouted = [hop.id for hop in ctx.sg_hop_list()
+                    if hop.id not in routed]
         if unrouted:
             raise MappingError(f"unrouted SG hops: {unrouted}")
 
-    def _anchor_infra(self, ctx: MappingContext, nf_id: str):
-        """Infra of the closest already-resolved neighbour in the SG."""
-        for hop in ctx.service.sg_hops:
-            if hop.dst_node == nf_id:
-                infra = ctx.endpoint_infra(hop.src_node)
-                if infra is not None:
-                    return infra
-        for hop in ctx.service.sg_hops:
-            if hop.src_node == nf_id:
-                infra = ctx.endpoint_infra(hop.dst_node)
-                if infra is not None:
-                    return infra
-        return None
+    def _best_host(self, ctx: MappingContext, nf: NodeNF,
+                   anchor: Optional[str],
+                   candidate_ids: list[str]) -> Optional[str]:
+        resource = ctx.resource
+        best_host = None
+        best_score = float("inf")
+        for infra_id in candidate_ids:
+            infra = resource.infra(infra_id)
+            ctx.nodes_examined += 1
+            if not ctx.ledger.can_host(nf, infra):
+                continue
+            if not placement_allowed(ctx, nf, infra):
+                continue
+            score = self.cost_weight * nf.resources.cpu * infra.cost_per_cpu
+            if anchor is not None:
+                detour = ctx.delay_estimate(anchor, infra.id)
+                if detour == float("inf"):
+                    continue
+                score += self.delay_weight * detour
+            if score < best_score:
+                best_score = score
+                best_host = infra.id
+        return best_host
 
-    def _route_ready_hops(self, ctx: MappingContext, routed: set[str]) -> None:
-        for hop, src, dst in list(hops_ready(ctx.service, ctx, routed)):
-            budget = hop_delay_budget(ctx.service, ctx, hop.id)
-            route = ctx.find_route(hop.id, src, dst,
-                                   bandwidth=hop.bandwidth, max_delay=budget)
-            ctx.record_route(route)
-            routed.add(hop.id)
+    def _anchor_infra(self, ctx: MappingContext, nf_id: str):
+        return anchor_infra(ctx, nf_id)
+
+    def _route_ready_hops(self, ctx: MappingContext, routed: set[str],
+                          around: Optional[str] = None) -> None:
+        route_ready_hops(ctx, routed, around=around)

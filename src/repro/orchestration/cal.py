@@ -47,6 +47,7 @@ their own domain's single in-flight operation.
 
 from __future__ import annotations
 
+import os
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -58,6 +59,7 @@ from repro.mapping.base import (
     build_sap_attachments,
     install_hop_flowrules,
 )
+from repro.mapping.index import SubstrateIndex
 from repro.nffg.graph import NFFG, NFFGError
 from repro.nffg.model import DomainType, NodeNF, NodeSAP, ResourceVector
 from repro.orchestration.adapters import DomainAdapter
@@ -67,6 +69,10 @@ from repro.orchestration.report import AdapterReport
 from repro.perf import counters, observe, set_gauge
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.sanitize import make_lock
+
+#: debug escape hatch: rebuild-and-compare the substrate index against
+#: the remaining view on every resource_view() call
+_INDEX_VERIFY = bool(os.environ.get("REPRO_INDEX_VERIFY"))
 
 
 @dataclass
@@ -171,6 +177,12 @@ class ControllerAdaptationLayer:
         #: unmaintained DoV mutation forces a re-derivation
         self._remaining: Optional[NFFG] = None
         self._remaining_generation = -1
+        #: persistent mapping-layer index over the remaining view:
+        #: candidate sets, capacity buckets, ledger seed maps and
+        #: topology tables, kept in lock-step with ``_remaining`` (see
+        #: :class:`repro.mapping.index.SubstrateIndex`); handed to the
+        #: RO so embedders skip their per-run O(substrate) rescans
+        self.substrate_index = SubstrateIndex()
         #: DoV content version: bumped on every apply/remove/rebuild
         self.generation = 0
         #: substrate topology version: bumped when domain views change
@@ -450,6 +462,14 @@ class ControllerAdaptationLayer:
             counters.incr("cal.remaining.rebuild")
         else:
             counters.incr("cal.remaining.reuse")
+        # keep the mapping index bound to the live remaining view;
+        # identity/epoch drift triggers its full rebuild (PathCache
+        # sync idiom), everything else is a no-op
+        self.substrate_index.sync(self._remaining,
+                                  epoch=self.topology_generation)
+        if _INDEX_VERIFY:
+            problems = self.substrate_index.verify(self._remaining)
+            assert not problems, f"substrate index drifted: {problems}"
         if copy:
             return self._remaining.copy("dov-remaining")
         return self._remaining
@@ -485,6 +505,9 @@ class ControllerAdaptationLayer:
             self._remaining = None
             return
         self._remaining_generation = self.generation
+        # mirror the delta into the mapping index (same clamped
+        # arithmetic); it marks itself stale on any inconsistency
+        self.substrate_index.apply_mapping(service, result, sign)
 
     # -- deployment ---------------------------------------------------------------------
 

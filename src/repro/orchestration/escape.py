@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Optional
+from typing import Optional, Union
 
 from repro import obs
 from repro.lint import DiagnosticList, Severity, lint_nffg
@@ -33,7 +33,7 @@ class EscapeOrchestrator:
     """Service layer entry point + RO + CAL, composed."""
 
     def __init__(self, name: str = "escape", *,
-                 embedder: Optional[Embedder] = None,
+                 embedder: Optional[Union[Embedder, str]] = None,
                  decomposition_library: Optional[DecompositionLibrary] = None,
                  simulator: Optional[Simulator] = None,
                  lint_gate: Optional[Severity] = Severity.ERROR,
@@ -86,10 +86,13 @@ class EscapeOrchestrator:
         return self.cal.resource_view()
 
     def _orchestrate(self, service: NFFG, view: NFFG):
-        """Run the RO with the shared path cache, synced to the CAL's
-        current substrate topology generation."""
+        """Run the RO with the shared path cache and the CAL's
+        substrate index, both synced to the current substrate topology
+        generation (the index ignores itself when ``view`` is a copy
+        it does not cover)."""
         cache = self.path_cache.sync(self.cal.topology_generation)
-        return self.ro.orchestrate(service, view, path_cache=cache)
+        return self.ro.orchestrate(service, view, path_cache=cache,
+                                   index=self.cal.substrate_index)
 
     # -- service lifecycle -----------------------------------------------------
 

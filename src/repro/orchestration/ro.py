@@ -9,7 +9,7 @@ before it is allowed to reach any domain.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro import obs
 from repro.mapping.base import Embedder, MappingResult
@@ -18,6 +18,7 @@ from repro.mapping.decomposition import (
     map_with_decomposition,
 )
 from repro.mapping.greedy import GreedyEmbedder
+from repro.mapping.registry import make_embedder
 from repro.mapping.validate import validate_mapping
 from repro.nffg.graph import NFFG
 from repro.perf import observe
@@ -26,10 +27,12 @@ from repro.perf import observe
 class ResourceOrchestrator:
     """Embedding + decomposition + verification, behind one call."""
 
-    def __init__(self, embedder: Optional[Embedder] = None,
+    def __init__(self, embedder: Optional[Union[Embedder, str]] = None,
                  decomposition_library: Optional[DecompositionLibrary] = None,
                  max_decomposition_options: int = 16,
                  verify: bool = True):
+        if isinstance(embedder, str):
+            embedder = make_embedder(embedder)
         self.embedder = embedder or GreedyEmbedder()
         self.decomposition_library = decomposition_library
         self.max_decomposition_options = max_decomposition_options
@@ -38,7 +41,7 @@ class ResourceOrchestrator:
         self.mappings_succeeded = 0
 
     def orchestrate(self, service: NFFG, resource_view: NFFG,
-                    path_cache=None) -> MappingResult:
+                    path_cache=None, index=None) -> MappingResult:
         """Map a service graph onto a resource view.
 
         When a decomposition library is configured, abstract NFs are
@@ -46,7 +49,10 @@ class ResourceOrchestrator:
         mapping is re-validated from scratch (defense against embedder
         bugs) before being returned as successful.  ``path_cache`` — a
         :class:`repro.mapping.pathcache.PathCache` owned by the caller —
-        is shared across requests hitting the same substrate.
+        is shared across requests hitting the same substrate, and
+        ``index`` — the CAL's :class:`repro.mapping.index.SubstrateIndex`
+        — seeds each run's ledger and candidate sets when it covers
+        ``resource_view``.
         """
         self.mappings_attempted += 1
         with obs.span("map/embed", embedder=self.embedder.name):
@@ -55,12 +61,15 @@ class ResourceOrchestrator:
                     self.embedder, service, resource_view,
                     self.decomposition_library,
                     max_options=self.max_decomposition_options,
-                    path_cache=path_cache)
+                    path_cache=path_cache, index=index)
             else:
-                # only forward the kwarg when set — embedder subclasses
-                # predating the path cache keep working uncached
-                kwargs = {"path_cache": path_cache} \
-                    if path_cache is not None else {}
+                # only forward set kwargs — embedder subclasses
+                # predating the path cache / index keep working
+                kwargs = {}
+                if path_cache is not None:
+                    kwargs["path_cache"] = path_cache
+                if index is not None:
+                    kwargs["index"] = index
                 result = self.embedder.map(service, resource_view, **kwargs)
         if result.success and self.verify:
             effective_service = result.service if result.service is not None \

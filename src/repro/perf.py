@@ -50,6 +50,25 @@ Sharded-CAL counters (scale-aware view maintenance + push planning)::
     cal.remaining.reuse      resource_view() calls served from the
                              incrementally maintained cache
 
+Mapping-index counters (the CAL-owned :class:`SubstrateIndex` that
+seeds embedding runs — candidate sets, capacity buckets, copy-on-write
+ledger bases; see :mod:`repro.mapping.index`)::
+
+    mapping.index.hit        mapping runs seeded from the substrate index
+                             (shared topology tables + O(1) ledger)
+    mapping.index.skip       an index was offered but covered a different
+                             view object (full per-run rescan fallback)
+    mapping.index.apply      deploy/teardown deltas folded into the index
+                             in place (mirrors cal.remaining maintenance)
+    mapping.index.rebuild    full index rebuilds from a resource view
+    mapping.index.stale      inconsistencies that marked the index stale
+                             (next sync rebuilds)
+    mapping.index.candidates candidate-set queries served by the index
+    mapping.index.fallback   pruned candidate scans that found no feasible
+                             host and widened to the full supporting set
+    mapping.index.verify     rebuild-and-compare verification passes
+    mapping.index.verify_failed  verifications that found a divergence
+
 Resilience counters (all zero on a fault-free run)::
 
     resilience.faults.injected    faults fired by a FaultPlan (+ per-kind
